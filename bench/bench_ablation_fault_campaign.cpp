@@ -1,0 +1,95 @@
+// ABL-FAULT — reliability-guarantee campaign: dependability outcomes
+// (correct / corrected / detected-abort / silent corruption) of the
+// reliable convolution under SEU fault injection, for each executor
+// scheme across transient fault rates. This is the evidence behind the
+// paper's claim that operation-level redundancy plus rollback yields
+// reliable execution: the simplex baseline accumulates silent data
+// corruption, DMR/TMR drive SDC to (near) zero, trading it for
+// fail-stops at high rates.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "faultsim/campaign.hpp"
+#include "faultsim/injector.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/reliable_conv.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-FAULT", "fault-injection campaign (SEU model)");
+
+  // Small conv1-like workload keeps each run ~1 ms so the campaign can
+  // afford hundreds of runs per cell.
+  util::Rng rng(3);
+  tensor::Tensor weights(tensor::Shape{8, 3, 5, 5});
+  weights.fill_normal(rng, 0.0f, 0.2f);
+  tensor::Tensor bias(tensor::Shape{8});
+  const reliable::ReliableConv2d conv(weights, bias,
+                                      reliable::ConvSpec{1, 2});
+  tensor::Tensor input(tensor::Shape{3, 24, 24});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const tensor::Tensor golden = conv.reference_forward(input);
+  const std::uint64_t ops = 2 * conv.mac_count(input.shape());
+
+  const std::size_t runs = bench::quick_mode() ? 40 : 200;
+  std::printf("workload: 8x 5x5x3 filters over 24x24x3 (%llu qualified ops"
+              " per run), %zu runs per cell\n",
+              static_cast<unsigned long long>(ops), runs);
+
+  util::Table table("dependability outcomes per scheme and fault rate",
+                    {"scheme", "rate/op", "correct", "corrected",
+                     "detected_abort", "SDC", "availability", "safety"});
+  util::CsvWriter csv(
+      util::results_path(bench::results_dir(), "fault_campaign.csv"),
+      {"scheme", "rate", "correct", "corrected", "detected_abort",
+       "silent_corruption", "availability", "safety"});
+
+  for (const char* scheme : {"simplex", "dmr", "tmr"}) {
+    for (const double rate : {1e-6, 1e-5, 1e-4, 1e-3}) {
+      faultsim::CampaignSummary summary;
+      for (std::size_t run = 0; run < runs; ++run) {
+        faultsim::FaultConfig cfg;
+        cfg.kind = faultsim::FaultKind::kTransient;
+        cfg.probability = rate;
+        cfg.bit = -1;
+        auto inj = std::make_shared<faultsim::FaultInjector>(
+            cfg, 1000 + run);
+        const auto exec = reliable::make_executor(scheme, inj);
+        const auto result = conv.forward(input, *exec);
+        summary.add(faultsim::classify(inj->stats().faults > 0,
+                                       !result.report.ok,
+                                       result.output == golden));
+      }
+      table.row({scheme, util::CsvWriter::num(rate),
+                 std::to_string(summary.correct),
+                 std::to_string(summary.corrected),
+                 std::to_string(summary.detected_abort),
+                 std::to_string(summary.silent_corruption),
+                 util::Table::fixed(summary.availability(), 3),
+                 util::Table::fixed(summary.safety(), 3)});
+      csv.row({scheme, util::CsvWriter::num(rate),
+               std::to_string(summary.correct),
+               std::to_string(summary.corrected),
+               std::to_string(summary.detected_abort),
+               std::to_string(summary.silent_corruption),
+               util::CsvWriter::num(summary.availability()),
+               util::CsvWriter::num(summary.safety())});
+    }
+  }
+  table.print();
+
+  std::printf("\nexpected shape: simplex leaks SDC as soon as faults "
+              "activate; dmr/tmr keep safety ~1.0, trading high fault "
+              "rates for detected fail-stops (dmr) or masking (tmr).\n");
+  std::printf("CSV written to %s\n", csv.path().c_str());
+  return 0;
+}

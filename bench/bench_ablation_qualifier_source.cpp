@@ -1,0 +1,124 @@
+// ABL-QSOURCE — qualifier bifurcation source ablation.
+//
+// Figure 2 of the paper bifurcates the reliably executed first layer's
+// output into the qualifier, but conv strides shrink the dependable
+// feature map and the paper itself notes shape recognition "requires an
+// appreciable image size". This bench measures the trade empirically:
+// octagon acceptance on true stop signs and rejection on impostors, for
+// the full-resolution qualifier vs the bifurcated feature-map qualifier,
+// across input sizes — quantifying when the cheaper bifurcated source is
+// actually usable.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/hybrid_network.hpp"
+#include "data/renderer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/relu.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+std::unique_ptr<nn::Sequential> make_net(std::size_t image) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 8, 7, 2, 0);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Flatten>();
+  const std::size_t fm = (image - 7) / 2 + 1;
+  net->emplace<nn::Linear>(8 * fm * fm, 5);
+  nn::init_network(*net, 3);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-QSOURCE",
+                "qualifier source: full resolution vs feature map");
+
+  const std::size_t trials = bench::quick_mode() ? 4 : 10;
+  util::Table table("octagon qualifier accuracy by source and input size",
+                    {"source", "input", "feature map", "stop accepted",
+                     "impostor rejected"});
+  util::CsvWriter csv(
+      util::results_path(bench::results_dir(), "qualifier_source.csv"),
+      {"source", "input_size", "stop_accept_rate", "impostor_reject_rate"});
+
+  const auto source_label = [](core::QualifierSource s) {
+    switch (s) {
+      case core::QualifierSource::kFullResolution:
+        return "full-resolution";
+      case core::QualifierSource::kDependableFeatureMap:
+        return "feature-map (x/y/x)";
+      case core::QualifierSource::kDependableFeatureMapPair:
+        return "feature-map pair";
+    }
+    return "?";
+  };
+
+  for (const core::QualifierSource source :
+       {core::QualifierSource::kFullResolution,
+        core::QualifierSource::kDependableFeatureMap,
+        core::QualifierSource::kDependableFeatureMapPair}) {
+    for (const std::size_t size : {64u, 96u, 128u, 160u, 227u}) {
+      core::HybridConfig cfg;
+      cfg.qualifier.source = source;
+      core::HybridNetwork hybrid(make_net(size), 0, cfg);
+
+      std::size_t stop_ok = 0;
+      std::size_t impostor_ok = 0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        data::RenderParams stop;
+        stop.cls = data::SignClass::kStop;
+        stop.size = size;
+        stop.rotation = (static_cast<double>(t) - 2.0) * 0.06;
+        stop.scale = 0.7 + 0.04 * static_cast<double>(t % 4);
+        stop.noise_seed = 100 + t;
+        if (hybrid.classify(data::render_sign(stop)).qualifier.match) {
+          ++stop_ok;
+        }
+
+        data::RenderParams imp = stop;
+        imp.cls = (t % 2 == 0) ? data::SignClass::kSpeedLimit
+                               : data::SignClass::kParking;
+        if (!hybrid.classify(data::render_sign(imp)).qualifier.match) {
+          ++impostor_ok;
+        }
+      }
+      const std::size_t fm = (size - 7) / 2 + 1;
+      const std::string fm_str =
+          source == core::QualifierSource::kFullResolution
+              ? std::to_string(size) + " (input)"
+              : std::to_string(fm) + "x" + std::to_string(fm);
+      table.row({source_label(source), std::to_string(size), fm_str,
+                 std::to_string(stop_ok) + "/" + std::to_string(trials),
+                 std::to_string(impostor_ok) + "/" +
+                     std::to_string(trials)});
+      csv.row({source_label(source), std::to_string(size),
+               util::CsvWriter::num(static_cast<double>(stop_ok) /
+                                    static_cast<double>(trials)),
+               util::CsvWriter::num(static_cast<double>(impostor_ok) /
+                                    static_cast<double>(trials))});
+    }
+  }
+  table.print();
+
+  std::printf("\nexpected shape: impostor rejection holds everywhere (the "
+              "policy is conservative). For stop acceptance, the paper's "
+              "single x/y/x dependable filter fails on the bifurcated "
+              "path at every size — collapsing both gradient axes into "
+              "one map leaves directional nulls on the boundary — while "
+              "the (x, y) filter-pair extension restores acceptance once "
+              "the feature map is large enough; full resolution works "
+              "from small inputs. This quantifies the compute/recall "
+              "dial of Fig. 2.\n");
+  std::printf("CSV written to %s\n", csv.path().c_str());
+  return 0;
+}

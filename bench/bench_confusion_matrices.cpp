@@ -1,0 +1,86 @@
+// TXT-CM — Section III.B experiment: "we naively replace the first of the
+// filters with a Sobel-x, Sobel-y, Sobel-x filter. [...] We compare both
+// the confusion matrices of the original and replaced filters and the
+// accuracy and note no substantial difference in classification accuracy."
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/dataset.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/filters.hpp"
+#include "nn/minicnn.hpp"
+#include "nn/trainer.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+void print_confusion(const char* title, const nn::Evaluation& eval) {
+  util::Table table(title, {"true\\pred", "stop", "speed", "yield",
+                            "priority", "parking"});
+  const char* names[] = {"stop", "speed", "yield", "priority", "parking"};
+  for (std::size_t t = 0; t < data::kNumClasses; ++t) {
+    std::vector<std::string> row{names[t]};
+    for (std::size_t p = 0; p < data::kNumClasses; ++p) {
+      row.push_back(std::to_string(eval.confusion[t][p]));
+    }
+    table.row(row);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("TXT-CM",
+                "Section III.B (confusion matrices, original vs Sobel)");
+
+  auto net = nn::make_minicnn({.num_classes = data::kNumClasses,
+                               .conv1_filters = 16, .seed = 11});
+  const auto train_data = data::make_dataset(40, {}, 501);
+  const auto test_data = data::make_dataset(30, {}, 502);
+
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 20;
+  tc.learning_rate = 0.01f;
+  tc.momentum = 0.9f;
+  nn::train(*net, train_data, tc);
+
+  const auto original = nn::evaluate(*net, test_data, data::kNumClasses);
+  print_confusion("confusion matrix: original trained model", original);
+
+  auto& conv1 = net->layer_as<nn::Conv2d>(nn::kMiniCnnConv1);
+  const tensor::Tensor saved = nn::replace_filter_with_sobel(conv1, 0);
+  const auto replaced = nn::evaluate(*net, test_data, data::kNumClasses);
+  print_confusion(
+      "confusion matrix: first filter replaced with Sobel x/y/x", replaced);
+  conv1.set_filter(0, saved);
+
+  std::printf("\naccuracy original  : %.4f\n", original.accuracy);
+  std::printf("accuracy replaced  : %.4f\n", replaced.accuracy);
+  std::printf("difference         : %+.4f  (paper: \"no substantial "
+              "difference\")\n",
+              replaced.accuracy - original.accuracy);
+
+  util::CsvWriter csv(
+      util::results_path(bench::results_dir(), "confusion_matrices.csv"),
+      {"model", "true_class", "pred_class", "count"});
+  const char* names[] = {"stop", "speed", "yield", "priority", "parking"};
+  for (std::size_t t = 0; t < data::kNumClasses; ++t) {
+    for (std::size_t p = 0; p < data::kNumClasses; ++p) {
+      csv.row({"original", names[t], names[p],
+               std::to_string(original.confusion[t][p])});
+    }
+  }
+  for (std::size_t t = 0; t < data::kNumClasses; ++t) {
+    for (std::size_t p = 0; p < data::kNumClasses; ++p) {
+      csv.row({"sobel_replaced", names[t], names[p],
+               std::to_string(replaced.confusion[t][p])});
+    }
+  }
+  std::printf("CSV written to %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// TXT-FREEZE — Section III.B experiment: pre-initialise a conv1 filter to
+// Sobel and train. The paper observed that TensorFlow's freezing is
+// imperfect ("after every epoch or batch, the filter values are minimally
+// changed") and that re-setting after every batch — or freezing — leaves
+// accuracy unaffected.
+//
+// Three regimes are compared on identical initial weights and data:
+//   free       — the Sobel filter trains like any other (drifts)
+//   reset      — trained but re-set after every batch (paper's workaround)
+//   hard-freeze — gradients masked (this library's exact freeze)
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/dataset.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/filters.hpp"
+#include "nn/minicnn.hpp"
+#include "nn/trainer.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+struct RegimeResult {
+  double accuracy = 0.0;
+  double stop_confidence = 0.0;
+  float filter_drift = 0.0f;  // max |w - w0| on the dependable filter
+};
+
+RegimeResult run_regime(const char* regime,
+                        const std::vector<data::Example>& train_data,
+                        const std::vector<data::Example>& test_data,
+                        const std::vector<data::Example>& stop_data) {
+  auto net = nn::make_minicnn({.num_classes = data::kNumClasses,
+                               .conv1_filters = 16, .seed = 13});
+  auto& conv1 = net->layer_as<nn::Conv2d>(nn::kMiniCnnConv1);
+  const tensor::Tensor sobel = nn::sobel_filter(3, conv1.kernel());
+  conv1.set_filter(0, sobel);
+
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 20;
+  tc.learning_rate = 0.01f;
+  tc.momentum = 0.9f;
+
+  const std::string r = regime;
+  if (r == "hard-freeze") {
+    conv1.set_filter_frozen(0, true);
+  } else if (r == "reset") {
+    tc.after_step = [&sobel](nn::Sequential& n) {
+      n.layer_as<nn::Conv2d>(nn::kMiniCnnConv1).set_filter(0, sobel);
+    };
+  }
+
+  nn::train(*net, train_data, tc);
+
+  RegimeResult result;
+  const auto eval = nn::evaluate(*net, test_data, data::kNumClasses);
+  result.accuracy = eval.accuracy;
+  result.stop_confidence = nn::mean_class_confidence(
+      *net, stop_data, static_cast<int>(data::SignClass::kStop));
+  result.filter_drift = conv1.filter(0).max_abs_diff(sobel);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("TXT-FREEZE",
+                "Section III.B (Sobel pre-initialisation, freeze regimes)");
+
+  const auto train_data = data::make_dataset(40, {}, 601);
+  const auto test_data = data::make_dataset(30, {}, 602);
+  data::DatasetConfig stop_cfg;
+  auto all = data::make_dataset(20, stop_cfg, 603);
+  std::vector<data::Example> stop_data;
+  for (auto& ex : all) {
+    if (ex.label == static_cast<int>(data::SignClass::kStop)) {
+      stop_data.push_back(std::move(ex));
+    }
+  }
+
+  util::Table table("Sobel pre-initialised filter: training regimes",
+                    {"regime", "test accuracy", "stop confidence",
+                     "filter max drift"});
+  util::CsvWriter csv(
+      util::results_path(bench::results_dir(), "freeze_training.csv"),
+      {"regime", "accuracy", "stop_confidence", "filter_drift"});
+
+  for (const char* regime : {"free", "reset", "hard-freeze"}) {
+    const RegimeResult r =
+        run_regime(regime, train_data, test_data, stop_data);
+    table.row({regime, util::Table::fixed(r.accuracy, 4),
+               util::Table::fixed(r.stop_confidence, 4),
+               util::Table::fixed(r.filter_drift, 6)});
+    csv.row({regime, util::CsvWriter::num(r.accuracy),
+             util::CsvWriter::num(r.stop_confidence),
+             util::CsvWriter::num(r.filter_drift)});
+  }
+  table.print();
+
+  std::printf("\nexpected shape (paper): accuracy unaffected across "
+              "regimes; drift > 0 only for 'free'; 'reset' and "
+              "'hard-freeze' pin the filter exactly.\n");
+  std::printf("CSV written to %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Google-benchmark micro suite: per-operation cost of the overloaded
+// executors (Algorithms 1-2 + TMR) and of the kernels they compose into.
+// These are the constants behind Table 1's ratios.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "faultsim/injector.hpp"
+#include "nn/conv2d.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/leaky_bucket.hpp"
+#include "reliable/reliable_conv.hpp"
+#include "sax/sax_word.hpp"
+#include "util/rng.hpp"
+#include "vision/radial.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+void BM_QualifiedMul(benchmark::State& state, const char* scheme) {
+  const auto exec = reliable::make_executor(scheme, nullptr);
+  float a = 1.2345f;
+  const float b = 0.9876f;
+  for (auto _ : state) {
+    const auto q = exec->mul(a, b);
+    benchmark::DoNotOptimize(q.value);
+    a = q.value * 1e-6f + 1.0f;  // serialise iterations
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_QualifiedMul, simplex, "simplex");
+BENCHMARK_CAPTURE(BM_QualifiedMul, dmr, "dmr");
+BENCHMARK_CAPTURE(BM_QualifiedMul, tmr, "tmr");
+
+void BM_QualifiedMulUnderInjection(benchmark::State& state) {
+  faultsim::FaultConfig cfg;
+  cfg.kind = faultsim::FaultKind::kTransient;
+  cfg.probability = 1e-6;
+  auto inj = std::make_shared<faultsim::FaultInjector>(cfg, 1);
+  const auto exec = reliable::make_executor("dmr", inj);
+  float a = 1.5f;
+  for (auto _ : state) {
+    const auto q = exec->mul(a, 2.0f);
+    benchmark::DoNotOptimize(q.value);
+    a = q.value * 1e-6f + 1.0f;
+  }
+}
+BENCHMARK(BM_QualifiedMulUnderInjection);
+
+void BM_LeakyBucketSuccess(benchmark::State& state) {
+  reliable::LeakyBucket bucket;
+  for (auto _ : state) {
+    bucket.record_success();
+    benchmark::DoNotOptimize(bucket.level());
+  }
+}
+BENCHMARK(BM_LeakyBucketSuccess);
+
+void BM_ReliableConvSmall(benchmark::State& state, const char* scheme) {
+  util::Rng rng(1);
+  tensor::Tensor weights(tensor::Shape{4, 3, 5, 5});
+  weights.fill_normal(rng, 0.0f, 0.2f);
+  tensor::Tensor bias(tensor::Shape{4});
+  const reliable::ReliableConv2d conv(weights, bias,
+                                      reliable::ConvSpec{1, 2});
+  tensor::Tensor input(tensor::Shape{3, 16, 16});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const auto exec = reliable::make_executor(scheme, nullptr);
+  for (auto _ : state) {
+    const auto result = conv.forward(input, *exec);
+    benchmark::DoNotOptimize(result.output.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(conv.mac_count(input.shape())));
+}
+BENCHMARK_CAPTURE(BM_ReliableConvSmall, simplex, "simplex");
+BENCHMARK_CAPTURE(BM_ReliableConvSmall, dmr, "dmr");
+BENCHMARK_CAPTURE(BM_ReliableConvSmall, tmr, "tmr");
+
+void BM_NativeConvSmall(benchmark::State& state) {
+  util::Rng rng(1);
+  nn::Conv2d conv(3, 4, 5, 1, 2);
+  conv.init_he(rng);
+  tensor::Tensor input(tensor::Shape{1, 3, 16, 16});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    const auto out = conv.forward(input);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_NativeConvSmall);
+
+void BM_SaxWord(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<double> series(360);
+  for (auto& v : series) v = rng.normal(10.0, 1.0);
+  const sax::SaxConfig cfg{32, 8};
+  for (auto _ : state) {
+    const std::string w = sax_word(series, cfg);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_SaxWord);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Spec-driven hybrid runtime: the deployment shape the paper's future
+// work sketches (platform-agnostic hybrid-CNN descriptions + certified
+// runtime of restricted scope).
+//
+//   ./spec_runner [spec-file]
+//
+// Without arguments the example writes a demonstration spec, trains a
+// model, saves its weights, then plays the deployment side: load spec,
+// rebuild the hybrid envelope from it, load weights, classify.
+#include <cstdio>
+
+#include "core/hybrid_network.hpp"
+#include "core/hybrid_spec.hpp"
+#include "data/dataset.hpp"
+#include "nn/minicnn.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hybridcnn;
+
+  const std::string spec_path =
+      argc > 1 ? argv[1] : "/tmp/hybridcnn_demo.spec";
+  const std::string weights_path = "/tmp/hybridcnn_demo.weights";
+
+  if (argc <= 1) {
+    // --- authoring side: define the envelope, train, export. ----------
+    core::HybridConfig config;
+    config.scheme = "dmr";
+    config.critical_classes = {static_cast<int>(data::SignClass::kStop)};
+    config.policy.bucket_factor = 2;
+    config.policy.bucket_ceiling = 4;
+    core::save_spec(config, spec_path);
+    std::printf("wrote spec to %s:\n%s\n", spec_path.c_str(),
+                core::to_spec(config).c_str());
+
+    auto net = nn::make_minicnn({.num_classes = data::kNumClasses,
+                                 .conv1_filters = 12, .seed = 23});
+    const auto train_data = data::make_dataset(25, {}, 811);
+    nn::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 25;
+    tc.learning_rate = 0.01f;
+    nn::train(*net, train_data, tc);
+    nn::save_weights(*net, weights_path);
+    std::printf("trained model exported to %s\n\n", weights_path.c_str());
+  }
+
+  // --- deployment side: everything rebuilt from artefacts. ------------
+  std::printf("deployment: loading %s\n", spec_path.c_str());
+  const core::HybridConfig config = core::load_spec(spec_path);
+  std::printf("  scheme=%s bucket=(%u,%u) critical classes=%zu\n",
+              config.scheme.c_str(), config.policy.bucket_factor,
+              config.policy.bucket_ceiling,
+              config.critical_classes.size());
+
+  auto net = nn::make_minicnn({.num_classes = data::kNumClasses,
+                               .conv1_filters = 12, .seed = 0});
+  if (argc <= 1) nn::load_weights(*net, weights_path);
+  core::HybridNetwork hybrid(std::move(net), nn::kMiniCnnConv1, config);
+
+  data::RenderParams p;
+  p.cls = data::SignClass::kStop;
+  p.size = 32;
+  p.scale = 0.85;
+  const auto r = hybrid.classify(data::render_sign(p));
+  std::printf("\nclassified a stop render: predicted=%d confidence=%.3f "
+              "decision=%s\n",
+              r.predicted_class, r.confidence,
+              core::decision_name(r.decision).c_str());
+  std::printf("reliable execution: %s\n", r.conv1_report.summary().c_str());
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "core/hybrid_network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "faultsim/injector.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/filters.hpp"
+#include "nn/linear.hpp"
+#include "nn/maxpool.hpp"
+
+namespace hybridcnn::core {
+
+HybridNetwork::HybridNetwork(std::unique_ptr<nn::Sequential> cnn,
+                             std::size_t conv1_index, HybridConfig config)
+    : cnn_(std::move(cnn)),
+      conv1_index_(conv1_index),
+      config_(std::move(config)),
+      safety_(config_.critical_classes),
+      qualifier_(config_.qualifier),
+      next_fault_seed_(config_.fault_seed) {
+  if (!cnn_) throw std::invalid_argument("HybridNetwork: null cnn");
+  auto& conv1 = cnn_->layer_as<nn::Conv2d>(conv1_index_);
+  const bool pair =
+      config_.qualifier.source == QualifierSource::kDependableFeatureMapPair;
+  if (config_.dependable_filter + (pair ? 1 : 0) >= conv1.out_channels()) {
+    throw std::invalid_argument(
+        "HybridNetwork: dependable_filter out of range");
+  }
+  // DCNN pre-initialisation (Section III.B): the dependable filter(s)
+  // become Sobel filters and are frozen so training cannot disturb them.
+  // Default: the paper's single x/y/x filter. Pair extension: pure x and
+  // pure y filters so the qualifier can form a true gradient magnitude.
+  if (pair) {
+    conv1.set_filter(config_.dependable_filter,
+                     nn::sobel_axis_filter(conv1.in_channels(),
+                                           conv1.kernel(),
+                                           nn::SobelAxis::kX));
+    conv1.set_filter(config_.dependable_filter + 1,
+                     nn::sobel_axis_filter(conv1.in_channels(),
+                                           conv1.kernel(),
+                                           nn::SobelAxis::kY));
+    conv1.set_filter_frozen(config_.dependable_filter + 1, true);
+  } else {
+    conv1.set_filter(config_.dependable_filter,
+                     nn::sobel_filter(conv1.in_channels(), conv1.kernel()));
+  }
+  conv1.set_filter_frozen(config_.dependable_filter, true);
+}
+
+reliable::ReliableConv2d HybridNetwork::make_reliable_conv1() const {
+  const auto& conv1 = const_cast<nn::Sequential&>(*cnn_).layer_as<nn::Conv2d>(
+      conv1_index_);
+  return {conv1.weights(), conv1.bias(),
+          reliable::ConvSpec{conv1.stride(), conv1.pad()}, config_.policy};
+}
+
+HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument("HybridNetwork::classify: expected CHW");
+  }
+
+  HybridClassification result;
+
+  // --- Reliable (DCNN) stage: conv1 through qualified operators. -----
+  auto injector = std::make_shared<faultsim::FaultInjector>(
+      config_.fault_config, next_fault_seed_++);
+  const std::unique_ptr<reliable::Executor> exec =
+      reliable::make_executor(config_.scheme, injector);
+
+  const reliable::ReliableConv2d rconv = make_reliable_conv1();
+  reliable::ReliableResult rel = rconv.forward(image, *exec);
+  result.conv1_report = rel.report;
+
+  // --- Non-reliable remainder of the CNN (bifurcation branch 1). -----
+  // On a persistent reliable-execution failure the committed partial maps
+  // must not feed the classifier; the CNN branch falls back to a plain
+  // re-execution so a (non-safety) prediction is still available, but the
+  // decision below reports the fail-stop.
+  tensor::Tensor conv1_out =
+      rel.report.ok ? rel.output : rconv.reference_forward(image);
+  const tensor::Shape map_shape = conv1_out.shape();
+  conv1_out.reshape(
+      tensor::Shape{1, map_shape[0], map_shape[1], map_shape[2]});
+  const tensor::Tensor logits =
+      cnn_->forward_from(conv1_index_ + 1, conv1_out);
+  if (logits.shape().rank() != 2 || logits.shape()[0] != 1) {
+    throw std::logic_error("HybridNetwork: CNN must yield [1, classes]");
+  }
+
+  const std::size_t classes = logits.shape()[1];
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < classes; ++j) {
+    if (logits[j] > logits[best]) best = j;
+  }
+  double denom = 0.0;
+  for (std::size_t j = 0; j < classes; ++j) {
+    denom += std::exp(static_cast<double>(logits[j]) -
+                      static_cast<double>(logits[best]));
+  }
+  result.predicted_class = static_cast<int>(best);
+  result.confidence = 1.0 / denom;
+
+  // --- Qualifier (bifurcation branch 2). ------------------------------
+  const std::size_t plane = map_shape[1] * map_shape[2];
+  switch (config_.qualifier.source) {
+    case QualifierSource::kDependableFeatureMap: {
+      // The paper's single mixed-direction dependable map.
+      tensor::Tensor fm(tensor::Shape{map_shape[1], map_shape[2]});
+      for (std::size_t i = 0; i < plane; ++i) {
+        fm[i] = rel.output[config_.dependable_filter * plane + i];
+      }
+      result.qualifier = qualifier_.qualify_feature_map(fm, rel.report);
+      break;
+    }
+    case QualifierSource::kDependableFeatureMapPair: {
+      // Gradient magnitude from the dependable (x, y) filter pair.
+      tensor::Tensor fm(tensor::Shape{map_shape[1], map_shape[2]});
+      const std::size_t fx = config_.dependable_filter * plane;
+      const std::size_t fy = (config_.dependable_filter + 1) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float gx = rel.output[fx + i];
+        const float gy = rel.output[fy + i];
+        fm[i] = std::sqrt(gx * gx + gy * gy);
+      }
+      result.qualifier = qualifier_.qualify_feature_map(fm, rel.report);
+      break;
+    }
+    case QualifierSource::kFullResolution:
+      result.qualifier = qualifier_.qualify(image, *exec);
+      break;
+  }
+
+  // --- Reliable Result combination (Figure 1). ------------------------
+  const bool reliable_ok = rel.report.ok && result.qualifier.report.ok;
+  result.safety_critical = safety_.is_critical(result.predicted_class);
+  result.decision = safety_.decide(result.predicted_class,
+                                   result.qualifier.qualifies(), reliable_ok);
+  return result;
+}
+
+HybridNetwork::CostSplit HybridNetwork::cost_split(
+    const tensor::Shape& input_shape) const {
+  if (input_shape.rank() != 3) {
+    throw std::invalid_argument("cost_split: expected CHW input shape");
+  }
+  CostSplit split;
+
+  const reliable::ReliableConv2d rconv = make_reliable_conv1();
+  split.reliable_macs = rconv.mac_count(input_shape);
+  if (config_.qualifier.source == QualifierSource::kFullResolution) {
+    // Two 3x3 Sobel filters over the luminance plane. The qualifier is
+    // extra work the hybrid adds, so it counts into both sides.
+    const std::uint64_t qualifier_macs =
+        2ull * 9ull * input_shape[1] * input_shape[2];
+    split.reliable_macs += qualifier_macs;
+    split.total_macs += qualifier_macs;
+  }
+
+  // Walk the network propagating shapes to count every layer's MACs.
+  std::size_t c = input_shape[0];
+  std::size_t h = input_shape[1];
+  std::size_t w = input_shape[2];
+  std::size_t features = 0;  // once flattened
+  for (std::size_t i = 0; i < cnn_->size(); ++i) {
+    nn::Layer& l = const_cast<nn::Sequential&>(*cnn_).layer(i);
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&l)) {
+      const std::size_t oh = conv->out_size(h);
+      const std::size_t ow = conv->out_size(w);
+      split.total_macs += static_cast<std::uint64_t>(conv->out_channels()) *
+                          oh * ow * conv->in_channels() * conv->kernel() *
+                          conv->kernel();
+      c = conv->out_channels();
+      h = oh;
+      w = ow;
+    } else if (auto* pool = dynamic_cast<nn::MaxPool*>(&l)) {
+      h = pool->out_size(h);
+      w = pool->out_size(w);
+    } else if (auto* fc = dynamic_cast<nn::Linear*>(&l)) {
+      split.total_macs +=
+          static_cast<std::uint64_t>(fc->out_features()) * fc->in_features();
+      features = fc->out_features();
+    } else if (l.name() == "flatten") {
+      features = c * h * w;
+      (void)features;
+    }
+    // relu/lrn/softmax/dropout contribute no MACs.
+  }
+  return split;
+}
+
+}  // namespace hybridcnn::core

@@ -1,0 +1,101 @@
+// HybridNetwork: the paper's primary contribution (Figure 2).
+//
+// A CNN whose first convolution layer — the DCNN — is executed reliably
+// (Algorithm 3 with DMR/TMR operators); its output *bifurcates*, feeding
+// (a) the remaining, non-reliably executed CNN layers and (b) a
+// deterministic shape qualifier. The qualifier's verdict gates the CNN's
+// safety-critical classifications: a "Stop" is only reported reliable when
+// the dependable octagon evidence confirms it. Non-critical classes pass
+// through unqualified, which is where the design conserves "both footprint
+// and computational power" compared to duplicating the whole network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/policy.hpp"
+#include "core/shape_qualifier.hpp"
+#include "faultsim/fault_model.hpp"
+#include "nn/sequential.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/reliable_conv.hpp"
+
+namespace hybridcnn::core {
+
+/// Configuration of the hybrid execution envelope.
+struct HybridConfig {
+  /// Executor scheme for all reliable execution ("simplex", "dmr", "tmr").
+  std::string scheme = "dmr";
+  /// Reliability policy (leaky bucket, retry cap) for reliable kernels.
+  reliable::ReliabilityPolicy policy{};
+  /// Qualifier parameters.
+  ShapeQualifierConfig qualifier{};
+  /// Safety-critical labels (default: label 0 = stop).
+  std::set<int> critical_classes{0};
+  /// Index of the conv1 filter that is Sobel pre-initialised and whose
+  /// feature map is the bifurcated dependable output.
+  std::size_t dependable_filter = 0;
+  /// Fault environment the reliable kernels execute under.
+  faultsim::FaultConfig fault_config{};
+  /// Seed for the fault injector streams.
+  std::uint64_t fault_seed = 1;
+};
+
+/// Outcome of one hybrid classification: the paper's "Reliable Result".
+struct HybridClassification {
+  int predicted_class = -1;
+  double confidence = 0.0;       ///< softmax probability of the prediction
+  bool safety_critical = false;  ///< prediction is in the critical set
+  Decision decision = Decision::kNonCriticalPass;
+  QualifierVerdict qualifier;              ///< dependable-path evidence
+  reliable::ExecutionReport conv1_report;  ///< DCNN execution evidence
+
+  /// True when the classification may be acted upon for safety purposes.
+  [[nodiscard]] bool reliable_positive() const noexcept {
+    return decision == Decision::kQualifiedReliable;
+  }
+};
+
+/// The hybrid (reliable/non-reliable) network.
+class HybridNetwork {
+ public:
+  /// Takes ownership of `cnn`. `conv1_index` must name a Conv2d layer;
+  /// the layers [conv1_index + 1, ...) form the non-reliable remainder.
+  /// The dependable filter of conv1 is Sobel pre-initialised and frozen.
+  HybridNetwork(std::unique_ptr<nn::Sequential> cnn, std::size_t conv1_index,
+                HybridConfig config = {});
+
+  /// Classifies one [3, H, W] image through the hybrid dataflow.
+  [[nodiscard]] HybridClassification classify(const tensor::Tensor& image);
+
+  /// The wrapped CNN (e.g. for training or filter surgery).
+  [[nodiscard]] nn::Sequential& cnn() noexcept { return *cnn_; }
+
+  [[nodiscard]] const HybridConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const SafetyPolicy& policy() const noexcept {
+    return safety_;
+  }
+
+  /// Logical multiply-accumulate count of the reliable (DCNN) portion vs
+  /// the whole network for one inference — the footprint argument of the
+  /// paper's conclusion. Computed for input [3, H, W].
+  struct CostSplit {
+    std::uint64_t reliable_macs = 0;
+    std::uint64_t total_macs = 0;
+  };
+  [[nodiscard]] CostSplit cost_split(const tensor::Shape& input_shape) const;
+
+ private:
+  [[nodiscard]] reliable::ReliableConv2d make_reliable_conv1() const;
+
+  std::unique_ptr<nn::Sequential> cnn_;
+  std::size_t conv1_index_;
+  HybridConfig config_;
+  SafetyPolicy safety_;
+  ShapeQualifier qualifier_;
+  std::uint64_t next_fault_seed_;
+};
+
+}  // namespace hybridcnn::core

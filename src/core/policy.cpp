@@ -1,0 +1,34 @@
+#include "core/policy.hpp"
+
+namespace hybridcnn::core {
+
+std::string decision_name(Decision d) {
+  switch (d) {
+    case Decision::kQualifiedReliable:
+      return "qualified_reliable";
+    case Decision::kDemotedUnqualified:
+      return "demoted_unqualified";
+    case Decision::kNonCriticalPass:
+      return "non_critical_pass";
+    case Decision::kReliableExecutionFailed:
+      return "reliable_execution_failed";
+  }
+  return "unknown";
+}
+
+SafetyPolicy::SafetyPolicy(std::set<int> critical_classes)
+    : critical_(std::move(critical_classes)) {}
+
+bool SafetyPolicy::is_critical(int label) const {
+  return critical_.contains(label);
+}
+
+Decision SafetyPolicy::decide(int predicted_label, bool qualifier_match,
+                              bool reliable_execution_ok) const {
+  if (!is_critical(predicted_label)) return Decision::kNonCriticalPass;
+  if (!reliable_execution_ok) return Decision::kReliableExecutionFailed;
+  return qualifier_match ? Decision::kQualifiedReliable
+                         : Decision::kDemotedUnqualified;
+}
+
+}  // namespace hybridcnn::core

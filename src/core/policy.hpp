@@ -1,0 +1,52 @@
+// Safety decision policy: how a qualifier verdict combines with a CNN
+// classification into the paper's "Reliable Result".
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace hybridcnn::core {
+
+/// Final disposition of one hybrid classification.
+enum class Decision : std::uint8_t {
+  /// Safety-critical class predicted and confirmed by the qualifier:
+  /// report as a reliable positive.
+  kQualifiedReliable,
+  /// Safety-critical class predicted but the qualifier did not confirm:
+  /// the classification is demoted (treated as not detected) — the hybrid
+  /// design's protection against false positives on critical classes.
+  kDemotedUnqualified,
+  /// Non-critical class: passed through without qualification, exactly as
+  /// the paper allows ("classifications that are not considered safety
+  /// critical can be used without any qualification").
+  kNonCriticalPass,
+  /// The reliable execution itself reported a persistent failure
+  /// (leaky-bucket ceiling): fail-stop, no trustworthy answer exists.
+  kReliableExecutionFailed,
+};
+
+/// Human-readable decision label.
+std::string decision_name(Decision d);
+
+/// The set of safety-critical class labels and the combination rule.
+class SafetyPolicy {
+ public:
+  SafetyPolicy() = default;
+  explicit SafetyPolicy(std::set<int> critical_classes);
+
+  [[nodiscard]] bool is_critical(int label) const;
+
+  /// Combination rule (pure function of the three observable facts).
+  [[nodiscard]] Decision decide(int predicted_label, bool qualifier_match,
+                                bool reliable_execution_ok) const;
+
+  [[nodiscard]] const std::set<int>& critical_classes() const noexcept {
+    return critical_;
+  }
+
+ private:
+  std::set<int> critical_;
+};
+
+}  // namespace hybridcnn::core

@@ -1,0 +1,39 @@
+// Qualifier block interface (the paper's Figure 1/2 "Qualifier").
+//
+// A qualifier is a reliably executed, deterministic feature determination
+// whose output qualifies a single safety-relevant CNN classification. Its
+// verdict carries both the semantic answer (shape matched) and the
+// dependability evidence (the reliable-execution report).
+#pragma once
+
+#include "reliable/executor.hpp"
+#include "reliable/report.hpp"
+#include "sax/shape_match.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::core {
+
+/// Verdict of a qualifier block.
+struct QualifierVerdict {
+  bool match = false;     ///< the dependable feature was confirmed
+  bool reliable = false;  ///< the reliable execution completed (no abort)
+  sax::ShapeMatchResult shape;       ///< SAX evidence
+  reliable::ExecutionReport report;  ///< reliable-execution evidence
+
+  /// A verdict only qualifies a classification when the feature matched
+  /// AND the computation that produced it is itself trustworthy.
+  [[nodiscard]] bool qualifies() const noexcept { return match && reliable; }
+};
+
+/// Interface for qualifier blocks.
+class Qualifier {
+ public:
+  virtual ~Qualifier() = default;
+
+  /// Qualifies the dependable content of `image` ([3|1, H, W], [0,1]),
+  /// executing all qualifying computation through `exec`.
+  [[nodiscard]] virtual QualifierVerdict qualify(
+      const tensor::Tensor& image, reliable::Executor& exec) const = 0;
+};
+
+}  // namespace hybridcnn::core

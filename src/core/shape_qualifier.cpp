@@ -1,0 +1,83 @@
+#include "core/shape_qualifier.hpp"
+
+#include <cmath>
+
+#include "nn/filters.hpp"
+#include "vision/edge_map.hpp"
+#include "vision/gray.hpp"
+#include "vision/radial.hpp"
+
+namespace hybridcnn::core {
+
+ShapeQualifier::ShapeQualifier(ShapeQualifierConfig config)
+    : config_(config) {}
+
+namespace {
+
+/// Builds the 2-filter (Sobel-x, Sobel-y) reliable convolution used for
+/// full-resolution dependable edge extraction.
+reliable::ReliableConv2d make_sobel_conv(
+    const reliable::ReliabilityPolicy& policy) {
+  tensor::Tensor weights(tensor::Shape{2, 1, 3, 3});
+  const tensor::Tensor kx = nn::sobel_kernel(3, nn::SobelAxis::kX,
+                                             /*normalized=*/false);
+  const tensor::Tensor ky = nn::sobel_kernel(3, nn::SobelAxis::kY,
+                                             /*normalized=*/false);
+  for (std::size_t i = 0; i < 9; ++i) {
+    weights[i] = kx[i];
+    weights[9 + i] = ky[i];
+  }
+  tensor::Tensor bias(tensor::Shape{2});
+  return {std::move(weights), std::move(bias),
+          reliable::ConvSpec{/*stride=*/1, /*pad=*/1}, policy};
+}
+
+}  // namespace
+
+QualifierVerdict ShapeQualifier::qualify(const tensor::Tensor& image,
+                                         reliable::Executor& exec) const {
+  const tensor::Tensor gray = vision::to_gray(image);
+  tensor::Tensor gray_chw = gray;
+  gray_chw.reshape(tensor::Shape{1, gray.shape()[0], gray.shape()[1]});
+
+  const reliable::ReliableConv2d sobel = make_sobel_conv(config_.policy);
+  const reliable::ReliableResult edges = sobel.forward(gray_chw, exec);
+
+  // Magnitude map from the two dependable responses.
+  const std::size_t h = edges.output.shape()[1];
+  const std::size_t w = edges.output.shape()[2];
+  tensor::Tensor magnitude(tensor::Shape{h, w});
+  for (std::size_t i = 0; i < h * w; ++i) {
+    const float gx = edges.output[i];
+    const float gy = edges.output[h * w + i];
+    magnitude[i] = std::sqrt(gx * gx + gy * gy);
+  }
+  return qualify_feature_map(magnitude, edges.report);
+}
+
+QualifierVerdict ShapeQualifier::qualify_feature_map(
+    const tensor::Tensor& feature_map,
+    const reliable::ExecutionReport& report) const {
+  QualifierVerdict verdict;
+  verdict.report = report;
+  verdict.reliable = report.ok;
+  if (!report.ok) {
+    // A failed reliable execution can never qualify anything: the paper's
+    // design rule that unqualified values must not propagate.
+    return verdict;
+  }
+
+  const vision::BinaryMask silhouette =
+      vision::mask_from_feature_map(feature_map);
+  const std::vector<double> series =
+      vision::shape_signature(silhouette, config_.samples);
+  if (series.size() < config_.match.sax.word_length) {
+    return verdict;  // no usable shape found; not a match
+  }
+
+  verdict.shape = sax::match_shape(series, config_.sides, config_.match);
+  verdict.match = verdict.shape.match;
+  return verdict;
+}
+
+}  // namespace hybridcnn::core

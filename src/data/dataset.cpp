@@ -1,0 +1,70 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hybridcnn::data {
+
+std::vector<Example> make_dataset(std::size_t per_class,
+                                  const DatasetConfig& config,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed, /*stream=*/0xDA7A);
+  std::vector<Example> out;
+  out.reserve(per_class * kNumClasses);
+
+  constexpr double kDegToRad = 6.283185307179586 / 360.0;
+  for (const SignClass cls : all_classes()) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      RenderParams p;
+      p.cls = cls;
+      p.size = config.image_size;
+      p.rotation = rng.uniform(-config.max_rotation_deg,
+                               config.max_rotation_deg) *
+                   kDegToRad;
+      p.scale = rng.uniform(config.min_scale, config.max_scale);
+      const double max_off =
+          config.max_offset_frac * static_cast<double>(config.image_size);
+      p.offset_y = rng.uniform(-max_off, max_off);
+      p.offset_x = rng.uniform(-max_off, max_off);
+      p.brightness = rng.uniform(config.min_brightness, config.max_brightness);
+      p.noise_sigma = config.noise_sigma;
+      p.noise_seed = (static_cast<std::uint64_t>(rng()) << 32) | rng();
+      out.push_back(Example{render_sign(p), static_cast<int>(cls)});
+    }
+  }
+
+  // Fisher-Yates shuffle for class-mixed batches.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+Batch make_batch(const std::vector<Example>& examples, std::size_t first,
+                 std::size_t count) {
+  if (count == 0 || first + count > examples.size()) {
+    throw std::out_of_range("make_batch: bad range");
+  }
+  const auto& sh = examples[first].image.shape();
+  if (sh.rank() != 3) throw std::invalid_argument("make_batch: expect CHW");
+
+  Batch batch{tensor::Tensor(tensor::Shape{count, sh[0], sh[1], sh[2]}), {}};
+  const std::size_t stride = sh.count();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Example& ex = examples[first + i];
+    if (ex.image.shape() != sh) {
+      throw std::invalid_argument("make_batch: inhomogeneous image shapes");
+    }
+    std::memcpy(batch.images.data().data() + i * stride,
+                ex.image.data().data(), stride * sizeof(float));
+    batch.labels.push_back(ex.label);
+  }
+  return batch;
+}
+
+}  // namespace hybridcnn::data

@@ -1,0 +1,46 @@
+// Labelled synthetic sign dataset with GTSRB-style nuisance factors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/renderer.hpp"
+#include "data/shapes.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::data {
+
+/// One labelled image.
+struct Example {
+  tensor::Tensor image;  // [3, size, size] in [0, 1]
+  int label = 0;
+};
+
+/// Jitter ranges applied per rendered example.
+struct DatasetConfig {
+  std::size_t image_size = 32;
+  double max_rotation_deg = 12.0;
+  double min_scale = 0.62;
+  double max_scale = 0.92;
+  double max_offset_frac = 0.08;   ///< of image size
+  double min_brightness = 0.75;
+  double max_brightness = 1.20;
+  double noise_sigma = 0.03;
+};
+
+/// Renders `per_class` examples of every class with jitter drawn from
+/// `seed`; output order is class-interleaved then shuffled.
+std::vector<Example> make_dataset(std::size_t per_class,
+                                  const DatasetConfig& config,
+                                  std::uint64_t seed);
+
+/// Stacks examples [first, first+count) into a batch tensor [count, 3, s, s]
+/// and collects labels. Throws std::out_of_range on bad ranges.
+struct Batch {
+  tensor::Tensor images;
+  std::vector<int> labels;
+};
+Batch make_batch(const std::vector<Example>& examples, std::size_t first,
+                 std::size_t count);
+
+}  // namespace hybridcnn::data

@@ -1,0 +1,182 @@
+#include "data/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hybridcnn::data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+struct Rgb {
+  float r, g, b;
+};
+
+/// Exact inside test for a regular polygon of `sides` sides with
+/// circumradius `radius`, rotated so that one vertex sits at angle
+/// `vertex_angle`. Uses the polar edge-distance formula.
+bool inside_polygon(double dy, double dx, std::size_t sides, double radius,
+                    double vertex_angle) {
+  const double r = std::hypot(dy, dx);
+  if (r < 1e-12) return true;
+  if (sides == 0) return r <= radius;  // circle
+  const double sector = kTwoPi / static_cast<double>(sides);
+  double theta = std::atan2(dy, dx) - vertex_angle;
+  theta = std::fmod(std::fmod(theta, sector) + sector, sector);
+  const double half = sector / 2.0;
+  const double edge_r = radius * std::cos(half) / std::cos(theta - half);
+  return r <= edge_r;
+}
+
+/// Canonical vertex angle per class (flat-top octagon, point-down yield,
+/// point-up diamond, axis-aligned square).
+double vertex_angle_of(SignClass cls) {
+  switch (cls) {
+    case SignClass::kStop:
+      return kTwoPi / 16.0;  // pi/8: flat top and bottom
+    case SignClass::kYield:
+      return -kTwoPi / 4.0;  // vertex pointing down
+    case SignClass::kPriority:
+      return kTwoPi / 4.0;  // diamond: vertex up
+    case SignClass::kParking:
+      return kTwoPi / 8.0;  // square: flat top
+    case SignClass::kSpeedLimit:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+struct ClassStyle {
+  Rgb border;
+  Rgb fill;
+};
+
+ClassStyle style_of(SignClass cls) {
+  switch (cls) {
+    case SignClass::kStop:
+      return {{0.95f, 0.95f, 0.95f}, {0.72f, 0.08f, 0.12f}};
+    case SignClass::kSpeedLimit:
+      return {{0.78f, 0.10f, 0.12f}, {0.92f, 0.92f, 0.92f}};
+    case SignClass::kYield:
+      return {{0.78f, 0.10f, 0.12f}, {0.93f, 0.93f, 0.90f}};
+    case SignClass::kPriority:
+      return {{0.95f, 0.95f, 0.92f}, {0.95f, 0.78f, 0.10f}};
+    case SignClass::kParking:
+      return {{0.92f, 0.92f, 0.95f}, {0.10f, 0.25f, 0.70f}};
+  }
+  return {{1.0f, 1.0f, 1.0f}, {0.5f, 0.5f, 0.5f}};
+}
+
+/// Interior legend decoration in the sign's local (unrotated) frame with
+/// coordinates normalised by the circumradius.
+bool legend_pixel(SignClass cls, double ny, double nx) {
+  switch (cls) {
+    case SignClass::kStop:
+      // Horizontal white band standing in for the STOP lettering.
+      return std::fabs(ny) < 0.16 && std::fabs(nx) < 0.62;
+    case SignClass::kSpeedLimit:
+      // Central dark numeral blob.
+      return std::hypot(ny, nx) < 0.32;
+    case SignClass::kParking:
+      // Vertical white bar ("P" stem).
+      return std::fabs(nx + 0.08) < 0.10 && ny > -0.45 && ny < 0.45;
+    case SignClass::kYield:
+    case SignClass::kPriority:
+      return false;
+  }
+  return false;
+}
+
+Rgb legend_colour(SignClass cls, const ClassStyle& style) {
+  switch (cls) {
+    case SignClass::kStop:
+      return style.border;  // white band on red
+    case SignClass::kSpeedLimit:
+      return {0.15f, 0.15f, 0.18f};  // dark numerals
+    case SignClass::kParking:
+      return style.border;  // white bar on blue
+    default:
+      return style.fill;
+  }
+}
+
+}  // namespace
+
+tensor::Tensor render_sign(const RenderParams& params) {
+  const std::size_t n = params.size;
+  tensor::Tensor img(tensor::Shape{3, n, n});
+  util::Rng rng(params.noise_seed, /*stream=*/0xB6);
+
+  const double half = static_cast<double>(n) / 2.0;
+  const double cy = half + params.offset_y;
+  const double cx = half + params.offset_x;
+  const double radius = params.scale * half;
+  const double border_radius = radius;
+  const double fill_radius = radius * 0.82;
+  const std::size_t sides = silhouette_sides(params.cls);
+  const double vangle = vertex_angle_of(params.cls) + params.rotation;
+  const ClassStyle style = style_of(params.cls);
+
+  // Muted asphalt-green background.
+  const Rgb bg{0.32f, 0.36f, 0.30f};
+
+  const std::size_t plane = n * n;
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      // 2x2 supersampling for smooth edges.
+      float acc_r = 0.0f;
+      float acc_g = 0.0f;
+      float acc_b = 0.0f;
+      for (int sy = 0; sy < 2; ++sy) {
+        for (int sx = 0; sx < 2; ++sx) {
+          const double py = static_cast<double>(y) + 0.25 + 0.5 * sy - cy;
+          const double px = static_cast<double>(x) + 0.25 + 0.5 * sx - cx;
+          Rgb c = bg;
+          if (inside_polygon(py, px, sides, border_radius, vangle)) {
+            c = style.border;
+            if (inside_polygon(py, px, sides, fill_radius, vangle)) {
+              c = style.fill;
+              // Legend test in the unrotated local frame.
+              const double cosr = std::cos(-params.rotation);
+              const double sinr = std::sin(-params.rotation);
+              const double ly = (py * cosr - px * sinr) / radius;
+              const double lx = (px * cosr + py * sinr) / radius;
+              if (legend_pixel(params.cls, ly, lx)) {
+                c = legend_colour(params.cls, style);
+              }
+            }
+          }
+          acc_r += c.r;
+          acc_g += c.g;
+          acc_b += c.b;
+        }
+      }
+      const std::size_t idx = y * n + x;
+      const auto shade = [&](float v) {
+        const double noisy =
+            static_cast<double>(v) / 4.0 * params.brightness +
+            rng.normal(0.0, params.noise_sigma);
+        return static_cast<float>(std::clamp(noisy, 0.0, 1.0));
+      };
+      img[idx] = shade(acc_r);
+      img[plane + idx] = shade(acc_g);
+      img[2 * plane + idx] = shade(acc_b);
+    }
+  }
+  return img;
+}
+
+tensor::Tensor render_stop_sign(std::size_t size, double angle_deg) {
+  RenderParams p;
+  p.cls = SignClass::kStop;
+  p.size = size;
+  p.rotation = angle_deg * kTwoPi / 360.0;
+  p.scale = 0.85;
+  p.noise_sigma = 0.015;
+  return render_sign(p);
+}
+
+}  // namespace hybridcnn::data

@@ -1,0 +1,38 @@
+// Parametric traffic-sign renderer: the synthetic GTSRB stand-in.
+//
+// Renders the silhouette families of German traffic signs (octagon,
+// circle, triangle, diamond, square) with class-typical colouring, simple
+// interior legends, geometric jitter (rotation, scale, translation),
+// photometric jitter (brightness) and pixel noise. Images are float CHW in
+// [0, 1]. The renderer is fully deterministic in its parameters, so every
+// experiment image can be regenerated exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "data/shapes.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::data {
+
+/// All degrees of freedom of one rendered sign.
+struct RenderParams {
+  SignClass cls = SignClass::kStop;
+  std::size_t size = 64;     ///< square image side in pixels
+  double rotation = 0.0;     ///< sign rotation in radians ("slightly angled")
+  double scale = 0.8;        ///< circumradius as fraction of size/2
+  double offset_y = 0.0;     ///< centre offset in pixels
+  double offset_x = 0.0;
+  double brightness = 1.0;   ///< photometric gain
+  double noise_sigma = 0.02; ///< additive Gaussian pixel noise
+  std::uint64_t noise_seed = 1;
+};
+
+/// Renders one sign; returns a [3, size, size] tensor in [0, 1].
+tensor::Tensor render_sign(const RenderParams& params);
+
+/// Convenience for the paper's Fig. 3 input: a stop sign tilted by
+/// `angle_deg` degrees at the given image size, mild noise.
+tensor::Tensor render_stop_sign(std::size_t size, double angle_deg);
+
+}  // namespace hybridcnn::data

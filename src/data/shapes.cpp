@@ -1,0 +1,44 @@
+#include "data/shapes.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::data {
+
+std::size_t silhouette_sides(SignClass c) {
+  switch (c) {
+    case SignClass::kStop:
+      return 8;
+    case SignClass::kSpeedLimit:
+      return 0;  // circle
+    case SignClass::kYield:
+      return 3;
+    case SignClass::kPriority:
+      return 4;  // diamond
+    case SignClass::kParking:
+      return 4;  // square
+  }
+  throw std::invalid_argument("silhouette_sides: unknown class");
+}
+
+std::string class_name(SignClass c) {
+  switch (c) {
+    case SignClass::kStop:
+      return "stop";
+    case SignClass::kSpeedLimit:
+      return "speed_limit";
+    case SignClass::kYield:
+      return "yield";
+    case SignClass::kPriority:
+      return "priority";
+    case SignClass::kParking:
+      return "parking";
+  }
+  throw std::invalid_argument("class_name: unknown class");
+}
+
+std::vector<SignClass> all_classes() {
+  return {SignClass::kStop, SignClass::kSpeedLimit, SignClass::kYield,
+          SignClass::kPriority, SignClass::kParking};
+}
+
+}  // namespace hybridcnn::data

@@ -1,0 +1,38 @@
+// Sign classes of the synthetic GTSRB stand-in.
+//
+// The paper experiments on GTSRB stop signs, whose defining dependable
+// feature is the octagonal silhouette. The synthetic dataset renders the
+// silhouette families found on real traffic signs; the octagon (stop) is
+// the safety-critical class, the others play the role of "classifications
+// that are not considered safety critical (e.g., a parking prohibition)".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hybridcnn::data {
+
+/// Synthetic sign classes. Values are the training labels.
+enum class SignClass : int {
+  kStop = 0,        ///< octagon — safety-critical, qualifier-protected
+  kSpeedLimit = 1,  ///< circle
+  kYield = 2,       ///< triangle (point down)
+  kPriority = 3,    ///< diamond (square rotated 45 degrees)
+  kParking = 4,     ///< square — the paper's non-critical example
+};
+
+/// Number of classes in the synthetic dataset.
+inline constexpr std::size_t kNumClasses = 5;
+
+/// Polygon side count of a class silhouette (circle approximated by a
+/// 64-gon for rendering; reported as 0 sides).
+std::size_t silhouette_sides(SignClass c);
+
+/// Human-readable class name.
+std::string class_name(SignClass c);
+
+/// All classes in label order.
+std::vector<SignClass> all_classes();
+
+}  // namespace hybridcnn::data

@@ -1,0 +1,21 @@
+// IEEE-754 bit manipulation for single-event-upset (SEU) modelling.
+// The paper's failure model is radiation-caused single event upsets acting
+// on processing elements or corrupting weights/input data (Sections I-II);
+// we realise an SEU as a bit flip in the 32-bit float representation.
+#pragma once
+
+#include <cstdint>
+
+namespace hybridcnn::faultsim {
+
+/// Reinterprets a float as its raw 32-bit pattern.
+std::uint32_t float_bits(float v) noexcept;
+
+/// Reinterprets a 32-bit pattern as a float.
+float bits_float(std::uint32_t bits) noexcept;
+
+/// Returns `v` with bit `bit` (0 = LSB of mantissa, 31 = sign) flipped.
+/// `bit` is taken modulo 32 so callers may pass raw random draws.
+float flip_bit(float v, int bit) noexcept;
+
+}  // namespace hybridcnn::faultsim

@@ -1,0 +1,56 @@
+// Fault-injection campaign bookkeeping.
+//
+// A campaign repeatedly executes a workload under a fault model and
+// classifies every run against a golden (fault-free) reference into the
+// standard dependability outcome classes. The benches use this to produce
+// the reliability-guarantee evidence: with DMR + operation rollback, runs
+// either match the golden output or abort — silent data corruption is the
+// failure mode the paper's design eliminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hybridcnn::faultsim {
+
+/// Dependability outcome of a single workload run.
+enum class Outcome : std::uint8_t {
+  kCorrect,           ///< no fault activated; output matches golden
+  kCorrected,         ///< faults activated; rollback recovered; output matches
+  kDetectedAbort,     ///< persistent failure detected and reported (leaky
+                      ///< bucket ceiling reached) — fail-stop behaviour
+  kSilentCorruption,  ///< output differs from golden with no report — SDC
+};
+
+/// Classifies a run from its observable facts.
+/// `faults_activated`: the injector corrupted at least one execution.
+/// `aborted`: the reliable kernel reported an unrecoverable condition.
+/// `matches_golden`: outputs are bit-identical to the fault-free run.
+Outcome classify(bool faults_activated, bool aborted, bool matches_golden);
+
+/// Human-readable outcome label ("correct", "corrected", ...).
+std::string outcome_name(Outcome o);
+
+/// Aggregated campaign counts.
+struct CampaignSummary {
+  std::uint64_t runs = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t detected_abort = 0;
+  std::uint64_t silent_corruption = 0;
+
+  /// Records one classified run.
+  void add(Outcome o);
+
+  /// Fraction of runs that delivered a correct result (fail-operational).
+  [[nodiscard]] double availability() const;
+
+  /// Fraction of runs that were either correct or fail-stopped; the
+  /// complement is the SDC rate — the quantity a safety case bounds.
+  [[nodiscard]] double safety() const;
+
+  /// Fraction of runs with silent data corruption.
+  [[nodiscard]] double sdc_rate() const;
+};
+
+}  // namespace hybridcnn::faultsim

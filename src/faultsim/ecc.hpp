@@ -1,0 +1,76 @@
+// SEC-DED protected tensor storage.
+//
+// The paper's failure model includes "data corruption of the weights and
+// input data" and notes that GPU vendors address it with error-correcting
+// codes in RAM and data paths (Section II.C). This module provides that
+// substrate in simulation: tensors whose words carry a Hamming(38,32)
+// SEC-DED code — single-bit errors are corrected on scrub, double-bit
+// errors are detected and reported — so campaigns can combine
+// execution-level redundancy (src/reliable) with memory-level protection
+// and measure the residual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::faultsim {
+
+/// Result of one scrub pass over a protected tensor.
+struct ScrubReport {
+  std::uint64_t words = 0;             ///< words checked
+  std::uint64_t corrected = 0;         ///< single-bit errors corrected
+  std::uint64_t uncorrectable = 0;     ///< double-bit errors detected
+  [[nodiscard]] bool clean() const noexcept {
+    return corrected == 0 && uncorrectable == 0;
+  }
+};
+
+/// Hamming SEC-DED codec for one 32-bit word: 6 Hamming check bits plus
+/// an overall parity bit.
+struct SecDed {
+  /// Computes the 7 check bits for a data word.
+  static std::uint8_t encode(std::uint32_t data) noexcept;
+
+  /// Decode outcome for one word.
+  enum class Outcome : std::uint8_t {
+    kClean,          ///< no error
+    kCorrectedData,  ///< single-bit error in the data word, corrected
+    kCorrectedCheck, ///< single-bit error in the check bits, corrected
+    kDoubleError,    ///< two-bit error: detected, not correctable
+  };
+
+  /// Checks `data` against `check`; corrects single-bit errors in place.
+  static Outcome decode(std::uint32_t& data, std::uint8_t& check) noexcept;
+};
+
+/// A float tensor whose storage is covered by per-word SEC-DED codes.
+/// Writes go through store(); reads are plain (memory faults are injected
+/// on the raw storage between scrubs, as in DRAM).
+class ProtectedTensor {
+ public:
+  /// Protects a copy of `values`, computing all check bits.
+  explicit ProtectedTensor(tensor::Tensor values);
+
+  /// The protected payload (mutable so campaigns can inject faults into
+  /// "memory"; a real system would fault the DRAM cells underneath).
+  [[nodiscard]] tensor::Tensor& data() noexcept { return data_; }
+  [[nodiscard]] const tensor::Tensor& data() const noexcept { return data_; }
+
+  /// Rewrites element `i` and refreshes its check bits.
+  void store(std::size_t i, float value);
+
+  /// Scrubs the whole tensor: corrects every single-bit upset, counts
+  /// double-bit detections (which a system must treat as data loss).
+  ScrubReport scrub();
+
+  /// Verifies without correcting (read-only integrity check).
+  [[nodiscard]] ScrubReport verify() const;
+
+ private:
+  tensor::Tensor data_;
+  std::vector<std::uint8_t> checks_;
+};
+
+}  // namespace hybridcnn::faultsim

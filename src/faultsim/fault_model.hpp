@@ -1,0 +1,53 @@
+// Fault model configuration for the simulated compute unit.
+//
+// The paper (Sections II and IV) considers single event upsets that are
+// random and transient ("will not be present once the system has
+// re-booted"), permanent errors ("given a permanent error, the platform
+// becomes unusable"), and data corruption of weights and inputs. We model a
+// compute unit in the OpenCL sense: a set of processing elements (PEs) over
+// which scalar operations are scheduled round-robin, each of which may be
+// healthy, intermittently faulty or permanently faulty.
+#pragma once
+
+#include <cstdint>
+
+namespace hybridcnn::faultsim {
+
+/// Kind of fault a processing element may exhibit.
+enum class FaultKind : std::uint8_t {
+  kNone,         ///< golden execution, no faults ever
+  kTransient,    ///< SEU: each op independently corrupted with `probability`
+  kIntermittent, ///< bursty: once a fault fires it persists on the same PE
+                 ///< with `burst_continue` probability per subsequent op
+  kPermanent,    ///< a fixed fraction of PEs corrupt every op they execute
+};
+
+/// Which value of an operation the fault corrupts.
+enum class FaultTarget : std::uint8_t {
+  kResult,    ///< the output of the multiplier/adder
+  kOperandA,  ///< first input latch
+  kOperandB,  ///< second input latch
+};
+
+/// Complete description of a fault campaign environment.
+struct FaultConfig {
+  FaultKind kind = FaultKind::kNone;
+  FaultTarget target = FaultTarget::kResult;
+
+  /// Per-operation fault probability (transient / burst ignition /
+  /// per-PE permanently-faulty fraction depending on `kind`).
+  double probability = 0.0;
+
+  /// Bit to flip; -1 selects a uniformly random bit per fault.
+  int bit = -1;
+
+  /// Number of processing elements in the simulated compute unit. The
+  /// Jetson-class devices the paper targets feature ~128 cores.
+  int num_pes = 128;
+
+  /// For kIntermittent: probability that an ignited fault persists into
+  /// the next operation executed on the same PE.
+  double burst_continue = 0.5;
+};
+
+}  // namespace hybridcnn::faultsim

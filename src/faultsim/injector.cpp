@@ -1,0 +1,70 @@
+#include "faultsim/injector.hpp"
+
+#include <algorithm>
+
+#include "faultsim/bitflip.hpp"
+
+namespace hybridcnn::faultsim {
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed, /*stream=*/0xFA17) {
+  const int pes = std::max(1, config_.num_pes);
+  pe_permanently_faulty_.assign(static_cast<std::size_t>(pes), 0);
+  pe_burst_active_.assign(static_cast<std::size_t>(pes), 0);
+  if (config_.kind == FaultKind::kPermanent) {
+    for (auto& flag : pe_permanently_faulty_) {
+      flag = rng_.bernoulli(config_.probability) ? 1 : 0;
+    }
+  }
+}
+
+bool FaultInjector::next_is_faulty() const noexcept {
+  if (config_.kind == FaultKind::kPermanent) {
+    return pe_permanently_faulty_[static_cast<std::size_t>(next_pe_)] != 0;
+  }
+  return false;  // stochastic kinds are not predictable
+}
+
+int FaultInjector::permanent_faulty_pes() const noexcept {
+  int n = 0;
+  for (const auto flag : pe_permanently_faulty_) n += flag;
+  return n;
+}
+
+float FaultInjector::filter(float clean) noexcept {
+  ++stats_.executions;
+  const auto pe = static_cast<std::size_t>(next_pe_);
+  next_pe_ = (next_pe_ + 1) % static_cast<int>(pe_permanently_faulty_.size());
+
+  bool fault = false;
+  switch (config_.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kTransient:
+      fault = rng_.bernoulli(config_.probability);
+      break;
+    case FaultKind::kIntermittent:
+      if (pe_burst_active_[pe] != 0) {
+        fault = true;
+        if (!rng_.bernoulli(config_.burst_continue)) {
+          pe_burst_active_[pe] = 0;
+        }
+      } else if (rng_.bernoulli(config_.probability)) {
+        fault = true;
+        pe_burst_active_[pe] = rng_.bernoulli(config_.burst_continue) ? 1 : 0;
+      }
+      break;
+    case FaultKind::kPermanent:
+      fault = pe_permanently_faulty_[pe] != 0;
+      break;
+  }
+
+  if (!fault) return clean;
+  ++stats_.faults;
+  const int bit = config_.bit >= 0
+                      ? config_.bit
+                      : static_cast<int>(rng_.uniform_int(0, 31));
+  return flip_bit(clean, bit);
+}
+
+}  // namespace hybridcnn::faultsim

@@ -1,0 +1,37 @@
+#include "faultsim/memory_faults.hpp"
+
+#include "faultsim/bitflip.hpp"
+
+namespace hybridcnn::faultsim {
+
+MemoryFaultReport inject_bit_errors(tensor::Tensor& t, double bit_error_rate,
+                                    util::Rng& rng) {
+  MemoryFaultReport report;
+  for (float& v : t.data()) {
+    ++report.words_visited;
+    for (int bit = 0; bit < 32; ++bit) {
+      if (rng.bernoulli(bit_error_rate)) {
+        v = flip_bit(v, bit);
+        ++report.bits_flipped;
+      }
+    }
+  }
+  return report;
+}
+
+MemoryFaultReport inject_exact_flips(tensor::Tensor& t, std::uint64_t count,
+                                     util::Rng& rng) {
+  MemoryFaultReport report;
+  report.words_visited = t.count();
+  if (t.count() == 0) return report;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(t.count()) - 1));
+    const int bit = static_cast<int>(rng.uniform_int(0, 31));
+    t[idx] = flip_bit(t[idx], bit);
+    ++report.bits_flipped;
+  }
+  return report;
+}
+
+}  // namespace hybridcnn::faultsim

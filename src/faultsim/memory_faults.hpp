@@ -1,0 +1,31 @@
+// Memory-resident fault injection: SEUs in stored weights and input data.
+// The paper names "data corruption of the weights and input data" as a
+// failure source alongside processing-element upsets (Section II); these
+// helpers corrupt tensors at rest for the campaign benches.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::faultsim {
+
+/// Result of a memory corruption pass.
+struct MemoryFaultReport {
+  std::uint64_t words_visited = 0;
+  std::uint64_t bits_flipped = 0;
+};
+
+/// Flips each bit of each float in `t` independently with probability
+/// `bit_error_rate`. Models DRAM/SRAM upsets accumulated between scrubs.
+MemoryFaultReport inject_bit_errors(tensor::Tensor& t, double bit_error_rate,
+                                    util::Rng& rng);
+
+/// Flips exactly `count` uniformly chosen (word, bit) sites in `t`.
+/// Models a bounded SEU burst; used by the targeted weight-corruption
+/// experiments. `count` may exceed the tensor size; sites may repeat.
+MemoryFaultReport inject_exact_flips(tensor::Tensor& t, std::uint64_t count,
+                                     util::Rng& rng);
+
+}  // namespace hybridcnn::faultsim

@@ -1,0 +1,48 @@
+#include "nn/alexnet.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/lrn.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+
+namespace hybridcnn::nn {
+
+std::unique_ptr<Sequential> make_alexnet(const AlexNetConfig& config) {
+  auto net = std::make_unique<Sequential>();
+
+  net->emplace<Conv2d>(3, 96, 11, 4, 0);  // 227 -> 55
+  net->emplace<ReLU>();
+  net->emplace<Lrn>();
+  net->emplace<MaxPool>(3, 2);  // 55 -> 27
+
+  net->emplace<Conv2d>(96, 256, 5, 1, 2);  // 27 -> 27
+  net->emplace<ReLU>();
+  net->emplace<Lrn>();
+  net->emplace<MaxPool>(3, 2);  // 27 -> 13
+
+  net->emplace<Conv2d>(256, 384, 3, 1, 1);
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(384, 384, 3, 1, 1);
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(384, 256, 3, 1, 1);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool>(3, 2);  // 13 -> 6
+
+  net->emplace<Flatten>();  // 256 * 6 * 6 = 9216
+  net->emplace<Linear>(9216, 4096);
+  net->emplace<ReLU>();
+  if (config.with_dropout) net->emplace<Dropout>(0.5f);
+  net->emplace<Linear>(4096, 4096);
+  net->emplace<ReLU>();
+  if (config.with_dropout) net->emplace<Dropout>(0.5f);
+  net->emplace<Linear>(4096, config.num_classes);
+
+  init_network(*net, config.seed);
+  return net;
+}
+
+}  // namespace hybridcnn::nn

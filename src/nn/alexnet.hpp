@@ -1,0 +1,48 @@
+// AlexNet (Krizhevsky et al.) for 227x227x3 input.
+//
+// The paper picks AlexNet "as this requires a barely acceptable for
+// deterministic edge recognition 227*227*3 input image"; its first
+// convolution layer — 96 filters of 11x11x3 at stride 4 — is the layer the
+// hybrid architecture executes reliably and whose filters are replaced /
+// pre-initialised with Sobel kernels. Groups are not modelled (the
+// original splits conv2/4/5 across two GPUs purely for memory reasons).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace hybridcnn::nn {
+
+/// Construction parameters for AlexNet.
+struct AlexNetConfig {
+  std::size_t num_classes = 43;  ///< GTSRB has 43 classes
+  std::uint64_t seed = 42;       ///< weight init seed
+  bool with_dropout = true;      ///< classifier dropout (training only)
+};
+
+/// Layer indices in the Sequential returned by make_alexnet(); the hybrid
+/// pipeline uses kConv1 and kAfterConv1 to splice reliable execution in.
+inline constexpr std::size_t kAlexNetConv1 = 0;
+inline constexpr std::size_t kAlexNetAfterConv1 = 1;
+
+/// Builds AlexNet:
+///   0 conv1 3->96 k11 s4          1 relu   2 lrn   3 maxpool 3/2
+///   4 conv2 96->256 k5 p2         5 relu   6 lrn   7 maxpool 3/2
+///   8 conv3 256->384 k3 p1        9 relu
+///  10 conv4 384->384 k3 p1       11 relu
+///  12 conv5 384->256 k3 p1       13 relu  14 maxpool 3/2
+///  15 flatten
+///  16 fc 9216->4096  17 relu  [18 dropout]
+///  19/18 fc 4096->4096  relu  [dropout]
+///  last fc 4096->num_classes (logits; apply Softmax separately)
+std::unique_ptr<Sequential> make_alexnet(const AlexNetConfig& config = {});
+
+/// Input image side length AlexNet expects.
+inline constexpr std::size_t kAlexNetInput = 227;
+
+/// Number of first-layer filters (the Fig. 4 sweep length).
+inline constexpr std::size_t kAlexNetConv1Filters = 96;
+
+}  // namespace hybridcnn::nn

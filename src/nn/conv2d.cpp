@@ -1,0 +1,226 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+
+namespace hybridcnn::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weights_(tensor::Shape{out_channels, in_channels, kernel, kernel}),
+      bias_(tensor::Shape{out_channels}),
+      grad_weights_(tensor::Shape{out_channels, in_channels, kernel, kernel}),
+      grad_bias_(tensor::Shape{out_channels}),
+      frozen_(out_channels, 0) {
+  if (stride == 0) throw std::invalid_argument("Conv2d: stride must be >= 1");
+}
+
+std::size_t Conv2d::out_size(std::size_t in) const {
+  const std::size_t padded = in + 2 * pad_;
+  if (padded < k_) throw std::invalid_argument("Conv2d: kernel > input");
+  return (padded - k_) / stride_ + 1;
+}
+
+void Conv2d::init_he(util::Rng& rng) {
+  const double fan_in = static_cast<double>(in_c_ * k_ * k_);
+  weights_.fill_normal(rng, 0.0f,
+                       static_cast<float>(std::sqrt(2.0 / fan_in)));
+  bias_.fill(0.0f);
+}
+
+void Conv2d::im2col(const float* src, std::size_t in_h, std::size_t in_w,
+                    std::size_t out_h, std::size_t out_w, float* col) const {
+  // col is [in_c * k * k, out_h * out_w]
+  const std::size_t plane = out_h * out_w;
+  for (std::size_t c = 0; c < in_c_; ++c) {
+    for (std::size_t ky = 0; ky < k_; ++ky) {
+      for (std::size_t kx = 0; kx < k_; ++kx) {
+        float* dst = col + ((c * k_ + ky) * k_ + kx) * plane;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const auto iy = static_cast<std::int64_t>(oy * stride_ + ky) -
+                          static_cast<std::int64_t>(pad_);
+          if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) {
+            std::memset(dst + oy * out_w, 0, out_w * sizeof(float));
+            continue;
+          }
+          const float* srow =
+              src + (c * in_h + static_cast<std::size_t>(iy)) * in_w;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const auto ix = static_cast<std::int64_t>(ox * stride_ + kx) -
+                            static_cast<std::int64_t>(pad_);
+            dst[oy * out_w + ox] =
+                (ix < 0 || ix >= static_cast<std::int64_t>(in_w))
+                    ? 0.0f
+                    : srow[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im_acc(const float* col, std::size_t in_h, std::size_t in_w,
+                        std::size_t out_h, std::size_t out_w,
+                        float* dst) const {
+  const std::size_t plane = out_h * out_w;
+  for (std::size_t c = 0; c < in_c_; ++c) {
+    for (std::size_t ky = 0; ky < k_; ++ky) {
+      for (std::size_t kx = 0; kx < k_; ++kx) {
+        const float* src = col + ((c * k_ + ky) * k_ + kx) * plane;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const auto iy = static_cast<std::int64_t>(oy * stride_ + ky) -
+                          static_cast<std::int64_t>(pad_);
+          if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) continue;
+          float* drow =
+              dst + (c * in_h + static_cast<std::size_t>(iy)) * in_w;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const auto ix = static_cast<std::int64_t>(ox * stride_ + kx) -
+                            static_cast<std::int64_t>(pad_);
+            if (ix < 0 || ix >= static_cast<std::int64_t>(in_w)) continue;
+            drow[static_cast<std::size_t>(ix)] += src[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
+  const auto& in = input.shape();
+  if (in.rank() != 4 || in[1] != in_c_) {
+    throw std::invalid_argument("Conv2d: expected [N, " +
+                                std::to_string(in_c_) + ", H, W], got " +
+                                in.str());
+  }
+  const std::size_t n = in[0];
+  const std::size_t in_h = in[2];
+  const std::size_t in_w = in[3];
+  const std::size_t out_h = out_size(in_h);
+  const std::size_t out_w = out_size(in_w);
+  const std::size_t plane = out_h * out_w;
+  const std::size_t ick2 = in_c_ * k_ * k_;
+
+  tensor::Tensor output(tensor::Shape{n, out_c_, out_h, out_w});
+  std::vector<float> col(ick2 * plane);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* src = input.data().data() + s * in_c_ * in_h * in_w;
+    float* dst = output.data().data() + s * out_c_ * plane;
+    im2col(src, in_h, in_w, out_h, out_w, col.data());
+    gemm(out_c_, ick2, plane, weights_.data().data(), col.data(), dst);
+    for (std::size_t o = 0; o < out_c_; ++o) {
+      const float b = bias_[o];
+      float* orow = dst + o * plane;
+      for (std::size_t i = 0; i < plane; ++i) orow[i] += b;
+    }
+  }
+
+  if (training_) cached_input_ = input;
+  return output;
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
+  const auto& in = cached_input_.shape();
+  if (in.rank() != 4) {
+    throw std::logic_error("Conv2d::backward before forward (training mode)");
+  }
+  const std::size_t n = in[0];
+  const std::size_t in_h = in[2];
+  const std::size_t in_w = in[3];
+  const std::size_t out_h = out_size(in_h);
+  const std::size_t out_w = out_size(in_w);
+  const std::size_t plane = out_h * out_w;
+  const std::size_t ick2 = in_c_ * k_ * k_;
+
+  if (grad_output.shape() != tensor::Shape{n, out_c_, out_h, out_w}) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+
+  tensor::Tensor grad_input(in);
+  std::vector<float> col(ick2 * plane);
+  std::vector<float> grad_col(ick2 * plane);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* src = cached_input_.data().data() + s * in_c_ * in_h * in_w;
+    const float* gout = grad_output.data().data() + s * out_c_ * plane;
+    float* gin = grad_input.data().data() + s * in_c_ * in_h * in_w;
+
+    im2col(src, in_h, in_w, out_h, out_w, col.data());
+
+    // dW[out_c, ick2] += dOut[out_c, plane] * col^T
+    gemm_a_bt(out_c_, plane, ick2, gout, col.data(),
+              grad_weights_.data().data());
+
+    // db[o] += sum over plane
+    for (std::size_t o = 0; o < out_c_; ++o) {
+      float acc = 0.0f;
+      const float* grow = gout + o * plane;
+      for (std::size_t i = 0; i < plane; ++i) acc += grow[i];
+      grad_bias_[o] += acc;
+    }
+
+    // dcol[ick2, plane] = W^T * dOut ; then scatter back to input grads.
+    std::memset(grad_col.data(), 0, grad_col.size() * sizeof(float));
+    gemm_at_b(ick2, out_c_, plane, weights_.data().data(), gout,
+              grad_col.data());
+    col2im_acc(grad_col.data(), in_h, in_w, out_h, out_w, gin);
+  }
+
+  apply_freeze_masks();
+  return grad_input;
+}
+
+void Conv2d::apply_freeze_masks() {
+  const std::size_t filter_size = in_c_ * k_ * k_;
+  for (std::size_t o = 0; o < out_c_; ++o) {
+    if (frozen_[o] == 0) continue;
+    float* gw = grad_weights_.data().data() + o * filter_size;
+    std::memset(gw, 0, filter_size * sizeof(float));
+    grad_bias_[o] = 0.0f;
+  }
+}
+
+std::vector<Param> Conv2d::params() {
+  return {{&weights_, &grad_weights_, "conv2d.weights"},
+          {&bias_, &grad_bias_, "conv2d.bias"}};
+}
+
+tensor::Tensor Conv2d::filter(std::size_t o) const {
+  if (o >= out_c_) throw std::out_of_range("Conv2d::filter");
+  tensor::Tensor f(tensor::Shape{in_c_, k_, k_});
+  const std::size_t filter_size = in_c_ * k_ * k_;
+  std::memcpy(f.data().data(), weights_.data().data() + o * filter_size,
+              filter_size * sizeof(float));
+  return f;
+}
+
+void Conv2d::set_filter(std::size_t o, const tensor::Tensor& f) {
+  if (o >= out_c_) throw std::out_of_range("Conv2d::set_filter");
+  if (f.shape() != tensor::Shape{in_c_, k_, k_}) {
+    throw std::invalid_argument("Conv2d::set_filter: filter must be " +
+                                tensor::Shape{in_c_, k_, k_}.str());
+  }
+  const std::size_t filter_size = in_c_ * k_ * k_;
+  std::memcpy(weights_.data().data() + o * filter_size, f.data().data(),
+              filter_size * sizeof(float));
+}
+
+void Conv2d::set_filter_frozen(std::size_t o, bool frozen) {
+  if (o >= out_c_) throw std::out_of_range("Conv2d::set_filter_frozen");
+  frozen_[o] = frozen ? 1 : 0;
+}
+
+bool Conv2d::filter_frozen(std::size_t o) const {
+  if (o >= out_c_) throw std::out_of_range("Conv2d::filter_frozen");
+  return frozen_[o] != 0;
+}
+
+}  // namespace hybridcnn::nn

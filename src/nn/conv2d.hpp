@@ -1,0 +1,85 @@
+// 2-D convolution layer (im2col + GEMM forward, full backward) with the
+// per-filter surgery hooks the paper's experiments need: individual
+// filters can be read, replaced (e.g. by Sobel kernels) and frozen so the
+// optimizer leaves them untouched — the "pre-initialise one of the
+// three-dimensional AlexNet filters to Sobel filters and train the network
+// keeping this initialisation constant" workflow of Section III.B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::nn {
+
+/// Convolution over batched NCHW input with square kernels.
+class Conv2d final : public Layer {
+ public:
+  /// Creates the layer with zero weights; callers initialise via
+  /// init_he() or set explicit weights.
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t pad);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+
+  /// He-normal weight init (fan-in), zero bias.
+  void init_he(util::Rng& rng);
+
+  [[nodiscard]] std::size_t in_channels() const noexcept { return in_c_; }
+  [[nodiscard]] std::size_t out_channels() const noexcept { return out_c_; }
+  [[nodiscard]] std::size_t kernel() const noexcept { return k_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  [[nodiscard]] std::size_t pad() const noexcept { return pad_; }
+
+  [[nodiscard]] const tensor::Tensor& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] tensor::Tensor& weights() noexcept { return weights_; }
+  [[nodiscard]] const tensor::Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] tensor::Tensor& bias() noexcept { return bias_; }
+
+  // -------------------------------------------------- filter surgery
+
+  /// Copy of filter `o` as an [in_c, k, k] tensor.
+  [[nodiscard]] tensor::Tensor filter(std::size_t o) const;
+
+  /// Replaces filter `o`; `f` must be [in_c, k, k].
+  void set_filter(std::size_t o, const tensor::Tensor& f);
+
+  /// Marks filter `o` (weights + bias element) frozen: its gradients are
+  /// zeroed after every backward, so no optimizer can move it.
+  void set_filter_frozen(std::size_t o, bool frozen);
+  [[nodiscard]] bool filter_frozen(std::size_t o) const;
+
+  /// Output spatial size for an input of `in` pixels.
+  [[nodiscard]] std::size_t out_size(std::size_t in) const;
+
+ private:
+  void im2col(const float* src, std::size_t in_h, std::size_t in_w,
+              std::size_t out_h, std::size_t out_w, float* col) const;
+  void col2im_acc(const float* col, std::size_t in_h, std::size_t in_w,
+                  std::size_t out_h, std::size_t out_w, float* dst) const;
+  void apply_freeze_masks();
+
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t k_;
+  std::size_t stride_;
+  std::size_t pad_;
+
+  tensor::Tensor weights_;  // OIHW
+  tensor::Tensor bias_;     // O
+  tensor::Tensor grad_weights_;
+  tensor::Tensor grad_bias_;
+  std::vector<std::uint8_t> frozen_;
+
+  tensor::Tensor cached_input_;  // for backward
+};
+
+}  // namespace hybridcnn::nn

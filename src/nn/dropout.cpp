@@ -1,0 +1,41 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+tensor::Tensor Dropout::forward(const tensor::Tensor& input) {
+  if (!training_ || p_ == 0.0f) {
+    mask_ = tensor::Tensor();  // identity; backward passes grads through
+    return input;
+  }
+  const float keep = 1.0f - p_;
+  mask_ = tensor::Tensor(input.shape());
+  tensor::Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.count(); ++i) {
+    const float m = rng_.bernoulli(p_) ? 0.0f : 1.0f / keep;
+    mask_[i] = m;
+    out[i] = input[i] * m;
+  }
+  return out;
+}
+
+tensor::Tensor Dropout::backward(const tensor::Tensor& grad_output) {
+  if (mask_.count() == 0) return grad_output;  // was identity
+  if (grad_output.shape() != mask_.shape()) {
+    throw std::invalid_argument("Dropout::backward: shape mismatch");
+  }
+  tensor::Tensor grad(grad_output.shape());
+  for (std::size_t i = 0; i < grad.count(); ++i) {
+    grad[i] = grad_output[i] * mask_[i];
+  }
+  return grad;
+}
+
+}  // namespace hybridcnn::nn

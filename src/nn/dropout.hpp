@@ -1,0 +1,27 @@
+// Inverted dropout: identity at inference, random masking during training.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::nn {
+
+/// Drops activations with probability p during training and rescales the
+/// survivors by 1/(1-p), so inference is the identity (inverted dropout).
+class Dropout final : public Layer {
+ public:
+  /// p in [0, 1); throws std::invalid_argument otherwise. The mask stream
+  /// is owned by the layer and seeded deterministically.
+  explicit Dropout(float p, std::uint64_t seed = 0xD20);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "dropout"; }
+
+ private:
+  float p_;
+  util::Rng rng_;
+  tensor::Tensor mask_;  // scale factors applied in the last forward
+};
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,110 @@
+#include "nn/filters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+
+namespace hybridcnn::nn {
+
+namespace {
+
+std::vector<float> convolve(const std::vector<float>& a,
+                            const std::vector<float>& b) {
+  std::vector<float> out(a.size() + b.size() - 1, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::vector<float> binomial(std::size_t n) {
+  std::vector<float> row{1.0f};
+  for (std::size_t i = 1; i < n; ++i) row = convolve(row, {1.0f, 1.0f});
+  return row;
+}
+
+}  // namespace
+
+tensor::Tensor binomial_row(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("binomial_row: n must be >= 1");
+  return {tensor::Shape{n}, binomial(n)};
+}
+
+tensor::Tensor difference_row(std::size_t n) {
+  if (n < 3 || n % 2 == 0) {
+    throw std::invalid_argument("difference_row: n must be odd and >= 3");
+  }
+  const std::vector<float> diff =
+      convolve(binomial(n - 2), {-1.0f, 0.0f, 1.0f});
+  return {tensor::Shape{n}, diff};
+}
+
+tensor::Tensor sobel_kernel(std::size_t n, SobelAxis axis, bool normalized) {
+  const tensor::Tensor smooth = binomial_row(n);
+  const tensor::Tensor diff = difference_row(n);
+
+  float scale = 1.0f;
+  if (normalized) {
+    float smooth_sum = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) smooth_sum += smooth[i];
+    float pos_diff = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (diff[i] > 0.0f) pos_diff += diff[i];
+    }
+    scale = 1.0f / (smooth_sum * pos_diff);
+  }
+
+  tensor::Tensor k(tensor::Shape{n, n});
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const float v = (axis == SobelAxis::kX) ? smooth[y] * diff[x]
+                                              : diff[y] * smooth[x];
+      k[y * n + x] = v * scale;
+    }
+  }
+  return k;
+}
+
+tensor::Tensor sobel_filter(std::size_t channels, std::size_t n,
+                            bool normalized) {
+  if (channels == 0) {
+    throw std::invalid_argument("sobel_filter: channels must be >= 1");
+  }
+  const tensor::Tensor kx = sobel_kernel(n, SobelAxis::kX, normalized);
+  const tensor::Tensor ky = sobel_kernel(n, SobelAxis::kY, normalized);
+  tensor::Tensor f(tensor::Shape{channels, n, n});
+  for (std::size_t c = 0; c < channels; ++c) {
+    const tensor::Tensor& src = (c % 2 == 0) ? kx : ky;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      f[c * n * n + i] = src[i];
+    }
+  }
+  return f;
+}
+
+tensor::Tensor sobel_axis_filter(std::size_t channels, std::size_t n,
+                                 SobelAxis axis, bool normalized) {
+  if (channels == 0) {
+    throw std::invalid_argument("sobel_axis_filter: channels must be >= 1");
+  }
+  const tensor::Tensor k = sobel_kernel(n, axis, normalized);
+  tensor::Tensor f(tensor::Shape{channels, n, n});
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < n * n; ++i) {
+      f[c * n * n + i] = k[i];
+    }
+  }
+  return f;
+}
+
+tensor::Tensor replace_filter_with_sobel(Conv2d& conv, std::size_t o) {
+  tensor::Tensor previous = conv.filter(o);
+  conv.set_filter(o, sobel_filter(conv.in_channels(), conv.kernel()));
+  return previous;
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,52 @@
+// Sobel kernel construction and conv-filter surgery.
+//
+// The paper replaces learnt first-layer AlexNet filters (11x11x3) with "a
+// Sobel-x, Sobel-y, Sobel-x filter" across the three input channels. Sobel
+// operators generalise beyond 3x3 by composing a binomial smoothing vector
+// with a central-difference vector; sobel_kernel() implements that
+// construction for any odd size, so the same code produces the classic 3x3
+// operator for the vision qualifier and the 11x11 operators inserted into
+// AlexNet.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::nn {
+
+class Conv2d;
+
+/// Gradient axis of a Sobel operator.
+enum class SobelAxis { kX, kY };
+
+/// Binomial (Pascal) smoothing row of length n, e.g. n=3 -> {1, 2, 1}.
+tensor::Tensor binomial_row(std::size_t n);
+
+/// Central-difference row of length n (odd), e.g. n=3 -> {-1, 0, 1},
+/// n=5 -> {-1, -2, 0, 2, 1}: conv(binomial(n-2), {-1, 0, 1}).
+tensor::Tensor difference_row(std::size_t n);
+
+/// n x n Sobel kernel for the given axis (n odd, n >= 3). When
+/// `normalized`, the kernel is scaled so the positive taps sum to 1, which
+/// keeps activation magnitudes comparable to learnt filters.
+tensor::Tensor sobel_kernel(std::size_t n, SobelAxis axis,
+                            bool normalized = true);
+
+/// Multi-channel filter [channels, n, n] with the per-channel axis pattern
+/// the paper uses: x, y, x, y, ... (three channels -> Sobel-x/y/x).
+tensor::Tensor sobel_filter(std::size_t channels, std::size_t n,
+                            bool normalized = true);
+
+/// Multi-channel filter [channels, n, n] with the SAME axis on every
+/// channel. A pair of these (one x, one y) yields a proper gradient
+/// magnitude — the extension that fixes the directional nulls of the
+/// paper's single mixed x/y/x filter (see QualifierSource).
+tensor::Tensor sobel_axis_filter(std::size_t channels, std::size_t n,
+                                 SobelAxis axis, bool normalized = true);
+
+/// Replaces filter `o` of `conv` with the Sobel x/y/x filter; returns the
+/// previous filter so callers can restore it (the Fig. 4 sweep).
+tensor::Tensor replace_filter_with_sobel(Conv2d& conv, std::size_t o);
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,28 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+tensor::Tensor Flatten::forward(const tensor::Tensor& input) {
+  const auto& in = input.shape();
+  if (in.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2, got " +
+                                in.str());
+  }
+  cached_in_shape_ = in;
+  tensor::Tensor out = input;
+  out.reshape(tensor::Shape{in[0], input.count() / in[0]});
+  return out;
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.count() != cached_in_shape_.count()) {
+    throw std::invalid_argument("Flatten::backward: count mismatch");
+  }
+  tensor::Tensor grad = grad_output;
+  grad.reshape(cached_in_shape_);
+  return grad;
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,19 @@
+// Flattens NCHW activations to [N, C*H*W] for the classifier head.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hybridcnn::nn {
+
+/// Shape adapter between convolutional and dense stages.
+class Flatten final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  tensor::Shape cached_in_shape_;
+};
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,28 @@
+// Minimal dense matrix multiply used by the convolution (im2col) and
+// linear layers. Row-major throughout. Not tuned beyond a cache-friendly
+// loop order — the library's subject is reliability, not peak FLOPs — but
+// fast enough to stand in for the paper's "native TensorFlow execution"
+// reference row in Table 1.
+#pragma once
+
+#include <cstddef>
+
+namespace hybridcnn::nn {
+
+/// C[m x n] = A[m x k] * B[k x n]  (C is overwritten).
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c);
+
+/// C[m x n] += A[m x k] * B[k x n].
+void gemm_acc(std::size_t m, std::size_t k, std::size_t n, const float* a,
+              const float* b, float* c);
+
+/// C[m x n] += A^T[k x m] * B[k x n]  (A stored k-major, i.e. [k x m]).
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c);
+
+/// C[m x n] += A[m x k] * B^T[n x k]  (B stored n-major, i.e. [n x k]).
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c);
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,23 @@
+#include "nn/init.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::nn {
+
+void init_network(Sequential& net, std::uint64_t seed) {
+  util::Rng rng(seed, /*stream=*/0x1417);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    Layer& l = net.layer(i);
+    if (auto* conv = dynamic_cast<Conv2d*>(&l)) {
+      util::Rng layer_rng = rng.fork();
+      conv->init_he(layer_rng);
+    } else if (auto* fc = dynamic_cast<Linear*>(&l)) {
+      util::Rng layer_rng = rng.fork();
+      fc->init_he(layer_rng);
+    }
+  }
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,14 @@
+// Whole-network weight initialisation.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/sequential.hpp"
+
+namespace hybridcnn::nn {
+
+/// He-normal initialises every Conv2d and Linear layer in `net` from a
+/// deterministic stream derived from `seed`. Other layers are untouched.
+void init_network(Sequential& net, std::uint64_t seed);
+
+}  // namespace hybridcnn::nn

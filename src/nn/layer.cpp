@@ -1,0 +1,26 @@
+#include "nn/layer.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+tensor::Tensor Layer::backward(const tensor::Tensor& /*grad_output*/) {
+  throw std::logic_error("backward not implemented for layer '" + name() +
+                         "'");
+}
+
+void Layer::zero_grad() {
+  for (const Param& p : params()) {
+    if (p.grad != nullptr) p.grad->fill(0.0f);
+  }
+}
+
+std::size_t Layer::param_count() {
+  std::size_t n = 0;
+  for (const Param& p : params()) {
+    if (p.value != nullptr) n += p.value->count();
+  }
+  return n;
+}
+
+}  // namespace hybridcnn::nn

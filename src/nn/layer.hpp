@@ -1,0 +1,62 @@
+// Layer interface of the CNN engine.
+//
+// The engine is the library's stand-in for the paper's TensorFlow
+// execution path: batched NCHW forward inference for AlexNet-class
+// networks plus enough backpropagation to reproduce the paper's training
+// experiments (Sobel pre-initialisation, filter freezing). Layers own
+// their parameters and gradients and expose them generically so the SGD
+// optimizer and the filter-surgery tools need no per-layer knowledge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::nn {
+
+/// A parameter tensor paired with its gradient accumulator.
+struct Param {
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+  std::string name;
+};
+
+/// Base class for all layers. Forward must be called before backward;
+/// layers cache whatever forward state backward needs.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output for a batched NCHW (or [N, features])
+  /// input. Throws std::invalid_argument on shape mismatch.
+  virtual tensor::Tensor forward(const tensor::Tensor& input) = 0;
+
+  /// Propagates the loss gradient; returns dL/dinput and accumulates
+  /// parameter gradients. Default: unsupported (inference-only layer).
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output);
+
+  /// Parameters with their gradients; empty for stateless layers.
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  /// Toggles training behaviour (dropout masks, cache retention).
+  virtual void set_training(bool training) { training_ = training; }
+  [[nodiscard]] bool training() const noexcept { return training_; }
+
+  /// Layer type name for diagnostics ("conv2d", "relu", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Total trainable scalar count.
+  [[nodiscard]] std::size_t param_count();
+
+ protected:
+  bool training_ = false;
+};
+
+}  // namespace hybridcnn::nn

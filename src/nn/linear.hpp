@@ -1,0 +1,41 @@
+// Fully connected layer.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::nn {
+
+/// y = x W^T + b over batched [N, in] input. Weights are [out, in].
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+  /// He-normal init (fan-in), zero bias.
+  void init_he(util::Rng& rng);
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+  [[nodiscard]] const tensor::Tensor& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] tensor::Tensor& weights() noexcept { return weights_; }
+  [[nodiscard]] const tensor::Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] tensor::Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  tensor::Tensor weights_;  // [out, in]
+  tensor::Tensor bias_;     // [out]
+  tensor::Tensor grad_weights_;
+  tensor::Tensor grad_bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,54 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& labels) {
+  const auto& sh = logits.shape();
+  if (sh.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: logits must be [N, C]");
+  }
+  const std::size_t n = sh[0];
+  const std::size_t c = sh[1];
+  if (labels.size() != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+
+  LossResult result;
+  result.grad_logits = tensor::Tensor(sh);
+  double total = 0.0;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const int label = labels[s];
+    if (label < 0 || static_cast<std::size_t>(label) >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    float mx = logits[s * c];
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, logits[s * c + j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      denom += std::exp(static_cast<double>(logits[s * c + j]) - mx);
+    }
+    const double log_denom = std::log(denom);
+    const double log_p =
+        static_cast<double>(logits[s * c + static_cast<std::size_t>(label)]) -
+        mx - log_denom;
+    total -= log_p;
+
+    for (std::size_t j = 0; j < c; ++j) {
+      const double p =
+          std::exp(static_cast<double>(logits[s * c + j]) - mx - log_denom);
+      const double onehot = (static_cast<std::size_t>(label) == j) ? 1.0 : 0.0;
+      result.grad_logits[s * c + j] =
+          static_cast<float>((p - onehot) / static_cast<double>(n));
+    }
+  }
+
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace hybridcnn::nn

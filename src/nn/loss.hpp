@@ -1,0 +1,23 @@
+// Fused softmax + cross-entropy loss for classifier training.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::nn {
+
+/// Loss value and the gradient w.r.t. the logits.
+struct LossResult {
+  double loss = 0.0;          ///< mean cross-entropy over the batch
+  tensor::Tensor grad_logits; ///< [N, C], already divided by N
+};
+
+/// Computes mean cross-entropy of softmax(logits) against integer labels.
+/// logits: [N, C]; labels.size() == N, each in [0, C).
+/// Throws std::invalid_argument on shape/label violations.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& labels);
+
+}  // namespace hybridcnn::nn

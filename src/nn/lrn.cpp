@@ -1,0 +1,93 @@
+#include "nn/lrn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+Lrn::Lrn(std::size_t size, float k, float alpha, float beta)
+    : size_(size), k_(k), alpha_(alpha), beta_(beta) {
+  if (size == 0) throw std::invalid_argument("Lrn: size must be >= 1");
+}
+
+tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
+  const auto& in = input.shape();
+  if (in.rank() != 4) {
+    throw std::invalid_argument("Lrn: expected NCHW, got " + in.str());
+  }
+  const std::size_t n = in[0];
+  const std::size_t c = in[1];
+  const std::size_t plane = in[2] * in[3];
+  const auto half = static_cast<std::int64_t>(size_ / 2);
+  const float scale = alpha_ / static_cast<float>(size_);
+
+  tensor::Tensor out(in);
+  tensor::Tensor denom(in);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const auto lo = std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(ch) - half);
+      const auto hi = std::min<std::int64_t>(
+          static_cast<std::int64_t>(c) - 1,
+          static_cast<std::int64_t>(ch) + half);
+      for (std::size_t p = 0; p < plane; ++p) {
+        float ssum = 0.0f;
+        for (std::int64_t j = lo; j <= hi; ++j) {
+          const float v =
+              input[(s * c + static_cast<std::size_t>(j)) * plane + p];
+          ssum += v * v;
+        }
+        const std::size_t idx = (s * c + ch) * plane + p;
+        const float d = k_ + scale * ssum;
+        denom[idx] = d;
+        out[idx] = input[idx] * std::pow(d, -beta_);
+      }
+    }
+  }
+
+  cached_input_ = input;
+  cached_denom_ = denom;
+  return out;
+}
+
+tensor::Tensor Lrn::backward(const tensor::Tensor& grad_output) {
+  const auto& in = cached_input_.shape();
+  if (grad_output.shape() != in) {
+    throw std::invalid_argument("Lrn::backward: shape mismatch");
+  }
+  const std::size_t n = in[0];
+  const std::size_t c = in[1];
+  const std::size_t plane = in[2] * in[3];
+  const auto half = static_cast<std::int64_t>(size_ / 2);
+  const float scale = alpha_ / static_cast<float>(size_);
+
+  // dL/dx_m = g_m * D_m^-beta
+  //           - 2*scale*beta * x_m * sum_{i: m in window(i)} g_i x_i D_i^{-beta-1}
+  tensor::Tensor grad(in);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      // window(i) centred at i: m is in window(i) iff |i - m| <= half.
+      const auto lo = std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(ch) - half);
+      const auto hi = std::min<std::int64_t>(
+          static_cast<std::int64_t>(c) - 1,
+          static_cast<std::int64_t>(ch) + half);
+      for (std::size_t p = 0; p < plane; ++p) {
+        const std::size_t m = (s * c + ch) * plane + p;
+        float cross = 0.0f;
+        for (std::int64_t i = lo; i <= hi; ++i) {
+          const std::size_t ii =
+              (s * c + static_cast<std::size_t>(i)) * plane + p;
+          cross += grad_output[ii] * cached_input_[ii] *
+                   std::pow(cached_denom_[ii], -beta_ - 1.0f);
+        }
+        grad[m] = grad_output[m] * std::pow(cached_denom_[m], -beta_) -
+                  2.0f * scale * beta_ * cached_input_[m] * cross;
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,29 @@
+// Local response normalisation, the cross-channel variant AlexNet uses:
+//   y_i = x_i / (k + (alpha / n) * sum_{j in window(i)} x_j^2)^beta
+// with the AlexNet defaults n = 5, k = 2, alpha = 1e-4, beta = 0.75.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hybridcnn::nn {
+
+/// Cross-channel LRN with exact backward.
+class Lrn final : public Layer {
+ public:
+  explicit Lrn(std::size_t size = 5, float k = 2.0f, float alpha = 1e-4f,
+               float beta = 0.75f);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "lrn"; }
+
+ private:
+  std::size_t size_;
+  float k_;
+  float alpha_;
+  float beta_;
+  tensor::Tensor cached_input_;
+  tensor::Tensor cached_denom_;  // D_i = k + (alpha/n) * S_i per element
+};
+
+}  // namespace hybridcnn::nn

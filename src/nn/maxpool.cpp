@@ -1,0 +1,73 @@
+#include "nn/maxpool.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+MaxPool::MaxPool(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("MaxPool: window and stride must be >= 1");
+  }
+}
+
+std::size_t MaxPool::out_size(std::size_t in) const {
+  if (in < window_) throw std::invalid_argument("MaxPool: window > input");
+  return (in - window_) / stride_ + 1;
+}
+
+tensor::Tensor MaxPool::forward(const tensor::Tensor& input) {
+  const auto& in = input.shape();
+  if (in.rank() != 4) {
+    throw std::invalid_argument("MaxPool: expected NCHW, got " + in.str());
+  }
+  const std::size_t n = in[0];
+  const std::size_t c = in[1];
+  const std::size_t in_h = in[2];
+  const std::size_t in_w = in[3];
+  const std::size_t out_h = out_size(in_h);
+  const std::size_t out_w = out_size(in_w);
+
+  tensor::Tensor out(tensor::Shape{n, c, out_h, out_w});
+  argmax_.assign(out.count(), 0);
+  cached_in_shape_ = in;
+
+  std::size_t oi = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const std::size_t base = (s * c + ch) * in_h * in_w;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox, ++oi) {
+          std::size_t best_idx = base + (oy * stride_) * in_w + ox * stride_;
+          float best = input[best_idx];
+          for (std::size_t wy = 0; wy < window_; ++wy) {
+            for (std::size_t wx = 0; wx < window_; ++wx) {
+              const std::size_t idx =
+                  base + (oy * stride_ + wy) * in_w + (ox * stride_ + wx);
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor MaxPool::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.count() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool::backward: shape mismatch");
+  }
+  tensor::Tensor grad(cached_in_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    grad[argmax_[i]] += grad_output[i];
+  }
+  return grad;
+}
+
+}  // namespace hybridcnn::nn

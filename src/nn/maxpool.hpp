@@ -1,0 +1,29 @@
+// Max pooling with argmax routing for the backward pass.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hybridcnn::nn {
+
+/// Max pooling over batched NCHW input with a square window. AlexNet uses
+/// overlapping pooling (window 3, stride 2), which this supports.
+class MaxPool final : public Layer {
+ public:
+  MaxPool(std::size_t window, std::size_t stride);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "maxpool"; }
+
+  [[nodiscard]] std::size_t out_size(std::size_t in) const;
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  tensor::Shape cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace hybridcnn::nn

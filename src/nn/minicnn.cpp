@@ -1,0 +1,33 @@
+#include "nn/minicnn.hpp"
+
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+
+namespace hybridcnn::nn {
+
+std::unique_ptr<Sequential> make_minicnn(const MiniCnnConfig& config) {
+  auto net = std::make_unique<Sequential>();
+  const std::size_t f = config.conv1_filters;
+
+  net->emplace<Conv2d>(3, f, 5, 1, 2);  // 32 -> 32
+  net->emplace<ReLU>();
+  net->emplace<MaxPool>(2, 2);  // 32 -> 16
+
+  net->emplace<Conv2d>(f, 2 * f, 3, 1, 1);  // 16 -> 16
+  net->emplace<ReLU>();
+  net->emplace<MaxPool>(2, 2);  // 16 -> 8
+
+  net->emplace<Flatten>();  // 2F * 8 * 8
+  net->emplace<Linear>(2 * f * 8 * 8, 128);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(128, config.num_classes);
+
+  init_network(*net, config.seed);
+  return net;
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,41 @@
+// MiniCNN: a trainable AlexNet-family network for CPU-budget experiments.
+//
+// The paper's trained-model experiments (Sobel filter replacement with
+// confusion-matrix comparison, pre-initialised frozen filters) require
+// actually training a network. Training full AlexNet on a CPU is outside
+// any reasonable budget, so the trained variants of those experiments run
+// on MiniCNN: same structural family (conv -> pool stacks into a dense
+// classifier, first layer surgically accessible), sized for 32x32 synthetic
+// sign images. DESIGN.md documents this substitution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace hybridcnn::nn {
+
+/// Construction parameters for MiniCNN.
+struct MiniCnnConfig {
+  std::size_t num_classes = 5;
+  std::size_t conv1_filters = 16;  ///< sweep length of the trained Fig. 4
+  std::uint64_t seed = 42;
+};
+
+/// Layer index of the first convolution (filter-surgery target).
+inline constexpr std::size_t kMiniCnnConv1 = 0;
+
+/// Index of the first layer after conv1 (hybrid re-entry point).
+inline constexpr std::size_t kMiniCnnAfterConv1 = 1;
+
+/// Input image side length MiniCNN expects.
+inline constexpr std::size_t kMiniCnnInput = 32;
+
+/// Builds MiniCNN:
+///   0 conv1 3->F k5 p2   1 relu   2 maxpool 2/2   (32 -> 16)
+///   3 conv2 F->2F k3 p1  4 relu   5 maxpool 2/2   (16 -> 8)
+///   6 flatten  7 fc 2F*64->128  8 relu  9 fc 128->classes (logits)
+std::unique_ptr<Sequential> make_minicnn(const MiniCnnConfig& config = {});
+
+}  // namespace hybridcnn::nn

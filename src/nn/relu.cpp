@@ -1,0 +1,27 @@
+#include "nn/relu.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+tensor::Tensor ReLU::forward(const tensor::Tensor& input) {
+  tensor::Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.count(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  }
+  if (training_) cached_input_ = input;
+  return out;
+}
+
+tensor::Tensor ReLU::backward(const tensor::Tensor& grad_output) {
+  if (grad_output.shape() != cached_input_.shape()) {
+    throw std::invalid_argument("ReLU::backward: shape mismatch");
+  }
+  tensor::Tensor grad(grad_output.shape());
+  for (std::size_t i = 0; i < grad.count(); ++i) {
+    grad[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+  }
+  return grad;
+}
+
+}  // namespace hybridcnn::nn

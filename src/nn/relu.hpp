@@ -1,0 +1,19 @@
+// Rectified linear unit.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hybridcnn::nn {
+
+/// Elementwise max(0, x). Shape-preserving, any rank.
+class ReLU final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,66 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+void Sequential::append(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::append: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& input) {
+  return forward_from(0, input);
+}
+
+tensor::Tensor Sequential::forward_from(std::size_t start,
+                                        const tensor::Tensor& input) {
+  if (start > layers_.size()) {
+    throw std::out_of_range("Sequential::forward_from");
+  }
+  tensor::Tensor x = input;
+  for (std::size_t i = start; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x);
+  }
+  return x;
+}
+
+tensor::Tensor Sequential::forward_until(std::size_t stop,
+                                         const tensor::Tensor& input) {
+  if (stop > layers_.size()) {
+    throw std::out_of_range("Sequential::forward_until");
+  }
+  tensor::Tensor x = input;
+  for (std::size_t i = 0; i < stop; ++i) {
+    x = layers_[i]->forward(x);
+  }
+  return x;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> all;
+  for (const auto& l : layers_) {
+    for (const Param& p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::set_training(bool training) {
+  Layer::set_training(training);
+  for (const auto& l : layers_) l->set_training(training);
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  if (i >= layers_.size()) throw std::out_of_range("Sequential::layer");
+  return *layers_[i];
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,62 @@
+// Sequential network container.
+//
+// Besides the usual forward/backward chaining, Sequential supports the
+// hybrid execution the paper's Figure 2 requires: forward_from() resumes
+// inference at an arbitrary layer index so the first convolution can be
+// executed externally by the reliable kernel and its (bifurcated) output
+// injected back into the non-reliable remainder of the CNN.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hybridcnn::nn {
+
+/// Owning ordered list of layers.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer and returns a reference to it (builder style).
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// Appends an already-built layer.
+  void append(std::unique_ptr<Layer> layer);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+
+  /// Runs layers [start, size()) on `input` — the hybrid re-entry point.
+  tensor::Tensor forward_from(std::size_t start, const tensor::Tensor& input);
+
+  /// Runs layers [0, stop) on `input` — e.g. just the reliable prefix.
+  tensor::Tensor forward_until(std::size_t stop, const tensor::Tensor& input);
+
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  void set_training(bool training) override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return layers_.size(); }
+
+  /// Layer access; throws std::out_of_range.
+  [[nodiscard]] Layer& layer(std::size_t i);
+
+  /// Typed layer access; throws std::bad_cast if the type does not match.
+  template <typename L>
+  [[nodiscard]] L& layer_as(std::size_t i) {
+    return dynamic_cast<L&>(layer(i));
+  }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,54 @@
+#include "nn/softmax.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hybridcnn::nn {
+
+tensor::Tensor Softmax::forward(const tensor::Tensor& input) {
+  const auto& in = input.shape();
+  if (in.rank() != 2) {
+    throw std::invalid_argument("Softmax: expected [N, C], got " + in.str());
+  }
+  const std::size_t n = in[0];
+  const std::size_t c = in[1];
+  tensor::Tensor out(in);
+  for (std::size_t s = 0; s < n; ++s) {
+    float mx = input[s * c];
+    for (std::size_t j = 1; j < c; ++j) {
+      mx = std::max(mx, input[s * c + j]);
+    }
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) {
+      const float e = std::exp(input[s * c + j] - mx);
+      out[s * c + j] = e;
+      denom += e;
+    }
+    for (std::size_t j = 0; j < c; ++j) out[s * c + j] /= denom;
+  }
+  cached_output_ = out;
+  return out;
+}
+
+tensor::Tensor Softmax::backward(const tensor::Tensor& grad_output) {
+  const auto& sh = cached_output_.shape();
+  if (grad_output.shape() != sh) {
+    throw std::invalid_argument("Softmax::backward: shape mismatch");
+  }
+  const std::size_t n = sh[0];
+  const std::size_t c = sh[1];
+  tensor::Tensor grad(sh);
+  for (std::size_t s = 0; s < n; ++s) {
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) {
+      dot += grad_output[s * c + j] * cached_output_[s * c + j];
+    }
+    for (std::size_t j = 0; j < c; ++j) {
+      grad[s * c + j] =
+          cached_output_[s * c + j] * (grad_output[s * c + j] - dot);
+    }
+  }
+  return grad;
+}
+
+}  // namespace hybridcnn::nn

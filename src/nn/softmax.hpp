@@ -1,0 +1,20 @@
+// Softmax layer (inference head). Training uses the fused
+// softmax-cross-entropy in loss.hpp for numerical stability.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hybridcnn::nn {
+
+/// Row-wise softmax over [N, C] logits (max-subtracted for stability).
+class Softmax final : public Layer {
+ public:
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "softmax"; }
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+}  // namespace hybridcnn::nn

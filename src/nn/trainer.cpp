@@ -1,0 +1,145 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "nn/sgd.hpp"
+
+namespace hybridcnn::nn {
+
+std::vector<EpochStats> train(Sequential& net,
+                              const std::vector<data::Example>& examples,
+                              const TrainConfig& config) {
+  if (examples.empty()) throw std::invalid_argument("train: no examples");
+  Sgd sgd(config.learning_rate, config.momentum, config.weight_decay);
+  net.set_training(true);
+
+  std::vector<EpochStats> history;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochStats stats;
+    std::size_t batches = 0;
+    std::size_t correct = 0;
+    for (std::size_t first = 0; first < examples.size();
+         first += config.batch_size) {
+      const std::size_t count =
+          std::min(config.batch_size, examples.size() - first);
+      const data::Batch batch = data::make_batch(examples, first, count);
+
+      net.zero_grad();
+      const tensor::Tensor logits = net.forward(batch.images);
+      const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+      net.backward(loss.grad_logits);
+      sgd.step(net);
+      if (config.after_step) config.after_step(net);
+
+      stats.mean_loss += loss.loss;
+      ++batches;
+      const std::size_t classes = logits.shape()[1];
+      for (std::size_t s = 0; s < count; ++s) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < classes; ++j) {
+          if (logits[s * classes + j] > logits[s * classes + best]) best = j;
+        }
+        if (static_cast<int>(best) == batch.labels[s]) ++correct;
+      }
+    }
+    stats.mean_loss /= static_cast<double>(batches);
+    stats.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(examples.size());
+    history.push_back(stats);
+  }
+  net.set_training(false);
+  return history;
+}
+
+namespace {
+
+/// Softmax probabilities of a [1, C] logits row.
+std::vector<double> softmax_row(const tensor::Tensor& logits,
+                                std::size_t row, std::size_t classes) {
+  double mx = logits[row * classes];
+  for (std::size_t j = 1; j < classes; ++j) {
+    mx = std::max(mx, static_cast<double>(logits[row * classes + j]));
+  }
+  std::vector<double> p(classes);
+  double denom = 0.0;
+  for (std::size_t j = 0; j < classes; ++j) {
+    p[j] = std::exp(static_cast<double>(logits[row * classes + j]) - mx);
+    denom += p[j];
+  }
+  for (double& v : p) v /= denom;
+  return p;
+}
+
+}  // namespace
+
+Evaluation evaluate(Sequential& net,
+                    const std::vector<data::Example>& examples,
+                    std::size_t num_classes) {
+  if (examples.empty()) throw std::invalid_argument("evaluate: no examples");
+  net.set_training(false);
+
+  Evaluation eval;
+  eval.confusion.assign(num_classes,
+                        std::vector<std::uint64_t>(num_classes, 0));
+  std::size_t correct = 0;
+  double confidence_sum = 0.0;
+
+  constexpr std::size_t kEvalBatch = 32;
+  for (std::size_t first = 0; first < examples.size(); first += kEvalBatch) {
+    const std::size_t count =
+        std::min(kEvalBatch, examples.size() - first);
+    const data::Batch batch = data::make_batch(examples, first, count);
+    const tensor::Tensor logits = net.forward(batch.images);
+    const std::size_t classes = logits.shape()[1];
+    if (classes != num_classes) {
+      throw std::invalid_argument("evaluate: class count mismatch");
+    }
+    for (std::size_t s = 0; s < count; ++s) {
+      const auto p = softmax_row(logits, s, classes);
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < classes; ++j) {
+        if (p[j] > p[best]) best = j;
+      }
+      const auto label = static_cast<std::size_t>(batch.labels[s]);
+      ++eval.confusion[label][best];
+      if (best == label) ++correct;
+      confidence_sum += p[label];
+    }
+  }
+  eval.accuracy =
+      static_cast<double>(correct) / static_cast<double>(examples.size());
+  eval.mean_true_class_confidence =
+      confidence_sum / static_cast<double>(examples.size());
+  return eval;
+}
+
+double mean_class_confidence(Sequential& net,
+                             const std::vector<data::Example>& examples,
+                             int target_class) {
+  if (examples.empty()) {
+    throw std::invalid_argument("mean_class_confidence: no examples");
+  }
+  net.set_training(false);
+  double sum = 0.0;
+  constexpr std::size_t kEvalBatch = 32;
+  for (std::size_t first = 0; first < examples.size(); first += kEvalBatch) {
+    const std::size_t count =
+        std::min(kEvalBatch, examples.size() - first);
+    const data::Batch batch = data::make_batch(examples, first, count);
+    const tensor::Tensor logits = net.forward(batch.images);
+    const std::size_t classes = logits.shape()[1];
+    if (target_class < 0 ||
+        static_cast<std::size_t>(target_class) >= classes) {
+      throw std::invalid_argument("mean_class_confidence: bad class");
+    }
+    for (std::size_t s = 0; s < count; ++s) {
+      sum += softmax_row(logits, s,
+                         classes)[static_cast<std::size_t>(target_class)];
+    }
+  }
+  return sum / static_cast<double>(examples.size());
+}
+
+}  // namespace hybridcnn::nn

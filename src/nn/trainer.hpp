@@ -1,0 +1,58 @@
+// Mini-batch SGD training loop and evaluation utilities shared by the
+// tests, benches and examples (the library's stand-in for the paper's
+// TensorFlow training workflow, including the per-batch filter re-set
+// regime the paper observed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace hybridcnn::nn {
+
+/// Training hyperparameters.
+struct TrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 16;
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Invoked after every optimizer step; the paper's "re-set after every
+  /// batch" filter regime is implemented by restoring a filter here.
+  std::function<void(Sequential&)> after_step;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Trains `net` on `examples` in place; returns per-epoch statistics.
+std::vector<EpochStats> train(Sequential& net,
+                              const std::vector<data::Example>& examples,
+                              const TrainConfig& config);
+
+/// Classification evaluation results.
+struct Evaluation {
+  double accuracy = 0.0;
+  std::vector<std::vector<std::uint64_t>> confusion;  // [true][predicted]
+  /// Mean softmax confidence assigned to the true class.
+  double mean_true_class_confidence = 0.0;
+};
+
+/// Evaluates `net` (logits output) on `examples` over `num_classes`.
+Evaluation evaluate(Sequential& net,
+                    const std::vector<data::Example>& examples,
+                    std::size_t num_classes);
+
+/// Mean softmax probability that `net` assigns to `target_class` over
+/// `examples` (the Fig. 4 "confidence value" metric).
+double mean_class_confidence(Sequential& net,
+                             const std::vector<data::Example>& examples,
+                             int target_class);
+
+}  // namespace hybridcnn::nn

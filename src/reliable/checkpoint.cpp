@@ -1,0 +1,2 @@
+// ScalarCheckpoint is header-only; this TU anchors the target.
+#include "reliable/checkpoint.hpp"

@@ -1,0 +1,50 @@
+// Operation-granular checkpoint/rollback.
+//
+// The paper reduces the rollback distance inside a convolution to a single
+// operation: "a redundantly executed multiplication with result comparison
+// (checkpoint) and a re-multiplication (rollback) should the first have
+// failed" (Section II.E). ScalarCheckpoint makes that explicit: the
+// convolution accumulator is committed after every qualified operation and
+// restored before a retry, so an erroneous execution can never propagate
+// into committed state.
+#pragma once
+
+#include <cstdint>
+
+namespace hybridcnn::reliable {
+
+/// Committed-state cell for a scalar accumulator with rollback counters.
+class ScalarCheckpoint {
+ public:
+  /// Initialises committed state to `initial`.
+  explicit ScalarCheckpoint(float initial = 0.0f) noexcept
+      : committed_(initial) {}
+
+  /// Commits a qualified value as the new safe state.
+  void commit(float value) noexcept {
+    committed_ = value;
+    ++commits_;
+  }
+
+  /// Rolls back: returns the last committed value, discarding whatever the
+  /// failed execution produced.
+  float rollback() noexcept {
+    ++rollbacks_;
+    return committed_;
+  }
+
+  /// Last committed value (the checkpoint).
+  [[nodiscard]] float value() const noexcept { return committed_; }
+
+  [[nodiscard]] std::uint64_t commits() const noexcept { return commits_; }
+  [[nodiscard]] std::uint64_t rollbacks() const noexcept {
+    return rollbacks_;
+  }
+
+ private:
+  float committed_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t rollbacks_ = 0;
+};
+
+}  // namespace hybridcnn::reliable

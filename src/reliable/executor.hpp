@@ -1,0 +1,118 @@
+// Overloaded arithmetic executors: Algorithms 1 and 2 of the paper, plus a
+// triple-modular-redundancy variant.
+//
+// The paper overloads multiplication and accumulation so that "multiple
+// methods" can be attached to a basic operation: a non-redundant execution
+// that always asserts success (Algorithm 1, used for baseline performance
+// characteristics), and a redundant execution whose qualifier is true only
+// if the two products agree (Algorithm 2). Executors route every physical
+// execution through a faultsim::FaultInjector, which models the unreliable
+// compute unit; the executor itself is the architecture-independent
+// reliability wrapper the paper proposes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "faultsim/injector.hpp"
+#include "reliable/qualified.hpp"
+
+namespace hybridcnn::reliable {
+
+/// Statistics an executor accumulates over its lifetime.
+struct ExecutorStats {
+  std::uint64_t logical_ops = 0;    ///< mul/add requests
+  std::uint64_t executions = 0;     ///< physical executions (incl. redundant)
+  std::uint64_t disagreements = 0;  ///< redundant executions that disagreed
+};
+
+/// Interface for qualified scalar arithmetic. Implementations differ in
+/// the redundancy scheme; all of them report through Qualified<float>.
+class Executor {
+ public:
+  /// Constructs over a fault injector. A null injector means fault-free
+  /// hardware (used for golden runs and micro-benchmarks).
+  explicit Executor(std::shared_ptr<faultsim::FaultInjector> injector);
+  virtual ~Executor() = default;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Qualified multiplication a*b.
+  virtual Qualified<float> mul(float a, float b) = 0;
+
+  /// Qualified addition a+b (the convolution's accumulate step).
+  virtual Qualified<float> add(float a, float b) = 0;
+
+  /// Scheme name for reports ("simplex", "dmr", "tmr").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Physical executions per logical operation in the fault-free case.
+  [[nodiscard]] virtual int redundancy() const = 0;
+
+  [[nodiscard]] const ExecutorStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = ExecutorStats{}; }
+
+  [[nodiscard]] faultsim::FaultInjector* injector() noexcept {
+    return injector_.get();
+  }
+
+ protected:
+  /// One physical multiply on the (possibly faulty) compute unit.
+  float raw_mul(float a, float b) noexcept;
+
+  /// One physical add on the (possibly faulty) compute unit.
+  float raw_add(float a, float b) noexcept;
+
+  ExecutorStats stats_;
+
+ private:
+  float corrupt(float a, float b, float result) noexcept;
+
+  std::shared_ptr<faultsim::FaultInjector> injector_;
+};
+
+/// Algorithm 1: non-redundant execution. Returns the product and a
+/// predefined qualifier set to true. Baseline performance reference.
+class SimplexExecutor final : public Executor {
+ public:
+  using Executor::Executor;
+  Qualified<float> mul(float a, float b) override;
+  Qualified<float> add(float a, float b) override;
+  [[nodiscard]] std::string name() const override { return "simplex"; }
+  [[nodiscard]] int redundancy() const override { return 1; }
+};
+
+/// Algorithm 2: dual-modular-redundant execution. The operation is
+/// executed twice; the qualifier is true iff both results are
+/// bit-identical. Detects (but cannot mask) any single-execution fault.
+class DmrExecutor final : public Executor {
+ public:
+  using Executor::Executor;
+  Qualified<float> mul(float a, float b) override;
+  Qualified<float> add(float a, float b) override;
+  [[nodiscard]] std::string name() const override { return "dmr"; }
+  [[nodiscard]] int redundancy() const override { return 2; }
+};
+
+/// Triple-modular-redundant execution with majority voting: the value is
+/// "agreed upon by execution of the algorithm three times and voting on
+/// the result" (Section IV). Masks any single-execution fault; the
+/// qualifier is false only when all three results differ.
+class TmrExecutor final : public Executor {
+ public:
+  using Executor::Executor;
+  Qualified<float> mul(float a, float b) override;
+  Qualified<float> add(float a, float b) override;
+  [[nodiscard]] std::string name() const override { return "tmr"; }
+  [[nodiscard]] int redundancy() const override { return 3; }
+};
+
+/// Factory for the three schemes by name; throws std::invalid_argument on
+/// unknown names. Convenient for bench parameter sweeps.
+std::unique_ptr<Executor> make_executor(
+    const std::string& scheme,
+    std::shared_ptr<faultsim::FaultInjector> injector);
+
+}  // namespace hybridcnn::reliable

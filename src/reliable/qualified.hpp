@@ -1,0 +1,20 @@
+// Qualified value: the paper's core abstraction.
+//
+// "We do however expect that the basic operators return a value [...] The
+// basic operators should also return a qualifier indicating whether the
+// operation was carried out correctly or not." (Section IV)
+#pragma once
+
+namespace hybridcnn::reliable {
+
+/// A value paired with the qualifier of the operation that produced it.
+/// `ok == true` asserts the operation is believed to have executed
+/// correctly (e.g. both DMR executions agreed); Algorithm 3 assumes every
+/// operation failed unless explicitly asserted otherwise.
+template <typename T>
+struct Qualified {
+  T value{};
+  bool ok = false;
+};
+
+}  // namespace hybridcnn::reliable

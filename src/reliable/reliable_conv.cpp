@@ -1,0 +1,365 @@
+#include "reliable/reliable_conv.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "faultsim/bitflip.hpp"
+#include "reliable/checkpoint.hpp"
+
+namespace hybridcnn::reliable {
+
+namespace {
+
+void validate_conv_params(const tensor::Tensor& weights,
+                          const tensor::Tensor& bias) {
+  if (weights.shape().rank() != 4) {
+    throw std::invalid_argument("ReliableConv2d: weights must be OIHW, got " +
+                                weights.shape().str());
+  }
+  if (bias.shape().rank() != 1 || bias.shape()[0] != weights.shape()[0]) {
+    throw std::invalid_argument(
+        "ReliableConv2d: bias must be [out_channels]");
+  }
+}
+
+}  // namespace
+
+ReliableConv2d::ReliableConv2d(tensor::Tensor weights, tensor::Tensor bias,
+                               ConvSpec spec, ReliabilityPolicy policy)
+    : weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      spec_(spec),
+      policy_(policy) {
+  validate_conv_params(weights_, bias_);
+  if (spec_.stride == 0) {
+    throw std::invalid_argument("ReliableConv2d: stride must be >= 1");
+  }
+}
+
+tensor::Shape ReliableConv2d::output_shape(const tensor::Shape& in) const {
+  if (in.rank() != 3) {
+    throw std::invalid_argument("ReliableConv2d: input must be CHW, got " +
+                                in.str());
+  }
+  if (in[0] != weights_.shape()[1]) {
+    throw std::invalid_argument(
+        "ReliableConv2d: input channels " + std::to_string(in[0]) +
+        " do not match weights " + weights_.shape().str());
+  }
+  const std::size_t kh = weights_.shape()[2];
+  const std::size_t kw = weights_.shape()[3];
+  const std::size_t padded_h = in[1] + 2 * spec_.pad;
+  const std::size_t padded_w = in[2] + 2 * spec_.pad;
+  if (padded_h < kh || padded_w < kw) {
+    throw std::invalid_argument("ReliableConv2d: kernel larger than input");
+  }
+  const std::size_t oh = (padded_h - kh) / spec_.stride + 1;
+  const std::size_t ow = (padded_w - kw) / spec_.stride + 1;
+  return tensor::Shape{weights_.shape()[0], oh, ow};
+}
+
+std::uint64_t ReliableConv2d::mac_count(const tensor::Shape& in) const {
+  const tensor::Shape out = output_shape(in);
+  const std::size_t kh = weights_.shape()[2];
+  const std::size_t kw = weights_.shape()[3];
+  const std::size_t in_c = in[0];
+  std::uint64_t macs = 0;
+  for (std::size_t oy = 0; oy < out[1]; ++oy) {
+    for (std::size_t ox = 0; ox < out[2]; ++ox) {
+      std::uint64_t taps = 0;
+      for (std::size_t ky = 0; ky < kh; ++ky) {
+        const auto iy = static_cast<std::int64_t>(oy * spec_.stride + ky) -
+                        static_cast<std::int64_t>(spec_.pad);
+        if (iy < 0 || iy >= static_cast<std::int64_t>(in[1])) continue;
+        for (std::size_t kx = 0; kx < kw; ++kx) {
+          const auto ix = static_cast<std::int64_t>(ox * spec_.stride + kx) -
+                          static_cast<std::int64_t>(spec_.pad);
+          if (ix < 0 || ix >= static_cast<std::int64_t>(in[2])) continue;
+          ++taps;
+        }
+      }
+      macs += taps * in_c;
+    }
+  }
+  return macs * out[0];
+}
+
+ReliableResult ReliableConv2d::forward(const tensor::Tensor& input,
+                                       Executor& exec) const {
+  const tensor::Shape out_shape = output_shape(input.shape());
+  ReliableResult result{tensor::Tensor(out_shape), {}};
+  ExecutionReport& report = result.report;
+  report.stage = "reliable_conv2d";
+  report.scheme = exec.name();
+
+  LeakyBucket bucket(policy_.bucket_factor, policy_.bucket_ceiling);
+
+  const std::size_t out_c = out_shape[0];
+  const std::size_t out_h = out_shape[1];
+  const std::size_t out_w = out_shape[2];
+  const std::size_t in_c = input.shape()[0];
+  const std::size_t in_h = input.shape()[1];
+  const std::size_t in_w = input.shape()[2];
+  const std::size_t kh = weights_.shape()[2];
+  const std::size_t kw = weights_.shape()[3];
+
+  std::int64_t op_index = 0;
+
+  // Executes one qualified operation with single-op rollback (Algorithm 3
+  // body). Returns std::nullopt when the error is persistent: either the
+  // bucket reached its ceiling or the per-op retry cap was exceeded.
+  const auto run_qualified =
+      [&](const auto& op, ScalarCheckpoint& cp) -> std::optional<float> {
+    ++report.logical_ops;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const Qualified<float> q = op();
+      if (q.ok) {
+        bucket.record_success();
+        if (attempt > 0) ++report.corrected_errors;
+        cp.commit(q.value);
+        ++report.commits;
+        return q.value;
+      }
+      ++report.detected_errors;
+      (void)cp.rollback();  // discard the unqualified value
+      ++report.rollbacks;
+      if (bucket.record_error()) {
+        return std::nullopt;  // persistent: ceiling reached
+      }
+      if (attempt + 1 >= policy_.max_retries_per_op) {
+        return std::nullopt;  // persistent: retry cap
+      }
+      ++report.retries;  // rollback distance: exactly one operation
+    }
+  };
+
+  const auto abort_with = [&](std::int64_t failed_at) {
+    report.ok = false;
+    report.failed_op_index = failed_at;
+    report.bucket_peak = bucket.peak();
+    report.bucket_exhausted = bucket.exhausted();
+  };
+
+  for (std::size_t o = 0; o < out_c; ++o) {
+    const float b = bias_[o];
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        // The accumulator starts from the bias, loaded from (assumed
+        // ECC-protected) parameter memory; all arithmetic on it is
+        // qualified.
+        ScalarCheckpoint acc(b);
+        bool aborted = false;
+        for (std::size_t c = 0; c < in_c && !aborted; ++c) {
+          for (std::size_t ky = 0; ky < kh && !aborted; ++ky) {
+            const auto iy =
+                static_cast<std::int64_t>(oy * spec_.stride + ky) -
+                static_cast<std::int64_t>(spec_.pad);
+            if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) continue;
+            for (std::size_t kx = 0; kx < kw; ++kx) {
+              const auto ix =
+                  static_cast<std::int64_t>(ox * spec_.stride + kx) -
+                  static_cast<std::int64_t>(spec_.pad);
+              if (ix < 0 || ix >= static_cast<std::int64_t>(in_w)) continue;
+
+              const float x = input[(c * in_h + static_cast<std::size_t>(iy)) *
+                                        in_w +
+                                    static_cast<std::size_t>(ix)];
+              const float w =
+                  weights_[((o * in_c + c) * kh + ky) * kw + kx];
+
+              // Qualified multiply, checkpointed into a product cell.
+              ScalarCheckpoint prod(0.0f);
+              const auto p =
+                  run_qualified([&] { return exec.mul(x, w); }, prod);
+              ++op_index;
+              if (!p) {
+                abort_with(op_index - 1);
+                aborted = true;
+                break;
+              }
+
+              // Qualified accumulate onto the committed accumulator.
+              const float before = acc.value();
+              const auto s = run_qualified(
+                  [&] { return exec.add(before, *p); }, acc);
+              ++op_index;
+              if (!s) {
+                abort_with(op_index - 1);
+                aborted = true;
+                break;
+              }
+            }
+          }
+        }
+        result.output[(o * out_h + oy) * out_w + ox] = acc.value();
+        if (aborted) {
+          // Error propagation stops here: committed prefix is returned,
+          // the failure is reported, nothing downstream consumes
+          // unqualified values.
+          return result;
+        }
+      }
+    }
+  }
+
+  report.bucket_peak = bucket.peak();
+  report.bucket_exhausted = bucket.exhausted();
+  return result;
+}
+
+tensor::Tensor ReliableConv2d::reference_forward(
+    const tensor::Tensor& input) const {
+  const tensor::Shape out_shape = output_shape(input.shape());
+  tensor::Tensor out(out_shape);
+  const std::size_t out_h = out_shape[1];
+  const std::size_t out_w = out_shape[2];
+  const std::size_t in_c = input.shape()[0];
+  const std::size_t in_h = input.shape()[1];
+  const std::size_t in_w = input.shape()[2];
+  const std::size_t kh = weights_.shape()[2];
+  const std::size_t kw = weights_.shape()[3];
+
+  for (std::size_t o = 0; o < out_shape[0]; ++o) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        // Same operation order as forward() so results are bit-identical.
+        float acc = bias_[o];
+        for (std::size_t c = 0; c < in_c; ++c) {
+          for (std::size_t ky = 0; ky < kh; ++ky) {
+            const auto iy =
+                static_cast<std::int64_t>(oy * spec_.stride + ky) -
+                static_cast<std::int64_t>(spec_.pad);
+            if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) continue;
+            for (std::size_t kx = 0; kx < kw; ++kx) {
+              const auto ix =
+                  static_cast<std::int64_t>(ox * spec_.stride + kx) -
+                  static_cast<std::int64_t>(spec_.pad);
+              if (ix < 0 || ix >= static_cast<std::int64_t>(in_w)) continue;
+              const float x = input[(c * in_h + static_cast<std::size_t>(iy)) *
+                                        in_w +
+                                    static_cast<std::size_t>(ix)];
+              const float w =
+                  weights_[((o * in_c + c) * kh + ky) * kw + kx];
+              acc = acc + x * w;
+            }
+          }
+        }
+        out[(o * out_h + oy) * out_w + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ layer DMR
+
+LayerDmrConv2d::LayerDmrConv2d(tensor::Tensor weights, tensor::Tensor bias,
+                               ConvSpec spec, ReliabilityPolicy policy)
+    : inner_(std::move(weights), std::move(bias), spec, policy) {}
+
+namespace {
+
+/// Runs the layer once through the executor's (possibly faulty) raw
+/// arithmetic with no per-op qualification — the execution style that
+/// layer-granular redundancy wraps.
+tensor::Tensor unqualified_forward(const ReliableConv2d& conv,
+                                   const tensor::Tensor& input,
+                                   Executor& exec,
+                                   ExecutionReport& report) {
+  const tensor::Shape out_shape = conv.output_shape(input.shape());
+  tensor::Tensor out(out_shape);
+  const auto& weights = conv.weights();
+  const auto& bias = conv.bias();
+  const auto& spec = conv.spec();
+  const std::size_t out_h = out_shape[1];
+  const std::size_t out_w = out_shape[2];
+  const std::size_t in_c = input.shape()[0];
+  const std::size_t in_h = input.shape()[1];
+  const std::size_t in_w = input.shape()[2];
+  const std::size_t kh = weights.shape()[2];
+  const std::size_t kw = weights.shape()[3];
+
+  for (std::size_t o = 0; o < out_shape[0]; ++o) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float acc = bias[o];
+        for (std::size_t c = 0; c < in_c; ++c) {
+          for (std::size_t ky = 0; ky < kh; ++ky) {
+            const auto iy = static_cast<std::int64_t>(oy * spec.stride + ky) -
+                            static_cast<std::int64_t>(spec.pad);
+            if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) continue;
+            for (std::size_t kx = 0; kx < kw; ++kx) {
+              const auto ix =
+                  static_cast<std::int64_t>(ox * spec.stride + kx) -
+                  static_cast<std::int64_t>(spec.pad);
+              if (ix < 0 || ix >= static_cast<std::int64_t>(in_w)) continue;
+              const float x = input[(c * in_h + static_cast<std::size_t>(iy)) *
+                                        in_w +
+                                    static_cast<std::size_t>(ix)];
+              const float w =
+                  weights[((o * in_c + c) * kh + ky) * kw + kx];
+              const float p = exec.mul(x, w).value;
+              acc = exec.add(acc, p).value;
+              report.logical_ops += 2;
+            }
+          }
+        }
+        out[(o * out_h + oy) * out_w + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+bool tensors_bit_identical(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    if (faultsim::float_bits(a[i]) != faultsim::float_bits(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReliableResult LayerDmrConv2d::forward(const tensor::Tensor& input,
+                                       Executor& exec) const {
+  ReliableResult result{tensor::Tensor(inner_.output_shape(input.shape())),
+                        {}};
+  ExecutionReport& report = result.report;
+  report.stage = "layer_dmr_conv2d";
+  report.scheme = "layer-dmr(" + exec.name() + ")";
+
+  LeakyBucket bucket(inner_.policy().bucket_factor,
+                     inner_.policy().bucket_ceiling);
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const tensor::Tensor first =
+        unqualified_forward(inner_, input, exec, report);
+    const tensor::Tensor second =
+        unqualified_forward(inner_, input, exec, report);
+    if (tensors_bit_identical(first, second)) {
+      bucket.record_success();
+      if (attempt > 0) ++report.corrected_errors;
+      ++report.commits;
+      result.output = first;
+      report.bucket_peak = bucket.peak();
+      return result;
+    }
+    ++report.detected_errors;
+    ++report.rollbacks;  // rollback distance: the entire layer
+    if (bucket.record_error() ||
+        attempt + 1 >= inner_.policy().max_retries_per_op) {
+      report.ok = false;
+      report.bucket_peak = bucket.peak();
+      report.bucket_exhausted = bucket.exhausted();
+      report.failed_op_index = 0;
+      result.output = first;  // best effort; marked failed
+      return result;
+    }
+    ++report.retries;
+  }
+}
+
+}  // namespace hybridcnn::reliable

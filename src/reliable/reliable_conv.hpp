@@ -1,0 +1,111 @@
+// Reliable convolution kernel: the paper's Algorithm 3.
+//
+// Calculates a 2-D convolution layer where every multiplication and
+// accumulation is executed through an overloaded, qualified operator
+// (Algorithm 1 or 2). The kernel "assumes that every operation fails
+// unless explicitly asserted otherwise"; a failed operation is retried
+// after a rollback to the last committed accumulator value (rollback
+// distance = one operation) and feeds the leaky-bucket error counter.
+// Exit conditions are success or failure: failure is reported once the
+// bucket reaches its ceiling, i.e. the error is considered persistent.
+//
+// A layer-granular DMR variant (LayerDmrConv2d) is provided for the
+// rollback-distance ablation: it re-executes the *entire* layer on
+// mismatch, the strategy the paper argues against for deadline-bound
+// systems.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "reliable/executor.hpp"
+#include "reliable/leaky_bucket.hpp"
+#include "reliable/report.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::reliable {
+
+/// Spatial parameters of a convolution.
+struct ConvSpec {
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+};
+
+/// Parameters of the reliability envelope around a kernel.
+struct ReliabilityPolicy {
+  std::uint32_t bucket_factor = 2;
+  std::uint32_t bucket_ceiling = 4;
+  /// Hard cap on retries of one operation, guarding forward progress under
+  /// permanent faults even with large buckets.
+  std::uint32_t max_retries_per_op = 16;
+};
+
+/// Output of a reliable kernel: the tensor plus the execution report.
+struct ReliableResult {
+  tensor::Tensor output;
+  ExecutionReport report;
+};
+
+/// Reliably executed convolution layer (Algorithm 3 generalised from one
+/// convolution operation to a full layer). Weights are OIHW, bias is O,
+/// input and output are CHW (single image — the hybrid pipeline operates
+/// per frame).
+class ReliableConv2d {
+ public:
+  /// Constructs from weights [out_c, in_c, kh, kw] and bias [out_c].
+  /// Throws std::invalid_argument on inconsistent shapes.
+  ReliableConv2d(tensor::Tensor weights, tensor::Tensor bias, ConvSpec spec,
+                 ReliabilityPolicy policy = {});
+
+  /// Executes the layer with qualified operations from `exec`.
+  /// On bucket exhaustion the report has ok == false and the output is
+  /// whatever had been committed up to the failed operation (explicitly
+  /// bounded error propagation).
+  [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
+                                       Executor& exec) const;
+
+  /// Golden reference: plain non-instrumented convolution (fault-free
+  /// scalar arithmetic, same loop order so results are bit-comparable).
+  [[nodiscard]] tensor::Tensor reference_forward(
+      const tensor::Tensor& input) const;
+
+  /// Output shape for a given input shape; validates channel count.
+  [[nodiscard]] tensor::Shape output_shape(const tensor::Shape& in) const;
+
+  [[nodiscard]] const tensor::Tensor& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] const tensor::Tensor& bias() const noexcept { return bias_; }
+  [[nodiscard]] const ConvSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const ReliabilityPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+  /// Logical multiply-accumulate count for one forward on `in` shape.
+  [[nodiscard]] std::uint64_t mac_count(const tensor::Shape& in) const;
+
+ private:
+  tensor::Tensor weights_;  // OIHW
+  tensor::Tensor bias_;     // O
+  ConvSpec spec_;
+  ReliabilityPolicy policy_;
+};
+
+/// Layer-granular DMR: runs the whole (unqualified) layer twice through
+/// the faulty compute unit and compares; on mismatch rolls back and
+/// re-executes the entire layer. Used by the rollback-distance ablation.
+class LayerDmrConv2d {
+ public:
+  LayerDmrConv2d(tensor::Tensor weights, tensor::Tensor bias, ConvSpec spec,
+                 ReliabilityPolicy policy = {});
+
+  /// `exec` supplies the faulty raw arithmetic via a SimplexExecutor-style
+  /// single execution; redundancy is applied at layer granularity.
+  [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
+                                       Executor& exec) const;
+
+ private:
+  ReliableConv2d inner_;
+};
+
+}  // namespace hybridcnn::reliable

@@ -1,0 +1,119 @@
+#include "reliable/reliable_linear.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "reliable/checkpoint.hpp"
+
+namespace hybridcnn::reliable {
+
+ReliableLinear::ReliableLinear(tensor::Tensor weights, tensor::Tensor bias,
+                               ReliabilityPolicy policy)
+    : weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      policy_(policy) {
+  if (weights_.shape().rank() != 2) {
+    throw std::invalid_argument("ReliableLinear: weights must be [out, in]");
+  }
+  if (bias_.shape().rank() != 1 || bias_.shape()[0] != weights_.shape()[0]) {
+    throw std::invalid_argument("ReliableLinear: bias must be [out]");
+  }
+}
+
+ReliableResult ReliableLinear::forward(const tensor::Tensor& input,
+                                       Executor& exec) const {
+  const std::size_t out_n = weights_.shape()[0];
+  const std::size_t in_n = weights_.shape()[1];
+  if (input.shape().rank() != 1 || input.shape()[0] != in_n) {
+    throw std::invalid_argument("ReliableLinear: input must be [" +
+                                std::to_string(in_n) + "]");
+  }
+
+  ReliableResult result{tensor::Tensor(tensor::Shape{out_n}), {}};
+  ExecutionReport& report = result.report;
+  report.stage = "reliable_linear";
+  report.scheme = exec.name();
+
+  LeakyBucket bucket(policy_.bucket_factor, policy_.bucket_ceiling);
+  std::int64_t op_index = 0;
+
+  const auto run_qualified =
+      [&](const auto& op, ScalarCheckpoint& cp) -> std::optional<float> {
+    ++report.logical_ops;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const Qualified<float> q = op();
+      if (q.ok) {
+        bucket.record_success();
+        if (attempt > 0) ++report.corrected_errors;
+        cp.commit(q.value);
+        ++report.commits;
+        return q.value;
+      }
+      ++report.detected_errors;
+      (void)cp.rollback();
+      ++report.rollbacks;
+      if (bucket.record_error()) return std::nullopt;
+      if (attempt + 1 >= policy_.max_retries_per_op) return std::nullopt;
+      ++report.retries;
+    }
+  };
+
+  for (std::size_t o = 0; o < out_n; ++o) {
+    ScalarCheckpoint acc(bias_[o]);
+    for (std::size_t i = 0; i < in_n; ++i) {
+      const float x = input[i];
+      const float w = weights_[o * in_n + i];
+
+      ScalarCheckpoint prod(0.0f);
+      const auto p = run_qualified([&] { return exec.mul(x, w); }, prod);
+      ++op_index;
+      if (!p) {
+        report.ok = false;
+        report.failed_op_index = op_index - 1;
+        report.bucket_peak = bucket.peak();
+        report.bucket_exhausted = bucket.exhausted();
+        result.output[o] = acc.value();
+        return result;
+      }
+
+      const float before = acc.value();
+      const auto s =
+          run_qualified([&] { return exec.add(before, *p); }, acc);
+      ++op_index;
+      if (!s) {
+        report.ok = false;
+        report.failed_op_index = op_index - 1;
+        report.bucket_peak = bucket.peak();
+        report.bucket_exhausted = bucket.exhausted();
+        result.output[o] = acc.value();
+        return result;
+      }
+    }
+    result.output[o] = acc.value();
+  }
+
+  report.bucket_peak = bucket.peak();
+  report.bucket_exhausted = bucket.exhausted();
+  return result;
+}
+
+tensor::Tensor ReliableLinear::reference_forward(
+    const tensor::Tensor& input) const {
+  const std::size_t out_n = weights_.shape()[0];
+  const std::size_t in_n = weights_.shape()[1];
+  if (input.shape().rank() != 1 || input.shape()[0] != in_n) {
+    throw std::invalid_argument("ReliableLinear: input must be [" +
+                                std::to_string(in_n) + "]");
+  }
+  tensor::Tensor out(tensor::Shape{out_n});
+  for (std::size_t o = 0; o < out_n; ++o) {
+    float acc = bias_[o];
+    for (std::size_t i = 0; i < in_n; ++i) {
+      acc = acc + input[i] * weights_[o * in_n + i];
+    }
+    out[o] = acc;
+  }
+  return out;
+}
+
+}  // namespace hybridcnn::reliable

@@ -1,0 +1,46 @@
+// Reliably executed fully-connected layer.
+//
+// The paper limits its evaluation to one convolution layer but names the
+// harnessing of subsequent layers as the direction of further work
+// (Section V). ReliableLinear extends Algorithm 3's qualified
+// multiply-accumulate scheme to dense layers so hybrid partitions can
+// place the reliability boundary after any layer.
+#pragma once
+
+#include "reliable/executor.hpp"
+#include "reliable/leaky_bucket.hpp"
+#include "reliable/reliable_conv.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::reliable {
+
+/// Qualified dense layer: y = W x + b with every scalar operation executed
+/// through an overloaded executor, single-op rollback and a leaky bucket.
+class ReliableLinear {
+ public:
+  /// Weights [out, in], bias [out]. Throws std::invalid_argument on
+  /// inconsistent shapes.
+  ReliableLinear(tensor::Tensor weights, tensor::Tensor bias,
+                 ReliabilityPolicy policy = {});
+
+  /// Input must be rank-1 of length `in`. Same contract as
+  /// ReliableConv2d::forward.
+  [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
+                                       Executor& exec) const;
+
+  /// Golden reference with identical operation order.
+  [[nodiscard]] tensor::Tensor reference_forward(
+      const tensor::Tensor& input) const;
+
+  [[nodiscard]] const tensor::Tensor& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] const tensor::Tensor& bias() const noexcept { return bias_; }
+
+ private:
+  tensor::Tensor weights_;  // [out, in]
+  tensor::Tensor bias_;     // [out]
+  ReliabilityPolicy policy_;
+};
+
+}  // namespace hybridcnn::reliable

@@ -1,0 +1,20 @@
+// SAX discretisation breakpoints: the alphabet-size-1 quantiles of the
+// standard normal distribution (Lin, Keogh, Lonardi, Chiu 2003). Computed
+// from the inverse normal CDF so any alphabet size in [2, 26] works.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hybridcnn::sax {
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.15e-9). Requires p in (0, 1).
+double inverse_normal_cdf(double p);
+
+/// The alphabet-size-1 breakpoints dividing N(0,1) into equiprobable
+/// regions, ascending. alphabet must be in [2, 26] (letters 'a'..'z');
+/// throws std::invalid_argument otherwise.
+std::vector<double> gaussian_breakpoints(std::size_t alphabet);
+
+}  // namespace hybridcnn::sax

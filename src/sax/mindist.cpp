@@ -1,0 +1,73 @@
+#include "sax/mindist.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sax/breakpoints.hpp"
+
+namespace hybridcnn::sax {
+
+SymbolDistanceTable::SymbolDistanceTable(std::size_t alphabet)
+    : alphabet_(alphabet), table_(alphabet * alphabet, 0.0) {
+  const std::vector<double> bp = gaussian_breakpoints(alphabet);
+  for (std::size_t r = 0; r < alphabet; ++r) {
+    for (std::size_t c = 0; c < alphabet; ++c) {
+      if (r + 1 >= c + 0 && c + 1 >= r) continue;  // |r - c| <= 1
+      const std::size_t hi = std::max(r, c);
+      const std::size_t lo = std::min(r, c);
+      table_[r * alphabet + c] = bp[hi - 1] - bp[lo];
+    }
+  }
+}
+
+double SymbolDistanceTable::dist(char a, char b) const {
+  const auto ia = static_cast<std::size_t>(a - 'a');
+  const auto ib = static_cast<std::size_t>(b - 'a');
+  if (ia >= alphabet_ || ib >= alphabet_) {
+    throw std::invalid_argument("SymbolDistanceTable: symbol out of range");
+  }
+  return table_[ia * alphabet_ + ib];
+}
+
+double mindist(const std::string& a, const std::string& b,
+               std::size_t original_length,
+               const SymbolDistanceTable& table) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("mindist: words must be equal non-zero length");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = table.dist(a[i], b[i]);
+    sum += d * d;
+  }
+  const double scale = std::sqrt(static_cast<double>(original_length) /
+                                 static_cast<double>(a.size()));
+  return scale * std::sqrt(sum);
+}
+
+double mindist_rotation_invariant(const std::string& a, const std::string& b,
+                                  std::size_t original_length,
+                                  const SymbolDistanceTable& table,
+                                  std::size_t* best_rotation) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument(
+        "mindist_rotation_invariant: words must be equal non-zero length");
+  }
+  double best = -1.0;
+  std::size_t best_rot = 0;
+  std::string rotated = b;
+  for (std::size_t rot = 0; rot < b.size(); ++rot) {
+    const double d = mindist(a, rotated, original_length, table);
+    if (best < 0.0 || d < best) {
+      best = d;
+      best_rot = rot;
+    }
+    // rotate left by one
+    rotated.push_back(rotated.front());
+    rotated.erase(rotated.begin());
+  }
+  if (best_rotation != nullptr) *best_rotation = best_rot;
+  return best;
+}
+
+}  // namespace hybridcnn::sax

@@ -1,0 +1,47 @@
+// MINDIST: the SAX lower-bounding distance between two words.
+//
+// MINDIST(Q^, C^) = sqrt(n / w) * sqrt(sum_i dist(q_i, c_i)^2), where
+// dist(a, b) is the breakpoint gap between non-adjacent symbols and 0 for
+// adjacent or equal symbols. Lin et al. prove MINDIST lower-bounds the
+// Euclidean distance of the original z-normalised series — the property
+// that makes SAX thresholds sound, which the qualifier relies on and the
+// test suite verifies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hybridcnn::sax {
+
+/// Pairwise symbol distance lookup table for an alphabet size.
+class SymbolDistanceTable {
+ public:
+  /// Builds the table from the Gaussian breakpoints of `alphabet`.
+  explicit SymbolDistanceTable(std::size_t alphabet);
+
+  /// dist(a, b): 0 if |a-b| <= 1, else breakpoint gap.
+  [[nodiscard]] double dist(char a, char b) const;
+
+  [[nodiscard]] std::size_t alphabet() const noexcept { return alphabet_; }
+
+ private:
+  std::size_t alphabet_;
+  std::vector<double> table_;  // alphabet x alphabet
+};
+
+/// MINDIST between two equal-length SAX words of `original_length`-point
+/// series. Throws std::invalid_argument on length mismatch or symbols
+/// outside the table's alphabet.
+double mindist(const std::string& a, const std::string& b,
+               std::size_t original_length, const SymbolDistanceTable& table);
+
+/// Minimum MINDIST over all circular rotations of `b` — the
+/// rotation-invariant comparison used for shape words, since a rotated
+/// sign yields a circularly shifted radial signature. Returns the best
+/// distance and writes the best rotation to `*best_rotation` if non-null.
+double mindist_rotation_invariant(const std::string& a, const std::string& b,
+                                  std::size_t original_length,
+                                  const SymbolDistanceTable& table,
+                                  std::size_t* best_rotation = nullptr);
+
+}  // namespace hybridcnn::sax

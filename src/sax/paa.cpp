@@ -1,0 +1,35 @@
+#include "sax/paa.hpp"
+
+#include <stdexcept>
+
+namespace hybridcnn::sax {
+
+std::vector<double> paa(const std::vector<double>& series,
+                        std::size_t segments) {
+  const std::size_t n = series.size();
+  if (n == 0) throw std::invalid_argument("paa: empty series");
+  if (segments == 0 || segments > n) {
+    throw std::invalid_argument("paa: segments must be in [1, n]");
+  }
+
+  // Each segment covers n/segments points; with fractional boundaries a
+  // point straddling two segments contributes proportionally to both.
+  std::vector<double> out(segments, 0.0);
+  const double width =
+      static_cast<double>(n) / static_cast<double>(segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const double lo = width * static_cast<double>(s);
+    const double hi = lo + width;
+    double acc = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(lo);
+         i < n && static_cast<double>(i) < hi; ++i) {
+      const double seg_lo = std::max(lo, static_cast<double>(i));
+      const double seg_hi = std::min(hi, static_cast<double>(i) + 1.0);
+      if (seg_hi > seg_lo) acc += series[i] * (seg_hi - seg_lo);
+    }
+    out[s] = acc / width;
+  }
+  return out;
+}
+
+}  // namespace hybridcnn::sax

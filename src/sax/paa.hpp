@@ -1,0 +1,15 @@
+// Piecewise Aggregate Approximation (PAA).
+#pragma once
+
+#include <vector>
+
+namespace hybridcnn::sax {
+
+/// Reduces `series` to `segments` equal-width segment means. Handles
+/// lengths not divisible by `segments` with fractional weighting (the
+/// standard generalised PAA). Throws std::invalid_argument for empty
+/// input or segments == 0 or segments > series length.
+std::vector<double> paa(const std::vector<double>& series,
+                        std::size_t segments);
+
+}  // namespace hybridcnn::sax

@@ -1,0 +1,34 @@
+#include "sax/sax_word.hpp"
+
+#include <stdexcept>
+
+#include "sax/breakpoints.hpp"
+#include "sax/paa.hpp"
+#include "sax/znorm.hpp"
+
+namespace hybridcnn::sax {
+
+char symbolize(double value, const std::vector<double>& breakpoints) {
+  std::size_t letter = 0;
+  while (letter < breakpoints.size() && value >= breakpoints[letter]) {
+    ++letter;
+  }
+  return static_cast<char>('a' + letter);
+}
+
+std::string sax_word(const std::vector<double>& series,
+                     const SaxConfig& config) {
+  if (config.word_length == 0) {
+    throw std::invalid_argument("sax_word: word_length must be >= 1");
+  }
+  const std::vector<double> z = znormalize(series);
+  const std::vector<double> segments = paa(z, config.word_length);
+  const std::vector<double> bp = gaussian_breakpoints(config.alphabet);
+
+  std::string word;
+  word.reserve(config.word_length);
+  for (const double v : segments) word.push_back(symbolize(v, bp));
+  return word;
+}
+
+}  // namespace hybridcnn::sax

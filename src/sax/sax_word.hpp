@@ -1,0 +1,29 @@
+// SAX symbolisation: time series -> word over a small alphabet.
+//
+// The paper's qualifier uses "Symbolic Approximation (SAX), which
+// effectively reduces time-series data to a string which can be cheaply
+// compared to other strings". This module implements the full
+// znorm -> PAA -> quantise pipeline of Lin et al. 2003.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hybridcnn::sax {
+
+/// SAX pipeline parameters.
+struct SaxConfig {
+  std::size_t word_length = 32;  ///< PAA segments == letters in the word
+  std::size_t alphabet = 8;      ///< distinct symbols 'a'..('a'+alphabet-1)
+};
+
+/// Quantises one z-normalised value to a SAX letter.
+char symbolize(double value, const std::vector<double>& breakpoints);
+
+/// Full SAX transform: znormalize -> paa -> symbolize each segment.
+/// Throws std::invalid_argument on invalid config or series shorter than
+/// the word length.
+std::string sax_word(const std::vector<double>& series,
+                     const SaxConfig& config);
+
+}  // namespace hybridcnn::sax

@@ -1,0 +1,123 @@
+#include "sax/shape_match.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hybridcnn::sax {
+
+std::vector<double> polygon_signature(std::size_t sides, std::size_t samples,
+                                      double rotation) {
+  if (sides < 3) {
+    throw std::invalid_argument("polygon_signature: sides must be >= 3");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("polygon_signature: samples must be >= 1");
+  }
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  const double sector = two_pi / static_cast<double>(sides);
+  const double apothem_angle = sector / 2.0;
+
+  std::vector<double> series(samples, 0.0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    double theta = two_pi * static_cast<double>(i) /
+                       static_cast<double>(samples) -
+                   rotation;
+    theta = std::fmod(std::fmod(theta, sector) + sector, sector);
+    // Distance from centre to the edge of a unit-circumradius polygon.
+    series[i] = std::cos(apothem_angle) / std::cos(theta - apothem_angle);
+  }
+  return series;
+}
+
+std::string shape_template_word(std::size_t sides, const SaxConfig& config,
+                                std::size_t samples) {
+  return sax_word(polygon_signature(sides, samples), config);
+}
+
+int count_corners(const std::vector<double>& series, double prominence_frac) {
+  const std::size_t n = series.size();
+  if (n < 8) return 0;
+
+  // Circular moving-average smoothing.
+  const std::size_t smooth_w = std::max<std::size_t>(1, n / 64);
+  std::vector<double> s(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= 2 * smooth_w; ++k) {
+      acc += series[(i + n - smooth_w + k) % n];
+    }
+    s[i] = acc / static_cast<double>(2 * smooth_w + 1);
+  }
+
+  double mean = 0.0;
+  for (const double v : s) mean += v;
+  mean /= static_cast<double>(n);
+  if (mean <= 0.0) return 0;
+  const double prominence = prominence_frac * mean;
+
+  const std::size_t w = std::max<std::size_t>(2, n / 16);
+  int corners = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    bool is_peak = true;
+    double local_min = s[i];
+    for (std::size_t k = 1; k <= w && is_peak; ++k) {
+      const double left = s[(i + n - k) % n];
+      const double right = s[(i + k) % n];
+      if (left > s[i] || right > s[i]) is_peak = false;
+      local_min = std::min(local_min, std::min(left, right));
+    }
+    if (is_peak && (s[i] - local_min) >= prominence) {
+      ++corners;
+      i += w;  // skip the rest of this peak's neighbourhood
+    } else {
+      ++i;
+    }
+  }
+  return corners;
+}
+
+ShapeMatchResult match_shape(const std::vector<double>& series,
+                             std::size_t sides,
+                             const ShapeMatchConfig& config) {
+  ShapeMatchResult result;
+  if (series.size() < config.sax.word_length) return result;
+
+  result.word = sax_word(series, config.sax);
+  result.template_word =
+      shape_template_word(sides, config.sax, series.size());
+  const SymbolDistanceTable table(config.sax.alphabet);
+
+  // Circular letter rotation only models shifts by whole PAA segments;
+  // a sign tilted by a fraction of a segment changes the segment means
+  // and hence the word. Compare against template words generated at
+  // sub-segment rotations spanning one polygon sector (the signature is
+  // periodic in the sector), keeping the minimum distance.
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  const double sector = two_pi / static_cast<double>(sides);
+  constexpr std::size_t kSubRotations = 16;
+  result.distance = -1.0;
+  for (std::size_t r = 0; r < kSubRotations; ++r) {
+    const double rot =
+        sector * static_cast<double>(r) / static_cast<double>(kSubRotations);
+    const std::string tmpl =
+        sax_word(polygon_signature(sides, series.size(), rot), config.sax);
+    std::size_t letter_rot = 0;
+    const double d = mindist_rotation_invariant(
+        result.word, tmpl, series.size(), table, &letter_rot);
+    if (result.distance < 0.0 || d < result.distance) {
+      result.distance = d;
+      result.rotation = letter_rot;
+      result.template_word = tmpl;
+    }
+  }
+  result.corners = count_corners(series);
+
+  const bool corners_ok =
+      std::abs(result.corners - static_cast<int>(sides)) <=
+      config.corner_tolerance;
+  result.match = result.distance <= config.mindist_threshold && corners_ok;
+  return result;
+}
+
+}  // namespace hybridcnn::sax

@@ -1,0 +1,58 @@
+// Shape matching on radial signatures: analytic polygon templates, SAX
+// word comparison and corner counting.
+//
+// This is the paper's "Qualifier" logic: the stop sign's octagonal
+// silhouette yields a radial time series with eight corners (Fig. 3);
+// reducing it with SAX gives a word whose rotation-invariant MINDIST to
+// the analytic octagon template — a surrogate function whose "upper and
+// lower bounds can be determined a priori" — decides whether the shape is
+// qualified. Corner counting is a second, independent plausibility check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sax/mindist.hpp"
+#include "sax/sax_word.hpp"
+
+namespace hybridcnn::sax {
+
+/// Analytic radial signature of a regular polygon with `sides` sides,
+/// unit circumradius, sampled at `samples` angles, rotated by `rotation`
+/// radians. sides >= 3; throws std::invalid_argument otherwise.
+std::vector<double> polygon_signature(std::size_t sides, std::size_t samples,
+                                      double rotation = 0.0);
+
+/// SAX word of the analytic polygon template.
+std::string shape_template_word(std::size_t sides, const SaxConfig& config,
+                                std::size_t samples = 360);
+
+/// Counts prominent peaks (corners) in a circular series. A peak must be
+/// the maximum of its circular neighbourhood (width samples/16) and have
+/// prominence of at least `prominence_frac` of the series mean.
+int count_corners(const std::vector<double>& series,
+                  double prominence_frac = 0.04);
+
+/// Parameters of the octagon (or other polygon) qualifier decision.
+struct ShapeMatchConfig {
+  SaxConfig sax{32, 8};
+  double mindist_threshold = 3.0;  ///< on z-normalised series units
+  int corner_tolerance = 1;        ///< |observed - expected| allowed
+};
+
+/// Outcome of matching a measured radial signature against a polygon.
+struct ShapeMatchResult {
+  bool match = false;       ///< both SAX distance and corner test passed
+  double distance = 0.0;    ///< rotation-invariant MINDIST to the template
+  int corners = 0;          ///< prominent peaks observed
+  std::string word;         ///< SAX word of the measured series
+  std::string template_word;
+  std::size_t rotation = 0; ///< best-matching circular rotation (letters)
+};
+
+/// Matches a measured series against the analytic `sides`-gon template.
+ShapeMatchResult match_shape(const std::vector<double>& series,
+                             std::size_t sides,
+                             const ShapeMatchConfig& config = {});
+
+}  // namespace hybridcnn::sax

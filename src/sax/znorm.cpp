@@ -1,0 +1,29 @@
+#include "sax/znorm.hpp"
+
+#include <cmath>
+
+namespace hybridcnn::sax {
+
+SeriesStats series_stats(const std::vector<double>& series) {
+  SeriesStats st;
+  if (series.empty()) return st;
+  for (const double v : series) st.mean += v;
+  st.mean /= static_cast<double>(series.size());
+  double var = 0.0;
+  for (const double v : series) var += (v - st.mean) * (v - st.mean);
+  st.stddev = std::sqrt(var / static_cast<double>(series.size()));
+  return st;
+}
+
+std::vector<double> znormalize(const std::vector<double>& series,
+                               double epsilon) {
+  const SeriesStats st = series_stats(series);
+  std::vector<double> out(series.size(), 0.0);
+  if (st.stddev < epsilon) return out;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out[i] = (series[i] - st.mean) / st.stddev;
+  }
+  return out;
+}
+
+}  // namespace hybridcnn::sax

@@ -1,0 +1,23 @@
+// Z-normalisation of time series (SAX preprocessing step).
+#pragma once
+
+#include <vector>
+
+namespace hybridcnn::sax {
+
+/// Mean and standard deviation of a series.
+struct SeriesStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes mean and (population) standard deviation.
+SeriesStats series_stats(const std::vector<double>& series);
+
+/// Returns the z-normalised series: (x - mean) / stddev. Series with
+/// stddev below `epsilon` (near-constant, e.g. a circle's radial
+/// signature) are returned as all-zero — the SAX convention.
+std::vector<double> znormalize(const std::vector<double>& series,
+                               double epsilon = 1e-9);
+
+}  // namespace hybridcnn::sax

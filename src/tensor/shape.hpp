@@ -1,0 +1,79 @@
+// Tensor shape: a small fixed-capacity dimension vector with the arithmetic
+// the NN layers need (element counts, row-major strides, equality).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace hybridcnn::tensor {
+
+/// Shape of a dense row-major tensor. Up to 4 dimensions, which covers
+/// everything in this library (NCHW activations, OIHW weights, vectors).
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  /// Constructs from a dimension list, e.g. Shape{1, 3, 227, 227}.
+  /// Throws std::invalid_argument for rank > 4 or non-positive dims.
+  Shape(std::initializer_list<std::size_t> dims) {
+    if (dims.size() > kMaxRank) {
+      throw std::invalid_argument("Shape: rank > 4 unsupported");
+    }
+    for (const std::size_t d : dims) {
+      if (d == 0) throw std::invalid_argument("Shape: zero dimension");
+      dims_[rank_++] = d;
+    }
+  }
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// Dimension i; throws std::out_of_range if i >= rank().
+  [[nodiscard]] std::size_t dim(std::size_t i) const {
+    if (i >= rank_) throw std::out_of_range("Shape::dim");
+    return dims_[i];
+  }
+
+  [[nodiscard]] std::size_t operator[](std::size_t i) const {
+    return dim(i);
+  }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) noexcept {
+    if (a.rank_ != b.rank_) return false;
+    for (std::size_t i = 0; i < a.rank_; ++i) {
+      if (a.dims_[i] != b.dims_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) noexcept {
+    return !(a == b);
+  }
+
+  /// Human-readable form, e.g. "[1, 96, 55, 55]".
+  [[nodiscard]] std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i != 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace hybridcnn::tensor

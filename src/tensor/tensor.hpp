@@ -1,0 +1,95 @@
+// Dense float32 tensor with row-major layout. This is the data type every
+// substrate in the library (CNN engine, reliable executors, vision
+// pipeline) exchanges. Deliberately simple: owning, contiguous, no views —
+// the reliability analysis depends on being able to reason about exactly
+// which scalar operations execute.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::tensor {
+
+/// Owning dense float tensor. Elements are stored row-major, i.e. for an
+/// NCHW activation the innermost index is W.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting the given values; values.size() must equal
+  /// shape.count(); throws std::invalid_argument otherwise.
+  Tensor(Shape shape, std::vector<float> values);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t count() const noexcept { return data_.size(); }
+
+  [[nodiscard]] std::span<const float> data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+
+  /// Flat element access with bounds checking.
+  [[nodiscard]] float at(std::size_t i) const;
+  float& at(std::size_t i);
+
+  /// Unchecked flat access (hot loops).
+  [[nodiscard]] float operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+
+  /// 4-D access (n, c, h, w) for rank-4 tensors; bounds-checked.
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const;
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+
+  /// 3-D access (c, h, w) for rank-3 tensors; bounds-checked.
+  [[nodiscard]] float at3(std::size_t c, std::size_t h, std::size_t w) const;
+  float& at3(std::size_t c, std::size_t h, std::size_t w);
+
+  /// 2-D access (r, c) for rank-2 tensors; bounds-checked.
+  [[nodiscard]] float at2(std::size_t r, std::size_t c) const;
+  float& at2(std::size_t r, std::size_t c);
+
+  /// Sets every element to `value`.
+  void fill(float value) noexcept;
+
+  /// Fills with N(mean, stddev) draws from `rng`.
+  void fill_normal(util::Rng& rng, float mean, float stddev);
+
+  /// Fills with U[lo, hi) draws from `rng`.
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+
+  /// Reshapes in place; the new shape must have the same element count.
+  void reshape(Shape shape);
+
+  /// Index of the maximum element (first on ties). Requires count() > 0.
+  [[nodiscard]] std::size_t argmax() const;
+
+  /// Sum of all elements (double accumulator).
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Largest absolute element difference against another tensor of the
+  /// same shape; throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] float max_abs_diff(const Tensor& other) const;
+
+  friend bool operator==(const Tensor& a, const Tensor& b) noexcept {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_{};
+  std::vector<float> data_;
+};
+
+}  // namespace hybridcnn::tensor

@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace hybridcnn::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::escape(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(v);
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string results_path(const std::string& dir, const std::string& file) {
+  std::filesystem::create_directories(dir);
+  return dir + "/" + file;
+}
+
+}  // namespace hybridcnn::util

@@ -1,0 +1,41 @@
+// Minimal CSV emitter. Benchmarks write every reproduced table/figure as a
+// CSV series next to the human-readable console table so results can be
+// re-plotted against the paper.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hybridcnn::util {
+
+/// Writes rows of a CSV file. Values are quoted only when necessary.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the column count must match the header.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+
+  /// The path this writer is writing to.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(std::string_view v);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Creates (if needed) the directory benchmarks write their CSVs into and
+/// returns `dir + "/" + file`.
+std::string results_path(const std::string& dir, const std::string& file);
+
+}  // namespace hybridcnn::util

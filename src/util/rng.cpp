@@ -1,0 +1,80 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hybridcnn::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  // Standard PCG32 seeding sequence.
+  (*this)();
+  std::uint64_t mix = seed;
+  state_ += splitmix64(mix);
+  (*this)();
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() noexcept {
+  // 53-bit mantissa from two draws for a dense [0,1) double.
+  const std::uint64_t hi = (*this)();
+  const std::uint64_t lo = (*this)();
+  const std::uint64_t bits53 = ((hi << 21) ^ lo) & ((1ULL << 53) - 1);
+  return static_cast<double>(bits53) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span << 2^64 for all our uses.
+  const std::uint64_t r =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  spare_normal_ = mag * std::sin(two_pi * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork() noexcept {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return Rng(seed, stream);
+}
+
+}  // namespace hybridcnn::util

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. Every stochastic component in the library (fault injection,
+// weight initialisation, dataset rendering) draws from an explicitly seeded
+// Rng so that a campaign re-run with the same seed is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hybridcnn::util {
+
+/// splitmix64: used to expand a single user seed into stream seeds.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// PCG32 (O'Neill, "PCG: A Family of Simple Fast Space-Efficient
+/// Statistically Good Algorithms for Random Number Generation").
+/// Small state, fast, and good enough statistical quality for fault
+/// sampling and data synthesis. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Constructs a generator from a user seed and a stream id. Distinct
+  /// stream ids yield statistically independent sequences for one seed,
+  /// which the fault-injection campaigns use to decorrelate fault sites.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL,
+               std::uint64_t stream = 0) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 32 random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Forks an independent child generator; deterministic function of the
+  /// current state. Used to hand each layer / fault site its own stream.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace hybridcnn::util

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses to reproduce the
+// paper's Table 1 style "execution in seconds" rows.
+#pragma once
+
+#include <chrono>
+
+namespace hybridcnn::util {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hybridcnn::util

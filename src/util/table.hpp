@@ -1,0 +1,34 @@
+// Console table printer used by the bench harnesses to print rows in the
+// same shape as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hybridcnn::util {
+
+/// Accumulates rows and prints an aligned ASCII table.
+class Table {
+ public:
+  /// Creates a table with the given title and column headers.
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; width must match the header.
+  void row(const std::vector<std::string>& values);
+
+  /// Renders the table to a string.
+  [[nodiscard]] std::string str() const;
+
+  /// Prints the table to stdout.
+  void print() const;
+
+  /// Formats a double with the given precision (fixed).
+  static std::string fixed(double v, int precision = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hybridcnn::util

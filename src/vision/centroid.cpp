@@ -1,0 +1,21 @@
+#include "vision/centroid.hpp"
+
+namespace hybridcnn::vision {
+
+std::optional<Centroid> centroid(const BinaryMask& mask) {
+  double sy = 0.0;
+  double sx = 0.0;
+  std::size_t n = 0;
+  for (std::size_t y = 0; y < mask.height; ++y) {
+    for (std::size_t x = 0; x < mask.width; ++x) {
+      if (!mask.at(y, x)) continue;
+      sy += static_cast<double>(y);
+      sx += static_cast<double>(x);
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return Centroid{sy / static_cast<double>(n), sx / static_cast<double>(n)};
+}
+
+}  // namespace hybridcnn::vision

@@ -1,0 +1,19 @@
+// Shape centroid computation.
+#pragma once
+
+#include <optional>
+
+#include "vision/mask.hpp"
+
+namespace hybridcnn::vision {
+
+/// Sub-pixel centroid (y, x) of a mask.
+struct Centroid {
+  double y = 0.0;
+  double x = 0.0;
+};
+
+/// First moment of the set pixels; nullopt for an empty mask.
+std::optional<Centroid> centroid(const BinaryMask& mask);
+
+}  // namespace hybridcnn::vision

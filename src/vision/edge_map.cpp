@@ -1,0 +1,134 @@
+#include "vision/edge_map.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "vision/gray.hpp"
+#include "vision/sobel.hpp"
+#include "vision/threshold.hpp"
+
+namespace hybridcnn::vision {
+
+tensor::Tensor edge_magnitude(const tensor::Tensor& chw) {
+  return sobel_magnitude(to_gray(chw));
+}
+
+BinaryMask dominant_shape(const tensor::Tensor& chw, double min_fraction) {
+  const auto& sh = chw.shape();
+  if (sh.rank() != 3 || (sh[0] != 3 && sh[0] != 1)) {
+    throw std::invalid_argument("dominant_shape: expected [3|1, H, W]");
+  }
+  const std::size_t channels = sh[0];
+  const std::size_t h = sh[1];
+  const std::size_t w = sh[2];
+  const std::size_t plane = h * w;
+
+  // Background colour estimate: mean over the 1-pixel border ring, which
+  // a centred sign never covers.
+  double bg[3] = {0.0, 0.0, 0.0};
+  std::size_t ring = 0;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (y != 0 && y != h - 1 && x != 0 && x != w - 1) continue;
+      for (std::size_t c = 0; c < channels; ++c) {
+        bg[c] += chw[c * plane + y * w + x];
+      }
+      ++ring;
+    }
+  }
+  for (std::size_t c = 0; c < channels; ++c) {
+    bg[c] /= static_cast<double>(ring);
+  }
+
+  // Colour distance to background, Otsu-binarised.
+  tensor::Tensor dist(tensor::Shape{h, w});
+  for (std::size_t p = 0; p < plane; ++p) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < channels; ++c) {
+      const double d = static_cast<double>(chw[c * plane + p]) - bg[c];
+      acc += d * d;
+    }
+    dist[p] = static_cast<float>(std::sqrt(acc));
+  }
+  const BinaryMask candidate = largest_component(threshold_otsu(dist));
+  (void)min_fraction;
+  return candidate;
+}
+
+BinaryMask mask_from_feature_map(const tensor::Tensor& feature_map) {
+  // Edge pixels from the feature map's absolute response.
+  tensor::Tensor mag(feature_map.shape());
+  for (std::size_t i = 0; i < mag.count(); ++i) {
+    const float v = feature_map[i];
+    mag[i] = v >= 0.0f ? v : -v;
+  }
+  BinaryMask edges = threshold_otsu(mag);
+  const std::size_t h = edges.height;
+  const std::size_t w = edges.width;
+
+  // A zero-padded edge convolution produces spurious strong responses
+  // along the image frame; the frame is not shape evidence, so clear a
+  // two-pixel band before any morphology can smear it inward.
+  const auto clear_band = [&](std::size_t width) {
+    for (std::size_t b = 0; b < width; ++b) {
+      for (std::size_t x = 0; x < w; ++x) {
+        edges.set(b, x, false);
+        edges.set(h - 1 - b, x, false);
+      }
+      for (std::size_t y = 0; y < h; ++y) {
+        edges.set(y, b, false);
+        edges.set(y, w - 1 - b, false);
+      }
+    }
+  };
+  clear_band(2);
+
+  // Close small contour gaps: a single mixed-direction filter (the
+  // paper's Sobel x/y/x stack collapses both gradient axes into one map)
+  // has directional nulls where the boundary response vanishes, and any
+  // gap lets the background flood leak into the shape.
+  edges = dilate(edges, 1);
+
+  // Keep the outermost ring free so the background flood below always
+  // has entry points.
+  clear_band(1);
+
+  // Fill the interior: flood the background from the border over non-edge
+  // pixels; whatever is unreachable is inside an edge contour.
+  std::vector<std::uint8_t> outside(h * w, 0);
+  std::queue<std::size_t> frontier;
+  const auto push = [&](std::size_t y, std::size_t x) {
+    const std::size_t idx = y * w + x;
+    if (outside[idx] != 0 || edges.data[idx] != 0) return;
+    outside[idx] = 1;
+    frontier.push(idx);
+  };
+  for (std::size_t x = 0; x < w; ++x) {
+    push(0, x);
+    push(h - 1, x);
+  }
+  for (std::size_t y = 0; y < h; ++y) {
+    push(y, 0);
+    push(y, w - 1);
+  }
+  while (!frontier.empty()) {
+    const std::size_t idx = frontier.front();
+    frontier.pop();
+    const std::size_t y = idx / w;
+    const std::size_t x = idx % w;
+    if (y > 0) push(y - 1, x);
+    if (y + 1 < h) push(y + 1, x);
+    if (x > 0) push(y, x - 1);
+    if (x + 1 < w) push(y, x + 1);
+  }
+
+  BinaryMask filled(h, w);
+  for (std::size_t i = 0; i < filled.data.size(); ++i) {
+    filled.data[i] = outside[i] != 0 ? 0 : 1;
+  }
+  // Erode once to undo the dilation's boundary fattening.
+  return largest_component(erode(filled, 1));
+}
+
+}  // namespace hybridcnn::vision

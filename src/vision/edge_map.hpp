@@ -1,0 +1,26 @@
+// End-to-end deterministic edge/shape extraction helpers combining the
+// pipeline stages (gray -> Sobel -> threshold -> component -> mask).
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "vision/mask.hpp"
+
+namespace hybridcnn::vision {
+
+/// Edge-magnitude map of a [3|1, H, W] image.
+tensor::Tensor edge_magnitude(const tensor::Tensor& chw);
+
+/// Binary silhouette of the dominant shape in a [3|1, H, W] image.
+/// The background colour is estimated from the image border ring; pixels
+/// are scored by colour distance to it and Otsu-binarised, so a sign whose
+/// fill and rim straddle the background luminance is still segmented as
+/// one silhouette. Returns the largest connected component.
+BinaryMask dominant_shape(const tensor::Tensor& chw,
+                          double min_fraction = 0.02);
+
+/// Binary mask from a single feature map [H, W] produced by a (reliable)
+/// Sobel convolution filter: magnitude -> Otsu -> fill via largest
+/// component of the *interior* (edge-bounded) region.
+BinaryMask mask_from_feature_map(const tensor::Tensor& feature_map);
+
+}  // namespace hybridcnn::vision

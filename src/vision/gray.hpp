@@ -1,0 +1,12 @@
+// Grayscale conversion between tensor image formats.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::vision {
+
+/// Converts a [3, H, W] (or [1, H, W]) float image to a [H, W] luminance
+/// image using Rec.601 weights. Throws std::invalid_argument otherwise.
+tensor::Tensor to_gray(const tensor::Tensor& chw);
+
+}  // namespace hybridcnn::vision

@@ -1,0 +1,98 @@
+#include "vision/mask.hpp"
+
+#include <queue>
+
+namespace hybridcnn::vision {
+
+std::size_t BinaryMask::count() const {
+  std::size_t n = 0;
+  for (const auto v : data) n += v;
+  return n;
+}
+
+BinaryMask dilate(const BinaryMask& mask, std::size_t radius) {
+  const auto r = static_cast<std::int64_t>(radius);
+  BinaryMask out(mask.height, mask.width);
+  for (std::size_t y = 0; y < mask.height; ++y) {
+    for (std::size_t x = 0; x < mask.width; ++x) {
+      if (!mask.at(y, x)) continue;
+      for (std::int64_t dy = -r; dy <= r; ++dy) {
+        for (std::int64_t dx = -r; dx <= r; ++dx) {
+          const auto ny = static_cast<std::int64_t>(y) + dy;
+          const auto nx = static_cast<std::int64_t>(x) + dx;
+          if (mask.contains(ny, nx)) {
+            out.set(static_cast<std::size_t>(ny),
+                    static_cast<std::size_t>(nx), true);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BinaryMask erode(const BinaryMask& mask, std::size_t radius) {
+  const auto r = static_cast<std::int64_t>(radius);
+  BinaryMask out(mask.height, mask.width);
+  for (std::size_t y = 0; y < mask.height; ++y) {
+    for (std::size_t x = 0; x < mask.width; ++x) {
+      bool all = true;
+      for (std::int64_t dy = -r; dy <= r && all; ++dy) {
+        for (std::int64_t dx = -r; dx <= r && all; ++dx) {
+          const auto ny = static_cast<std::int64_t>(y) + dy;
+          const auto nx = static_cast<std::int64_t>(x) + dx;
+          if (!mask.contains(ny, nx) ||
+              !mask.at(static_cast<std::size_t>(ny),
+                       static_cast<std::size_t>(nx))) {
+            all = false;
+          }
+        }
+      }
+      if (all) out.set(y, x, true);
+    }
+  }
+  return out;
+}
+
+BinaryMask largest_component(const BinaryMask& mask) {
+  BinaryMask best(mask.height, mask.width);
+  std::size_t best_size = 0;
+  std::vector<std::uint8_t> visited(mask.data.size(), 0);
+
+  for (std::size_t start = 0; start < mask.data.size(); ++start) {
+    if (mask.data[start] == 0 || visited[start] != 0) continue;
+
+    // BFS flood fill from `start`.
+    std::vector<std::size_t> component;
+    std::queue<std::size_t> frontier;
+    frontier.push(start);
+    visited[start] = 1;
+    while (!frontier.empty()) {
+      const std::size_t idx = frontier.front();
+      frontier.pop();
+      component.push_back(idx);
+      const auto y = static_cast<std::int64_t>(idx / mask.width);
+      const auto x = static_cast<std::int64_t>(idx % mask.width);
+      const std::int64_t neighbours[4][2] = {
+          {y - 1, x}, {y + 1, x}, {y, x - 1}, {y, x + 1}};
+      for (const auto& n : neighbours) {
+        if (!mask.contains(n[0], n[1])) continue;
+        const std::size_t nidx =
+            static_cast<std::size_t>(n[0]) * mask.width +
+            static_cast<std::size_t>(n[1]);
+        if (mask.data[nidx] == 0 || visited[nidx] != 0) continue;
+        visited[nidx] = 1;
+        frontier.push(nidx);
+      }
+    }
+
+    if (component.size() > best_size) {
+      best_size = component.size();
+      best = BinaryMask(mask.height, mask.width);
+      for (const std::size_t idx : component) best.data[idx] = 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace hybridcnn::vision

@@ -1,0 +1,46 @@
+// Binary image mask used by the deterministic shape pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hybridcnn::vision {
+
+/// Row-major binary mask.
+struct BinaryMask {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::vector<std::uint8_t> data;  // 0 or 1, size == height * width
+
+  BinaryMask() = default;
+  BinaryMask(std::size_t h, std::size_t w)
+      : height(h), width(w), data(h * w, 0) {}
+
+  [[nodiscard]] bool at(std::size_t y, std::size_t x) const {
+    return data[y * width + x] != 0;
+  }
+  void set(std::size_t y, std::size_t x, bool v) {
+    data[y * width + x] = v ? 1 : 0;
+  }
+
+  /// Number of set pixels.
+  [[nodiscard]] std::size_t count() const;
+
+  /// In-bounds test for signed coordinates.
+  [[nodiscard]] bool contains(std::int64_t y, std::int64_t x) const {
+    return y >= 0 && x >= 0 && y < static_cast<std::int64_t>(height) &&
+           x < static_cast<std::int64_t>(width);
+  }
+};
+
+/// Largest 4-connected component of `mask`; empty mask yields empty result.
+BinaryMask largest_component(const BinaryMask& mask);
+
+/// Morphological dilation with a (2r+1)x(2r+1) square structuring element.
+BinaryMask dilate(const BinaryMask& mask, std::size_t radius = 1);
+
+/// Morphological erosion with a (2r+1)x(2r+1) square structuring element
+/// (pixels outside the image count as unset).
+BinaryMask erode(const BinaryMask& mask, std::size_t radius = 1);
+
+}  // namespace hybridcnn::vision

@@ -1,0 +1,48 @@
+#include "vision/radial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hybridcnn::vision {
+
+std::vector<double> radial_distance_series(const BinaryMask& mask,
+                                           const Centroid& c,
+                                           std::size_t samples) {
+  if (samples == 0) {
+    throw std::invalid_argument("radial_distance_series: samples == 0");
+  }
+  const double max_r = std::hypot(static_cast<double>(mask.height),
+                                  static_cast<double>(mask.width));
+  std::vector<double> series(samples, 0.0);
+  constexpr double two_pi = 6.283185307179586476925286766559;
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double theta =
+        two_pi * static_cast<double>(s) / static_cast<double>(samples);
+    const double dy = std::sin(theta);
+    const double dx = std::cos(theta);
+    double farthest = 0.0;
+    // Half-pixel stepping finds the farthest shape pixel along the ray,
+    // which is robust to interior holes (e.g. a sign's inner legend).
+    for (double r = 0.0; r <= max_r; r += 0.5) {
+      const auto y = static_cast<std::int64_t>(std::llround(c.y + r * dy));
+      const auto x = static_cast<std::int64_t>(std::llround(c.x + r * dx));
+      if (!mask.contains(y, x)) break;
+      if (mask.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x))) {
+        farthest = r;
+      }
+    }
+    series[s] = farthest;
+  }
+  return series;
+}
+
+std::vector<double> shape_signature(const BinaryMask& mask,
+                                    std::size_t samples) {
+  const BinaryMask component = largest_component(mask);
+  const std::optional<Centroid> c = centroid(component);
+  if (!c) return {};
+  return radial_distance_series(component, *c, samples);
+}
+
+}  // namespace hybridcnn::vision

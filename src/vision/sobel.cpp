@@ -1,0 +1,61 @@
+#include "vision/sobel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hybridcnn::vision {
+
+namespace {
+
+tensor::Tensor apply3x3(const tensor::Tensor& gray, const float k[3][3]) {
+  const auto& sh = gray.shape();
+  if (sh.rank() != 2) {
+    throw std::invalid_argument("sobel: expected [H, W], got " + sh.str());
+  }
+  const auto h = static_cast<std::int64_t>(sh[0]);
+  const auto w = static_cast<std::int64_t>(sh[1]);
+  tensor::Tensor out(sh);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (std::int64_t ky = -1; ky <= 1; ++ky) {
+        const std::int64_t iy = y + ky;
+        if (iy < 0 || iy >= h) continue;
+        for (std::int64_t kx = -1; kx <= 1; ++kx) {
+          const std::int64_t ix = x + kx;
+          if (ix < 0 || ix >= w) continue;
+          acc += k[ky + 1][kx + 1] *
+                 gray[static_cast<std::size_t>(iy * w + ix)];
+        }
+      }
+      out[static_cast<std::size_t>(y * w + x)] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+tensor::Tensor sobel_x(const tensor::Tensor& gray) {
+  static constexpr float kx[3][3] = {
+      {-1.0f, 0.0f, 1.0f}, {-2.0f, 0.0f, 2.0f}, {-1.0f, 0.0f, 1.0f}};
+  return apply3x3(gray, kx);
+}
+
+tensor::Tensor sobel_y(const tensor::Tensor& gray) {
+  static constexpr float ky[3][3] = {
+      {-1.0f, -2.0f, -1.0f}, {0.0f, 0.0f, 0.0f}, {1.0f, 2.0f, 1.0f}};
+  return apply3x3(gray, ky);
+}
+
+tensor::Tensor sobel_magnitude(const tensor::Tensor& gray) {
+  const tensor::Tensor gx = sobel_x(gray);
+  const tensor::Tensor gy = sobel_y(gray);
+  tensor::Tensor mag(gray.shape());
+  for (std::size_t i = 0; i < mag.count(); ++i) {
+    mag[i] = std::sqrt(gx[i] * gx[i] + gy[i] * gy[i]);
+  }
+  return mag;
+}
+
+}  // namespace hybridcnn::vision

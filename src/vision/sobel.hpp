@@ -1,0 +1,21 @@
+// Direct Sobel filtering on [H, W] float images.
+//
+// The qualifier's edge stage. The same kernels are available as conv
+// filters via nn::sobel_kernel(); this direct form is used by the pure
+// vision pipeline and as an independent reference in tests.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::vision {
+
+/// 3x3 Sobel-x response (same-size output, zero padding).
+tensor::Tensor sobel_x(const tensor::Tensor& gray);
+
+/// 3x3 Sobel-y response (same-size output, zero padding).
+tensor::Tensor sobel_y(const tensor::Tensor& gray);
+
+/// Gradient magnitude sqrt(gx^2 + gy^2).
+tensor::Tensor sobel_magnitude(const tensor::Tensor& gray);
+
+}  // namespace hybridcnn::vision

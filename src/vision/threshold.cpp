@@ -1,0 +1,73 @@
+#include "vision/threshold.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace hybridcnn::vision {
+
+BinaryMask threshold(const tensor::Tensor& image, float value) {
+  const auto& sh = image.shape();
+  if (sh.rank() != 2) {
+    throw std::invalid_argument("threshold: expected [H, W], got " +
+                                sh.str());
+  }
+  BinaryMask mask(sh[0], sh[1]);
+  for (std::size_t i = 0; i < image.count(); ++i) {
+    mask.data[i] = image[i] > value ? 1 : 0;
+  }
+  return mask;
+}
+
+float otsu_threshold(const tensor::Tensor& image) {
+  const auto& sh = image.shape();
+  if (sh.rank() != 2 || image.count() == 0) {
+    throw std::invalid_argument("otsu_threshold: expected [H, W]");
+  }
+
+  float lo = image[0];
+  float hi = image[0];
+  for (std::size_t i = 1; i < image.count(); ++i) {
+    lo = std::min(lo, image[i]);
+    hi = std::max(hi, image[i]);
+  }
+  if (hi <= lo) return lo;
+
+  constexpr int kBins = 256;
+  std::array<std::uint64_t, kBins> hist{};
+  const float scale = static_cast<float>(kBins - 1) / (hi - lo);
+  for (std::size_t i = 0; i < image.count(); ++i) {
+    const int bin = static_cast<int>((image[i] - lo) * scale);
+    ++hist[static_cast<std::size_t>(std::min(std::max(bin, 0), kBins - 1))];
+  }
+
+  const double total = static_cast<double>(image.count());
+  double sum_all = 0.0;
+  for (int b = 0; b < kBins; ++b) sum_all += b * static_cast<double>(hist[b]);
+
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_between = -1.0;
+  int best_bin = 0;
+  for (int b = 0; b < kBins; ++b) {
+    weight_bg += static_cast<double>(hist[b]);
+    if (weight_bg == 0.0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0.0) break;
+    sum_bg += b * static_cast<double>(hist[b]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double between =
+        weight_bg * weight_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+    if (between > best_between) {
+      best_between = between;
+      best_bin = b;
+    }
+  }
+  return lo + static_cast<float>(best_bin) / scale;
+}
+
+BinaryMask threshold_otsu(const tensor::Tensor& image) {
+  return threshold(image, otsu_threshold(image));
+}
+
+}  // namespace hybridcnn::vision

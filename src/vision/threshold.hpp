@@ -1,0 +1,20 @@
+// Image binarisation: fixed threshold and Otsu's method.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "vision/mask.hpp"
+
+namespace hybridcnn::vision {
+
+/// Pixels strictly above `threshold` become 1.
+BinaryMask threshold(const tensor::Tensor& image, float value);
+
+/// Otsu's automatic threshold on a min-max normalised 256-bin histogram.
+/// Returns the threshold in the image's original value range. Flat images
+/// (max == min) return that single value.
+float otsu_threshold(const tensor::Tensor& image);
+
+/// Convenience: binarise with the Otsu threshold.
+BinaryMask threshold_otsu(const tensor::Tensor& image);
+
+}  // namespace hybridcnn::vision

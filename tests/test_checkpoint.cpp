@@ -1,0 +1,51 @@
+// ScalarCheckpoint: operation-granular commit/rollback semantics.
+#include <gtest/gtest.h>
+
+#include "reliable/checkpoint.hpp"
+
+namespace {
+
+using hybridcnn::reliable::ScalarCheckpoint;
+
+TEST(ScalarCheckpoint, InitialValueIsCommitted) {
+  const ScalarCheckpoint cp(3.5f);
+  EXPECT_FLOAT_EQ(cp.value(), 3.5f);
+  EXPECT_EQ(cp.commits(), 0u);
+  EXPECT_EQ(cp.rollbacks(), 0u);
+}
+
+TEST(ScalarCheckpoint, CommitAdvancesState) {
+  ScalarCheckpoint cp(0.0f);
+  cp.commit(1.0f);
+  EXPECT_FLOAT_EQ(cp.value(), 1.0f);
+  cp.commit(2.0f);
+  EXPECT_FLOAT_EQ(cp.value(), 2.0f);
+  EXPECT_EQ(cp.commits(), 2u);
+}
+
+TEST(ScalarCheckpoint, RollbackReturnsLastCommit) {
+  ScalarCheckpoint cp(0.0f);
+  cp.commit(7.0f);
+  EXPECT_FLOAT_EQ(cp.rollback(), 7.0f);
+  EXPECT_FLOAT_EQ(cp.value(), 7.0f) << "rollback must not change state";
+  EXPECT_EQ(cp.rollbacks(), 1u);
+}
+
+TEST(ScalarCheckpoint, RollbackBeforeAnyCommitYieldsInitial) {
+  ScalarCheckpoint cp(-2.5f);
+  EXPECT_FLOAT_EQ(cp.rollback(), -2.5f);
+}
+
+TEST(ScalarCheckpoint, InterleavedCommitRollbackSequence) {
+  // Simulates Algorithm 3: successful ops commit, failed ops roll back.
+  ScalarCheckpoint acc(1.0f);
+  acc.commit(1.5f);             // op ok
+  float v = acc.rollback();     // op failed; discard
+  EXPECT_FLOAT_EQ(v, 1.5f);
+  acc.commit(v + 0.5f);         // retry succeeded
+  EXPECT_FLOAT_EQ(acc.value(), 2.0f);
+  EXPECT_EQ(acc.commits(), 2u);
+  EXPECT_EQ(acc.rollbacks(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Synthetic GTSRB stand-in: renderer determinism, class geometry,
+// dataset jitter and batching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "data/renderer.hpp"
+#include "data/shapes.hpp"
+#include "vision/centroid.hpp"
+#include "vision/edge_map.hpp"
+#include "vision/radial.hpp"
+
+namespace {
+
+using namespace hybridcnn::data;
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
+
+TEST(Shapes, ClassMetadata) {
+  EXPECT_EQ(silhouette_sides(SignClass::kStop), 8u);
+  EXPECT_EQ(silhouette_sides(SignClass::kSpeedLimit), 0u);
+  EXPECT_EQ(silhouette_sides(SignClass::kYield), 3u);
+  EXPECT_EQ(class_name(SignClass::kStop), "stop");
+  EXPECT_EQ(class_name(SignClass::kParking), "parking");
+  EXPECT_EQ(all_classes().size(), kNumClasses);
+}
+
+TEST(Renderer, DeterministicForSameParams) {
+  RenderParams p;
+  p.cls = SignClass::kStop;
+  p.size = 48;
+  p.rotation = 0.1;
+  p.noise_seed = 99;
+  const Tensor a = render_sign(p);
+  const Tensor b = render_sign(p);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Renderer, NoiseSeedChangesPixels) {
+  RenderParams p;
+  p.size = 48;
+  p.noise_seed = 1;
+  const Tensor a = render_sign(p);
+  p.noise_seed = 2;
+  const Tensor b = render_sign(p);
+  EXPECT_NE(a, b);
+}
+
+TEST(Renderer, OutputShapeAndRange) {
+  RenderParams p;
+  p.size = 32;
+  const Tensor img = render_sign(p);
+  EXPECT_EQ(img.shape(), (Shape{3, 32, 32}));
+  for (std::size_t i = 0; i < img.count(); ++i) {
+    EXPECT_GE(img[i], 0.0f);
+    EXPECT_LE(img[i], 1.0f);
+  }
+}
+
+TEST(Renderer, StopSignIsRedDominant) {
+  RenderParams p;
+  p.cls = SignClass::kStop;
+  p.size = 64;
+  p.noise_sigma = 0.0;
+  const Tensor img = render_sign(p);
+  // Fill region (avoid the white band): sample a point below centre.
+  const std::size_t plane = 64 * 64;
+  const std::size_t idx = 44 * 64 + 32;
+  EXPECT_GT(img[idx], 0.5f);               // R
+  EXPECT_LT(img[plane + idx], 0.3f);       // G
+  EXPECT_LT(img[2 * plane + idx], 0.3f);   // B
+}
+
+TEST(Renderer, OffsetMovesCentroid) {
+  RenderParams p;
+  p.cls = SignClass::kStop;
+  p.size = 96;
+  p.scale = 0.6;
+  p.offset_x = 10.0;
+  p.offset_y = -6.0;
+  const Tensor img = render_sign(p);
+  const auto mask = hybridcnn::vision::dominant_shape(img);
+  const auto c = hybridcnn::vision::centroid(mask);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->x, 58.0, 3.0);
+  EXPECT_NEAR(c->y, 42.0, 3.0);
+}
+
+TEST(Renderer, ScaleControlsSilhouetteArea) {
+  RenderParams small;
+  small.size = 96;
+  small.scale = 0.5;
+  RenderParams large = small;
+  large.scale = 0.9;
+  const auto m_small =
+      hybridcnn::vision::dominant_shape(render_sign(small));
+  const auto m_large =
+      hybridcnn::vision::dominant_shape(render_sign(large));
+  EXPECT_GT(m_large.count(), m_small.count() * 2);
+}
+
+TEST(Renderer, EveryClassProducesAVisibleShape) {
+  for (const SignClass cls : all_classes()) {
+    RenderParams p;
+    p.cls = cls;
+    p.size = 64;
+    const Tensor img = render_sign(p);
+    const auto mask = hybridcnn::vision::dominant_shape(img);
+    const double frac =
+        static_cast<double>(mask.count()) / static_cast<double>(64 * 64);
+    EXPECT_GT(frac, 0.1) << class_name(cls);
+    EXPECT_LT(frac, 0.85) << class_name(cls);
+  }
+}
+
+TEST(Dataset, SizeAndLabelDistribution) {
+  const auto ds = make_dataset(10, {.image_size = 32}, 7);
+  EXPECT_EQ(ds.size(), 10 * kNumClasses);
+  std::vector<int> counts(kNumClasses, 0);
+  for (const Example& ex : ds) {
+    ASSERT_GE(ex.label, 0);
+    ASSERT_LT(ex.label, static_cast<int>(kNumClasses));
+    ++counts[static_cast<std::size_t>(ex.label)];
+    EXPECT_EQ(ex.image.shape(), (Shape{3, 32, 32}));
+  }
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  const auto a = make_dataset(4, {.image_size = 24}, 11);
+  const auto b = make_dataset(4, {.image_size = 24}, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].image, b[i].image);
+  }
+}
+
+TEST(Dataset, SeedsProduceDifferentData) {
+  const auto a = make_dataset(4, {.image_size = 24}, 1);
+  const auto b = make_dataset(4, {.image_size = 24}, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].image == b[i].image)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, ShuffledOrder) {
+  const auto ds = make_dataset(20, {.image_size = 16}, 3);
+  // Not all first 20 examples share one label (unshuffled would).
+  bool mixed = false;
+  for (std::size_t i = 1; i < 20; ++i) {
+    if (ds[i].label != ds[0].label) mixed = true;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(Batch, StacksImagesAndLabels) {
+  const auto ds = make_dataset(3, {.image_size = 16}, 5);
+  const Batch batch = make_batch(ds, 2, 4);
+  EXPECT_EQ(batch.images.shape(), (Shape{4, 3, 16, 16}));
+  ASSERT_EQ(batch.labels.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch.labels[i], ds[2 + i].label);
+    // Spot-check pixel copy.
+    EXPECT_EQ(batch.images[i * 3 * 256], ds[2 + i].image[0]);
+  }
+}
+
+TEST(Batch, Validation) {
+  const auto ds = make_dataset(2, {.image_size = 16}, 5);
+  EXPECT_THROW(make_batch(ds, 0, 0), std::out_of_range);
+  EXPECT_THROW(make_batch(ds, ds.size() - 1, 2), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// SEC-DED protected tensor storage: codec properties (exhaustive single-
+// and sampled double-bit errors) and scrub semantics.
+#include <gtest/gtest.h>
+
+#include "faultsim/bitflip.hpp"
+#include "faultsim/ecc.hpp"
+#include "faultsim/memory_faults.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/reliable_conv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+using faultsim::ProtectedTensor;
+using faultsim::SecDed;
+using tensor::Shape;
+using tensor::Tensor;
+using util::Rng;
+
+TEST(SecDed, CleanWordDecodesClean) {
+  for (const std::uint32_t word :
+       {0u, 0xFFFFFFFFu, 0xDEADBEEFu, 0x3F800000u, 1u}) {
+    std::uint32_t data = word;
+    std::uint8_t check = SecDed::encode(word);
+    EXPECT_EQ(SecDed::decode(data, check), SecDed::Outcome::kClean);
+    EXPECT_EQ(data, word);
+  }
+}
+
+TEST(SecDed, CorrectsEverySingleDataBitFlip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto word = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(rng()) << 32 | rng()) & 0xFFFFFFFF);
+    const std::uint8_t clean_check = SecDed::encode(word);
+    for (int bit = 0; bit < 32; ++bit) {
+      std::uint32_t data = word ^ (1u << bit);
+      std::uint8_t check = clean_check;
+      EXPECT_EQ(SecDed::decode(data, check),
+                SecDed::Outcome::kCorrectedData)
+          << "bit " << bit;
+      EXPECT_EQ(data, word) << "bit " << bit;
+    }
+  }
+}
+
+TEST(SecDed, CorrectsEverySingleCheckBitFlip) {
+  const std::uint32_t word = 0xCAFEBABE;
+  const std::uint8_t clean_check = SecDed::encode(word);
+  for (int bit = 0; bit < 7; ++bit) {
+    std::uint32_t data = word;
+    std::uint8_t check = clean_check ^ static_cast<std::uint8_t>(1u << bit);
+    EXPECT_EQ(SecDed::decode(data, check),
+              SecDed::Outcome::kCorrectedCheck)
+        << "check bit " << bit;
+    EXPECT_EQ(data, word);
+    EXPECT_EQ(check, clean_check);
+  }
+}
+
+TEST(SecDed, DetectsDoubleDataBitFlips) {
+  const std::uint32_t word = 0x12345678;
+  const std::uint8_t clean_check = SecDed::encode(word);
+  int detected = 0;
+  int total = 0;
+  for (int b1 = 0; b1 < 32; ++b1) {
+    for (int b2 = b1 + 1; b2 < 32; ++b2) {
+      std::uint32_t data = word ^ (1u << b1) ^ (1u << b2);
+      std::uint8_t check = clean_check;
+      ++total;
+      if (SecDed::decode(data, check) == SecDed::Outcome::kDoubleError) {
+        ++detected;
+      }
+    }
+  }
+  EXPECT_EQ(detected, total) << "SEC-DED must flag every double error";
+}
+
+TEST(SecDed, DetectsDataPlusCheckDoubleFlip) {
+  const std::uint32_t word = 0x0F0F0F0F;
+  const std::uint8_t clean_check = SecDed::encode(word);
+  int misdecoded = 0;
+  for (int db = 0; db < 32; ++db) {
+    for (int cb = 0; cb < 6; ++cb) {
+      std::uint32_t data = word ^ (1u << db);
+      std::uint8_t check =
+          clean_check ^ static_cast<std::uint8_t>(1u << cb);
+      const auto outcome = SecDed::decode(data, check);
+      // Parity is even (two flips), so these must never be "corrected".
+      if (outcome != SecDed::Outcome::kDoubleError) ++misdecoded;
+    }
+  }
+  EXPECT_EQ(misdecoded, 0);
+}
+
+TEST(ProtectedTensor, CleanScrubIsNoop) {
+  Rng rng(2);
+  Tensor t(Shape{64});
+  t.fill_normal(rng, 0.0f, 1.0f);
+  ProtectedTensor p(t);
+  const auto report = p.scrub();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(p.data(), t);
+}
+
+TEST(ProtectedTensor, ScrubRepairsSparseUpsets) {
+  Rng rng(3);
+  Tensor t(Shape{256});
+  t.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor original = t;
+  ProtectedTensor p(t);
+
+  // One flip per affected word (sparse SEU accumulation).
+  for (const std::size_t idx : {3u, 77u, 130u, 255u}) {
+    p.data()[idx] = faultsim::flip_bit(p.data()[idx], static_cast<int>(idx % 32));
+  }
+  const auto verify = p.verify();
+  EXPECT_EQ(verify.corrected, 4u);
+
+  const auto report = p.scrub();
+  EXPECT_EQ(report.corrected, 4u);
+  EXPECT_EQ(report.uncorrectable, 0u);
+  EXPECT_EQ(p.data(), original) << "scrub must restore the exact payload";
+  EXPECT_TRUE(p.scrub().clean()) << "second scrub finds nothing";
+}
+
+TEST(ProtectedTensor, DoubleUpsetInOneWordIsReportedNotHidden) {
+  Tensor t(Shape{8}, 1.0f);
+  ProtectedTensor p(t);
+  p.data()[2] = faultsim::flip_bit(faultsim::flip_bit(p.data()[2], 3), 19);
+  const auto report = p.scrub();
+  EXPECT_EQ(report.uncorrectable, 1u);
+}
+
+TEST(ProtectedTensor, StoreRefreshesProtection) {
+  Tensor t(Shape{4}, 0.0f);
+  ProtectedTensor p(t);
+  p.store(1, 42.5f);
+  EXPECT_TRUE(p.scrub().clean());
+  EXPECT_FLOAT_EQ(p.data()[1], 42.5f);
+}
+
+TEST(ProtectedTensor, ScrubbedWeightsRestoreGoldenConvolution) {
+  // End to end: ECC on parameter memory + reliable execution closes the
+  // weight-corruption gap the execution-level scheme cannot cover.
+  Rng rng(5);
+  Tensor weights(Shape{4, 3, 3, 3});
+  weights.fill_normal(rng, 0.0f, 0.3f);
+  Tensor bias(Shape{4});
+  Tensor input(Shape{3, 10, 10});
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  const reliable::ReliableConv2d golden_conv(weights, bias,
+                                             reliable::ConvSpec{1, 1});
+  const Tensor golden = golden_conv.reference_forward(input);
+
+  ProtectedTensor protected_weights(weights);
+  // Sparse upsets in stored weights.
+  Rng fault_rng(6);
+  for (int i = 0; i < 5; ++i) {
+    const auto idx = static_cast<std::size_t>(fault_rng.uniform_int(
+        0, static_cast<std::int64_t>(protected_weights.data().count()) - 1));
+    protected_weights.data()[idx] =
+        faultsim::flip_bit(protected_weights.data()[idx],
+                           static_cast<int>(fault_rng.uniform_int(0, 31)));
+  }
+
+  const auto report = protected_weights.scrub();
+  EXPECT_GT(report.corrected, 0u);
+  EXPECT_EQ(report.uncorrectable, 0u);
+
+  const reliable::ReliableConv2d scrubbed_conv(protected_weights.data(),
+                                               bias,
+                                               reliable::ConvSpec{1, 1});
+  EXPECT_EQ(scrubbed_conv.reference_forward(input), golden);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Executor (Algorithms 1-2 + TMR) behaviour under controlled faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faultsim/bitflip.hpp"
+#include "faultsim/injector.hpp"
+#include "reliable/executor.hpp"
+
+namespace {
+
+using hybridcnn::faultsim::FaultConfig;
+using hybridcnn::faultsim::FaultInjector;
+using hybridcnn::faultsim::FaultKind;
+using hybridcnn::reliable::DmrExecutor;
+using hybridcnn::reliable::Executor;
+using hybridcnn::reliable::make_executor;
+using hybridcnn::reliable::Qualified;
+using hybridcnn::reliable::SimplexExecutor;
+using hybridcnn::reliable::TmrExecutor;
+
+std::shared_ptr<FaultInjector> fault_free() { return nullptr; }
+
+/// Injector corrupting every execution (probability 1 transient).
+std::shared_ptr<FaultInjector> always_faulty(int bit = 12) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 1.0;
+  cfg.bit = bit;
+  return std::make_shared<FaultInjector>(cfg, /*seed=*/7);
+}
+
+// ------------------------------------------------------------- Algorithm 1
+
+TEST(SimplexExecutor, ReturnsProductWithTrueQualifier) {
+  SimplexExecutor ex(fault_free());
+  const Qualified<float> q = ex.mul(3.0f, 4.0f);
+  EXPECT_FLOAT_EQ(q.value, 12.0f);
+  EXPECT_TRUE(q.ok);  // Algorithm 1: predefined qualifier
+}
+
+TEST(SimplexExecutor, ReturnsSumWithTrueQualifier) {
+  SimplexExecutor ex(fault_free());
+  const Qualified<float> q = ex.add(3.0f, 4.0f);
+  EXPECT_FLOAT_EQ(q.value, 7.0f);
+  EXPECT_TRUE(q.ok);
+}
+
+TEST(SimplexExecutor, AssertsSuccessEvenWhenFaulted) {
+  // The simplex scheme cannot detect anything: the qualifier stays true
+  // even though the value is corrupted — this is the unprotected baseline.
+  SimplexExecutor ex(always_faulty());
+  const Qualified<float> q = ex.mul(3.0f, 4.0f);
+  EXPECT_TRUE(q.ok);
+  EXPECT_NE(q.value, 12.0f);
+}
+
+TEST(SimplexExecutor, OneExecutionPerOp) {
+  SimplexExecutor ex(fault_free());
+  ex.mul(1.0f, 2.0f);
+  ex.add(1.0f, 2.0f);
+  EXPECT_EQ(ex.stats().logical_ops, 2u);
+  EXPECT_EQ(ex.stats().executions, 2u);
+  EXPECT_EQ(ex.redundancy(), 1);
+}
+
+// ------------------------------------------------------------- Algorithm 2
+
+TEST(DmrExecutor, FaultFreeAgreesAndQualifies) {
+  DmrExecutor ex(fault_free());
+  const Qualified<float> q = ex.mul(1.5f, -2.0f);
+  EXPECT_FLOAT_EQ(q.value, -3.0f);
+  EXPECT_TRUE(q.ok);
+}
+
+TEST(DmrExecutor, TwoExecutionsPerOp) {
+  DmrExecutor ex(fault_free());
+  ex.mul(1.0f, 2.0f);
+  EXPECT_EQ(ex.stats().logical_ops, 1u);
+  EXPECT_EQ(ex.stats().executions, 2u);
+  EXPECT_EQ(ex.redundancy(), 2);
+}
+
+TEST(DmrExecutor, DetectsSingleExecutionFault) {
+  // Deterministic single corruption: permanent fault on PE0 of a 2-PE
+  // unit corrupts execution 1 but not execution 2.
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kPermanent;
+  cfg.probability = 0.5;
+  cfg.num_pes = 2;
+  cfg.bit = 3;
+  // Find a seed where exactly one PE is faulty.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    auto inj = std::make_shared<FaultInjector>(cfg, seed);
+    if (inj->permanent_faulty_pes() != 1) continue;
+    DmrExecutor ex(inj);
+    const Qualified<float> q = ex.mul(3.0f, 5.0f);
+    EXPECT_FALSE(q.ok) << "disagreement must clear the qualifier";
+    EXPECT_EQ(ex.stats().disagreements, 1u);
+    return;
+  }
+  FAIL() << "no seed with exactly one faulty PE found";
+}
+
+TEST(DmrExecutor, IdenticalDoubleFaultIsUndetectable) {
+  // Both executions corrupted identically (same bit, every execution):
+  // DMR's known blind spot. The library must behave as specified — agree
+  // and qualify — because the comparison sees equal values.
+  DmrExecutor ex(always_faulty(7));
+  const Qualified<float> q = ex.mul(3.0f, 4.0f);
+  EXPECT_TRUE(q.ok);
+  EXPECT_NE(q.value, 12.0f);
+}
+
+// ------------------------------------------------------------------- TMR
+
+TEST(TmrExecutor, FaultFreeQualifies) {
+  TmrExecutor ex(fault_free());
+  const Qualified<float> q = ex.add(2.5f, 2.5f);
+  EXPECT_FLOAT_EQ(q.value, 5.0f);
+  EXPECT_TRUE(q.ok);
+  EXPECT_EQ(ex.redundancy(), 3);
+}
+
+TEST(TmrExecutor, ThreeExecutionsPerOp) {
+  TmrExecutor ex(fault_free());
+  ex.mul(1.0f, 1.0f);
+  EXPECT_EQ(ex.stats().executions, 3u);
+}
+
+TEST(TmrExecutor, MasksSingleExecutionFault) {
+  // One PE of three permanently faulty: every op has exactly one corrupt
+  // execution; the vote must return the clean value with ok == true.
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kPermanent;
+  cfg.probability = 0.34;
+  cfg.num_pes = 3;
+  cfg.bit = 5;
+  for (std::uint64_t seed = 0; seed < 128; ++seed) {
+    auto inj = std::make_shared<FaultInjector>(cfg, seed);
+    if (inj->permanent_faulty_pes() != 1) continue;
+    TmrExecutor ex(inj);
+    for (int i = 0; i < 10; ++i) {
+      const Qualified<float> q = ex.mul(3.0f, 4.0f);
+      EXPECT_TRUE(q.ok);
+      EXPECT_FLOAT_EQ(q.value, 12.0f) << "vote must mask the single fault";
+    }
+    return;
+  }
+  FAIL() << "no seed with exactly one faulty PE found";
+}
+
+TEST(TmrExecutor, AllThreeDisagreeClearsQualifier) {
+  // Random-bit faults on every execution make all three results differ
+  // with overwhelming probability.
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 1.0;
+  cfg.bit = -1;  // random bit each time
+  auto inj = std::make_shared<FaultInjector>(cfg, 3);
+  TmrExecutor ex(inj);
+  int unqualified = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!ex.mul(3.1f, 7.7f).ok) ++unqualified;
+  }
+  EXPECT_GT(unqualified, 40) << "three distinct corruptions cannot vote";
+}
+
+// --------------------------------------------------------------- factory
+
+TEST(ExecutorFactory, MakesAllSchemes) {
+  EXPECT_EQ(make_executor("simplex", nullptr)->name(), "simplex");
+  EXPECT_EQ(make_executor("dmr", nullptr)->name(), "dmr");
+  EXPECT_EQ(make_executor("tmr", nullptr)->name(), "tmr");
+}
+
+TEST(ExecutorFactory, RejectsUnknownScheme) {
+  EXPECT_THROW(make_executor("nmr", nullptr), std::invalid_argument);
+}
+
+// Parameterised over schemes: fault-free results equal plain arithmetic
+// and stats count redundancy correctly.
+class AllSchemes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllSchemes, FaultFreeMatchesPlainArithmetic) {
+  const auto ex = make_executor(GetParam(), nullptr);
+  for (float a : {-3.5f, 0.0f, 1.25f, 1e20f}) {
+    for (float b : {-1.0f, 0.5f, 3.0f}) {
+      const auto m = ex->mul(a, b);
+      EXPECT_TRUE(m.ok);
+      EXPECT_FLOAT_EQ(m.value, a * b);
+      const auto s = ex->add(a, b);
+      EXPECT_TRUE(s.ok);
+      EXPECT_FLOAT_EQ(s.value, a + b);
+    }
+  }
+}
+
+TEST_P(AllSchemes, ExecutionsMatchRedundancy) {
+  const auto ex = make_executor(GetParam(), nullptr);
+  constexpr std::uint64_t kOps = 17;
+  for (std::uint64_t i = 0; i < kOps; ++i) ex->mul(1.0f, 2.0f);
+  EXPECT_EQ(ex->stats().logical_ops, kOps);
+  EXPECT_EQ(ex->stats().executions,
+            kOps * static_cast<std::uint64_t>(ex->redundancy()));
+}
+
+TEST_P(AllSchemes, ResetStatsClears) {
+  const auto ex = make_executor(GetParam(), nullptr);
+  ex->mul(1.0f, 2.0f);
+  ex->reset_stats();
+  EXPECT_EQ(ex->stats().logical_ops, 0u);
+  EXPECT_EQ(ex->stats().executions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
+                         ::testing::Values("simplex", "dmr", "tmr"));
+
+}  // namespace

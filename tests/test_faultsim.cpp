@@ -1,0 +1,271 @@
+// Fault-injection substrate: bit flips, injector fault models, memory
+// faults and campaign outcome classification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faultsim/bitflip.hpp"
+#include "faultsim/campaign.hpp"
+#include "faultsim/fault_model.hpp"
+#include "faultsim/injector.hpp"
+#include "faultsim/memory_faults.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using hybridcnn::faultsim::bits_float;
+using hybridcnn::faultsim::CampaignSummary;
+using hybridcnn::faultsim::classify;
+using hybridcnn::faultsim::FaultConfig;
+using hybridcnn::faultsim::FaultInjector;
+using hybridcnn::faultsim::FaultKind;
+using hybridcnn::faultsim::FaultTarget;
+using hybridcnn::faultsim::flip_bit;
+using hybridcnn::faultsim::float_bits;
+using hybridcnn::faultsim::inject_bit_errors;
+using hybridcnn::faultsim::inject_exact_flips;
+using hybridcnn::faultsim::Outcome;
+using hybridcnn::faultsim::outcome_name;
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
+using hybridcnn::util::Rng;
+
+// ---------------------------------------------------------------- bitflip
+
+TEST(BitFlip, IsInvolution) {
+  for (int bit = 0; bit < 32; ++bit) {
+    const float v = 123.456f;
+    EXPECT_EQ(float_bits(flip_bit(flip_bit(v, bit), bit)), float_bits(v));
+  }
+}
+
+TEST(BitFlip, ChangesValue) {
+  for (int bit = 0; bit < 32; ++bit) {
+    EXPECT_NE(float_bits(flip_bit(1.0f, bit)), float_bits(1.0f));
+  }
+}
+
+TEST(BitFlip, SignBit) {
+  EXPECT_FLOAT_EQ(flip_bit(2.0f, 31), -2.0f);
+}
+
+TEST(BitFlip, BitIndexWrapsModulo32) {
+  EXPECT_EQ(float_bits(flip_bit(1.0f, 33)), float_bits(flip_bit(1.0f, 1)));
+}
+
+TEST(BitFlip, RoundTripThroughBits) {
+  const float v = -0.00321f;
+  EXPECT_FLOAT_EQ(bits_float(float_bits(v)), v);
+}
+
+// --------------------------------------------------------------- injector
+
+TEST(FaultInjector, NoneNeverFaults) {
+  FaultInjector inj(FaultConfig{}, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inj.filter(1.5f), 1.5f);
+  }
+  EXPECT_EQ(inj.stats().faults, 0u);
+  EXPECT_EQ(inj.stats().executions, 1000u);
+}
+
+TEST(FaultInjector, TransientRateMatchesProbability) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 0.1;
+  cfg.bit = 0;
+  FaultInjector inj(cfg, 2);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) inj.filter(1.0f);
+  const double rate =
+      static_cast<double>(inj.stats().faults) / static_cast<double>(kN);
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(FaultInjector, DeterministicForSeed) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 0.05;
+  cfg.bit = -1;
+  FaultInjector a(cfg, 7);
+  FaultInjector b(cfg, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(float_bits(a.filter(3.25f)), float_bits(b.filter(3.25f)));
+  }
+}
+
+TEST(FaultInjector, FixedBitFlipsExactlyThatBit) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 1.0;
+  cfg.bit = 31;
+  FaultInjector inj(cfg, 3);
+  EXPECT_FLOAT_EQ(inj.filter(4.0f), -4.0f);
+}
+
+TEST(FaultInjector, PermanentFaultyPeFractionApproximatesProbability) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kPermanent;
+  cfg.probability = 0.25;
+  cfg.num_pes = 4000;
+  FaultInjector inj(cfg, 11);
+  EXPECT_NEAR(static_cast<double>(inj.permanent_faulty_pes()) / 4000.0, 0.25,
+              0.03);
+}
+
+TEST(FaultInjector, PermanentFaultsRepeatOnSamePe) {
+  // With every PE faulty, every execution is corrupted — and
+  // deterministically predictable via next_is_faulty().
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kPermanent;
+  cfg.probability = 1.0;
+  cfg.num_pes = 4;
+  cfg.bit = 1;
+  FaultInjector inj(cfg, 5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(inj.next_is_faulty());
+    EXPECT_NE(float_bits(inj.filter(1.0f)), float_bits(1.0f));
+  }
+}
+
+TEST(FaultInjector, RoundRobinPeSchedule) {
+  FaultConfig cfg;
+  cfg.num_pes = 3;
+  FaultInjector inj(cfg, 1);
+  EXPECT_EQ(inj.next_pe(), 0);
+  inj.filter(0.0f);
+  EXPECT_EQ(inj.next_pe(), 1);
+  inj.filter(0.0f);
+  inj.filter(0.0f);
+  EXPECT_EQ(inj.next_pe(), 0);
+}
+
+TEST(FaultInjector, IntermittentBurstsExceedIndependentRate) {
+  // With burst_continue close to 1 the same ignition probability yields
+  // far more faults than the independent (transient) model.
+  FaultConfig transient;
+  transient.kind = FaultKind::kTransient;
+  transient.probability = 0.01;
+  transient.num_pes = 1;
+  FaultInjector ti(transient, 21);
+
+  FaultConfig burst = transient;
+  burst.kind = FaultKind::kIntermittent;
+  burst.burst_continue = 0.95;
+  FaultInjector bi(burst, 21);
+
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    ti.filter(1.0f);
+    bi.filter(1.0f);
+  }
+  EXPECT_GT(bi.stats().faults, 5 * ti.stats().faults);
+}
+
+TEST(FaultInjector, ResetStatsClears) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 1.0;
+  FaultInjector inj(cfg, 1);
+  inj.filter(1.0f);
+  inj.reset_stats();
+  EXPECT_EQ(inj.stats().executions, 0u);
+  EXPECT_EQ(inj.stats().faults, 0u);
+}
+
+// ----------------------------------------------------------- memory SEUs
+
+TEST(MemoryFaults, BitErrorRateZeroTouchesNothing) {
+  Tensor t(Shape{64}, 1.0f);
+  Rng rng(1);
+  const auto report = inject_bit_errors(t, 0.0, rng);
+  EXPECT_EQ(report.bits_flipped, 0u);
+  for (std::size_t i = 0; i < t.count(); ++i) EXPECT_EQ(t[i], 1.0f);
+}
+
+TEST(MemoryFaults, BitErrorRateApproximatesExpectation) {
+  Tensor t(Shape{4, 16, 16, 4});  // 4096 words = 131072 bits
+  Rng rng(2);
+  const auto report = inject_bit_errors(t, 0.01, rng);
+  EXPECT_EQ(report.words_visited, t.count());
+  EXPECT_NEAR(static_cast<double>(report.bits_flipped), 1310.72, 150.0);
+}
+
+TEST(MemoryFaults, ExactFlipsCount) {
+  Tensor t(Shape{32}, 2.0f);
+  Rng rng(3);
+  const auto report = inject_exact_flips(t, 10, rng);
+  EXPECT_EQ(report.bits_flipped, 10u);
+  int changed = 0;
+  for (std::size_t i = 0; i < t.count(); ++i) {
+    if (t[i] != 2.0f) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+  EXPECT_LE(changed, 10);
+}
+
+TEST(MemoryFaults, ExactFlipsOnEmptyTensorIsNoop) {
+  Tensor t;
+  Rng rng(4);
+  const auto report = inject_exact_flips(t, 5, rng);
+  EXPECT_EQ(report.bits_flipped, 0u);
+}
+
+// ------------------------------------------------------------- campaign
+
+TEST(Campaign, ClassificationTable) {
+  EXPECT_EQ(classify(false, false, true), Outcome::kCorrect);
+  EXPECT_EQ(classify(true, false, true), Outcome::kCorrected);
+  EXPECT_EQ(classify(true, true, true), Outcome::kDetectedAbort);
+  EXPECT_EQ(classify(true, true, false), Outcome::kDetectedAbort);
+  EXPECT_EQ(classify(true, false, false), Outcome::kSilentCorruption);
+  EXPECT_EQ(classify(false, false, false), Outcome::kSilentCorruption);
+}
+
+TEST(Campaign, OutcomeNames) {
+  EXPECT_EQ(outcome_name(Outcome::kCorrect), "correct");
+  EXPECT_EQ(outcome_name(Outcome::kCorrected), "corrected");
+  EXPECT_EQ(outcome_name(Outcome::kDetectedAbort), "detected_abort");
+  EXPECT_EQ(outcome_name(Outcome::kSilentCorruption), "silent_corruption");
+}
+
+TEST(Campaign, SummaryRates) {
+  CampaignSummary s;
+  s.add(Outcome::kCorrect);
+  s.add(Outcome::kCorrect);
+  s.add(Outcome::kCorrected);
+  s.add(Outcome::kDetectedAbort);
+  s.add(Outcome::kSilentCorruption);
+  EXPECT_EQ(s.runs, 5u);
+  EXPECT_DOUBLE_EQ(s.availability(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.safety(), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.sdc_rate(), 1.0 / 5.0);
+}
+
+TEST(Campaign, EmptySummaryRatesAreZero) {
+  const CampaignSummary s;
+  EXPECT_DOUBLE_EQ(s.availability(), 0.0);
+  EXPECT_DOUBLE_EQ(s.safety(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sdc_rate(), 0.0);
+}
+
+// Parameterised: operand-targeted faults corrupt results too.
+class OperandTargets : public ::testing::TestWithParam<FaultTarget> {};
+
+TEST_P(OperandTargets, TargetIsConfigured) {
+  FaultConfig cfg;
+  cfg.kind = FaultKind::kTransient;
+  cfg.probability = 1.0;
+  cfg.target = GetParam();
+  FaultInjector inj(cfg, 9);
+  EXPECT_EQ(inj.config().target, GetParam());
+  EXPECT_NE(float_bits(inj.filter(5.0f)), float_bits(5.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, OperandTargets,
+                         ::testing::Values(FaultTarget::kResult,
+                                           FaultTarget::kOperandA,
+                                           FaultTarget::kOperandB));
+
+}  // namespace

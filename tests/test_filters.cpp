@@ -1,0 +1,135 @@
+// Sobel kernel construction and conv-filter surgery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/filters.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hybridcnn::nn;
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
+using hybridcnn::util::Rng;
+
+TEST(Filters, BinomialRows) {
+  const Tensor b1 = binomial_row(1);
+  EXPECT_FLOAT_EQ(b1[0], 1.0f);
+  const Tensor b3 = binomial_row(3);
+  EXPECT_FLOAT_EQ(b3[0], 1.0f);
+  EXPECT_FLOAT_EQ(b3[1], 2.0f);
+  EXPECT_FLOAT_EQ(b3[2], 1.0f);
+  const Tensor b5 = binomial_row(5);
+  EXPECT_FLOAT_EQ(b5[2], 6.0f);  // 1 4 6 4 1
+}
+
+TEST(Filters, DifferenceRows) {
+  const Tensor d3 = difference_row(3);
+  EXPECT_FLOAT_EQ(d3[0], -1.0f);
+  EXPECT_FLOAT_EQ(d3[1], 0.0f);
+  EXPECT_FLOAT_EQ(d3[2], 1.0f);
+  const Tensor d5 = difference_row(5);
+  // conv([1,2,1], [-1,0,1]) = [-1,-2,0,2,1]
+  EXPECT_FLOAT_EQ(d5[0], -1.0f);
+  EXPECT_FLOAT_EQ(d5[1], -2.0f);
+  EXPECT_FLOAT_EQ(d5[2], 0.0f);
+  EXPECT_FLOAT_EQ(d5[3], 2.0f);
+  EXPECT_FLOAT_EQ(d5[4], 1.0f);
+}
+
+TEST(Filters, DifferenceRowValidation) {
+  EXPECT_THROW(difference_row(4), std::invalid_argument);
+  EXPECT_THROW(difference_row(1), std::invalid_argument);
+}
+
+TEST(Filters, Classic3x3SobelX) {
+  const Tensor k = sobel_kernel(3, SobelAxis::kX, /*normalized=*/false);
+  const float expected[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(k[i], expected[i]);
+}
+
+TEST(Filters, Classic3x3SobelY) {
+  const Tensor k = sobel_kernel(3, SobelAxis::kY, /*normalized=*/false);
+  const float expected[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(k[i], expected[i]);
+}
+
+TEST(Filters, SobelKernelZeroSum) {
+  // Every Sobel kernel is a derivative operator: taps sum to zero.
+  for (const std::size_t n : {3u, 5u, 7u, 11u}) {
+    for (const auto axis : {SobelAxis::kX, SobelAxis::kY}) {
+      const Tensor k = sobel_kernel(n, axis);
+      EXPECT_NEAR(k.sum(), 0.0, 1e-5) << "n=" << n;
+    }
+  }
+}
+
+TEST(Filters, SobelKernelAntisymmetry) {
+  // Sobel-x is antisymmetric in x and symmetric in y.
+  const std::size_t n = 11;
+  const Tensor k = sobel_kernel(n, SobelAxis::kX);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      EXPECT_NEAR(k[y * n + x], -k[y * n + (n - 1 - x)], 1e-6);
+      EXPECT_NEAR(k[y * n + x], k[(n - 1 - y) * n + x], 1e-6);
+    }
+  }
+}
+
+TEST(Filters, SobelYIsTransposeOfSobelX) {
+  const std::size_t n = 5;
+  const Tensor kx = sobel_kernel(n, SobelAxis::kX);
+  const Tensor ky = sobel_kernel(n, SobelAxis::kY);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      EXPECT_NEAR(kx[y * n + x], ky[x * n + y], 1e-6);
+    }
+  }
+}
+
+TEST(Filters, NormalizedPositiveTapsSumToOne) {
+  for (const std::size_t n : {3u, 11u}) {
+    const Tensor k = sobel_kernel(n, SobelAxis::kX, /*normalized=*/true);
+    double pos = 0.0;
+    for (std::size_t i = 0; i < k.count(); ++i) {
+      if (k[i] > 0.0f) pos += k[i];
+    }
+    EXPECT_NEAR(pos, 1.0, 1e-5) << "n=" << n;
+  }
+}
+
+TEST(Filters, SobelFilterChannelPatternXyx) {
+  // The paper: "we naively replace the first of the filters with a
+  // Sobel-x, Sobel-y, Sobel-x filter".
+  const Tensor f = sobel_filter(3, 3, /*normalized=*/false);
+  ASSERT_EQ(f.shape(), (Shape{3, 3, 3}));
+  const Tensor kx = sobel_kernel(3, SobelAxis::kX, false);
+  const Tensor ky = sobel_kernel(3, SobelAxis::kY, false);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(f[i], kx[i]);       // channel 0: x
+    EXPECT_FLOAT_EQ(f[9 + i], ky[i]);   // channel 1: y
+    EXPECT_FLOAT_EQ(f[18 + i], kx[i]);  // channel 2: x
+  }
+}
+
+TEST(Filters, ReplaceFilterWithSobelReturnsPrevious) {
+  Rng rng(1);
+  Conv2d conv(3, 96, 11, 4, 0);
+  conv.init_he(rng);
+  const Tensor before = conv.filter(42);
+  const Tensor returned = replace_filter_with_sobel(conv, 42);
+  EXPECT_EQ(returned, before);
+  EXPECT_EQ(conv.filter(42), sobel_filter(3, 11));
+  // Restore (the Fig. 4 sweep pattern).
+  conv.set_filter(42, returned);
+  EXPECT_EQ(conv.filter(42), before);
+}
+
+TEST(Filters, SobelKernelValidation) {
+  EXPECT_THROW(sobel_kernel(2, SobelAxis::kX), std::invalid_argument);
+  EXPECT_THROW(sobel_filter(0, 3), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Numerical gradient checks for every trainable/backward-capable layer.
+// Central finite differences against analytic backward, on small shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/lrn.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hybridcnn::nn;
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
+using hybridcnn::util::Rng;
+
+/// Scalar probe loss L = sum(weights ⊙ out), whose dL/dout == weights.
+struct Probe {
+  Tensor weights;
+  explicit Probe(const Shape& out_shape, std::uint64_t seed) {
+    Rng rng(seed);
+    weights = Tensor(out_shape);
+    weights.fill_normal(rng, 0.0f, 1.0f);
+  }
+  [[nodiscard]] double loss(const Tensor& out) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.count(); ++i) {
+      acc += static_cast<double>(out[i]) * weights[i];
+    }
+    return acc;
+  }
+};
+
+/// Max relative error between analytic and numeric gradients of `value`
+/// entries, where forward() re-runs the layer after each perturbation.
+double check_gradient(Tensor& value, const Tensor& analytic,
+                      const std::function<double()>& loss_fn,
+                      float epsilon = 1e-3f) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < value.count(); ++i) {
+    const float saved = value[i];
+    value[i] = saved + epsilon;
+    const double up = loss_fn();
+    value[i] = saved - epsilon;
+    const double down = loss_fn();
+    value[i] = saved;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    const double denom =
+        std::max({1.0, std::fabs(numeric), std::fabs(
+                                               static_cast<double>(
+                                                   analytic[i]))});
+    worst = std::max(worst,
+                     std::fabs(numeric - static_cast<double>(analytic[i])) /
+                         denom);
+  }
+  return worst;
+}
+
+TEST(Gradients, ReLUInput) {
+  ReLU relu;
+  relu.set_training(true);
+  Rng rng(1);
+  Tensor input(Shape{2, 3, 4, 4});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const Probe probe(input.shape(), 2);
+
+  relu.forward(input);
+  const Tensor analytic = relu.backward(probe.weights);
+  const double err = check_gradient(
+      input, analytic, [&] { return probe.loss(relu.forward(input)); });
+  EXPECT_LT(err, 2e-2);  // kinks at 0 dominate the tolerance
+}
+
+TEST(Gradients, LinearInputAndParams) {
+  Linear fc(6, 4);
+  Rng rng(3);
+  fc.init_he(rng);
+  fc.set_training(true);
+  Tensor input(Shape{3, 6});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const Probe probe(Shape{3, 4}, 4);
+
+  fc.forward(input);
+  const Tensor grad_in = fc.backward(probe.weights);
+
+  const auto loss_fn = [&] { return probe.loss(fc.forward(input)); };
+  EXPECT_LT(check_gradient(input, grad_in, loss_fn), 2e-3);
+
+  // Parameter gradients.
+  fc.zero_grad();
+  fc.forward(input);
+  fc.backward(probe.weights);
+  const auto params = fc.params();
+  for (const Param& p : params) {
+    EXPECT_LT(check_gradient(*p.value, *p.grad, loss_fn), 2e-3)
+        << "param " << p.name;
+  }
+}
+
+TEST(Gradients, Conv2dInputAndParams) {
+  Conv2d conv(2, 3, 3, 2, 1);
+  Rng rng(5);
+  conv.init_he(rng);
+  conv.set_training(true);
+  Tensor input(Shape{2, 2, 7, 7});
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  Tensor out = conv.forward(input);
+  const Probe probe(out.shape(), 6);
+  const Tensor grad_in = conv.backward(probe.weights);
+
+  const auto loss_fn = [&] { return probe.loss(conv.forward(input)); };
+  EXPECT_LT(check_gradient(input, grad_in, loss_fn), 5e-3);
+
+  conv.zero_grad();
+  conv.forward(input);
+  conv.backward(probe.weights);
+  for (const Param& p : conv.params()) {
+    EXPECT_LT(check_gradient(*p.value, *p.grad, loss_fn), 5e-3)
+        << "param " << p.name;
+  }
+}
+
+TEST(Gradients, Conv2dFrozenFilterHasZeroGrad) {
+  Conv2d conv(1, 2, 3, 1, 1);
+  Rng rng(7);
+  conv.init_he(rng);
+  conv.set_training(true);
+  conv.set_filter_frozen(1, true);
+
+  Tensor input(Shape{1, 1, 5, 5});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  Tensor out = conv.forward(input);
+  const Probe probe(out.shape(), 8);
+  conv.zero_grad();
+  conv.backward(probe.weights);
+
+  const auto params = conv.params();
+  const Tensor& gw = *params[0].grad;
+  const Tensor& gb = *params[1].grad;
+  // Filter 0 grads must be non-zero, filter 1 grads exactly zero.
+  float sum0 = 0.0f;
+  float sum1 = 0.0f;
+  for (std::size_t i = 0; i < 9; ++i) {
+    sum0 += std::fabs(gw[i]);
+    sum1 += std::fabs(gw[9 + i]);
+  }
+  EXPECT_GT(sum0, 0.0f);
+  EXPECT_EQ(sum1, 0.0f);
+  EXPECT_EQ(gb[1], 0.0f);
+}
+
+TEST(Gradients, MaxPoolInput) {
+  MaxPool pool(2, 2);
+  pool.set_training(true);
+  Rng rng(9);
+  Tensor input(Shape{1, 2, 6, 6});
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  Tensor out = pool.forward(input);
+  const Probe probe(out.shape(), 10);
+  const Tensor grad_in = pool.backward(probe.weights);
+  const double err = check_gradient(
+      input, grad_in, [&] { return probe.loss(pool.forward(input)); },
+      1e-4f);  // small eps so argmax does not switch
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(Gradients, LrnInput) {
+  Lrn lrn(5, 2.0f, 0.5f, 0.75f);  // larger alpha exercises the cross term
+  lrn.set_training(true);
+  Rng rng(11);
+  Tensor input(Shape{1, 6, 3, 3});
+  input.fill_normal(rng, 0.5f, 0.5f);
+
+  lrn.forward(input);
+  const Probe probe(input.shape(), 12);
+  const Tensor grad_in = lrn.backward(probe.weights);
+  const double err = check_gradient(
+      input, grad_in, [&] { return probe.loss(lrn.forward(input)); });
+  EXPECT_LT(err, 5e-3);
+}
+
+TEST(Gradients, SoftmaxInput) {
+  Softmax sm;
+  sm.set_training(true);
+  Rng rng(13);
+  Tensor input(Shape{3, 5});
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  sm.forward(input);
+  const Probe probe(input.shape(), 14);
+  const Tensor grad_in = sm.backward(probe.weights);
+  const double err = check_gradient(
+      input, grad_in, [&] { return probe.loss(sm.forward(input)); });
+  EXPECT_LT(err, 2e-3);
+}
+
+TEST(Gradients, SoftmaxCrossEntropyMatchesNumeric) {
+  Rng rng(15);
+  Tensor logits(Shape{4, 6});
+  logits.fill_normal(rng, 0.0f, 2.0f);
+  const std::vector<int> labels{1, 0, 5, 3};
+
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  double worst = 0.0;
+  constexpr float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.count(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double up = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved - eps;
+    const double down = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    worst = std::max(worst, std::fabs(numeric - res.grad_logits[i]));
+  }
+  EXPECT_LT(worst, 1e-4);
+}
+
+TEST(Gradients, LossValidatesInput) {
+  Tensor logits(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(Tensor(Shape{6}), {0}),
+               std::invalid_argument);
+}
+
+}  // namespace

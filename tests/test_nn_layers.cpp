@@ -1,0 +1,273 @@
+// CNN layer forward semantics (shapes and known values).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/alexnet.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/lrn.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/minicnn.hpp"
+#include "nn/relu.hpp"
+#include "nn/sequential.hpp"
+#include "nn/softmax.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/reliable_conv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hybridcnn::nn;
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
+using hybridcnn::util::Rng;
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  Tensor f(Shape{1, 3, 3});
+  f[4] = 1.0f;  // centre tap
+  conv.set_filter(0, f);
+
+  Tensor input(Shape{1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  const Tensor out = conv.forward(input);
+  ASSERT_EQ(out.shape(), input.shape());
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[i], input[i]);
+}
+
+TEST(Conv2d, KnownValueWithStrideAndBias) {
+  Conv2d conv(1, 1, 2, 2, 0);
+  Tensor f(Shape{1, 2, 2}, 1.0f);  // box sum
+  conv.set_filter(0, f);
+  conv.bias()[0] = 0.5f;
+
+  Tensor input(Shape{1, 1, 4, 4}, 1.0f);
+  const Tensor out = conv.forward(input);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 4.5f);
+}
+
+TEST(Conv2d, MatchesReliableReferenceConv) {
+  // Cross-implementation check: the im2col engine and the reliability
+  // kernel's reference loop must agree to float tolerance.
+  Rng rng(3);
+  Conv2d conv(3, 8, 5, 2, 2);
+  conv.init_he(rng);
+
+  Tensor input(Shape{1, 3, 17, 17});
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  const Tensor a = conv.forward(input);
+
+  Tensor input_chw = input;
+  input_chw.reshape(Shape{3, 17, 17});
+  const hybridcnn::reliable::ReliableConv2d ref(
+      conv.weights(), conv.bias(), hybridcnn::reliable::ConvSpec{2, 2});
+  Tensor b = ref.reference_forward(input_chw);
+  b.reshape(a.shape());
+  EXPECT_LT(a.max_abs_diff(b), 2e-4f);
+}
+
+TEST(Conv2d, RejectsWrongChannelCount) {
+  Conv2d conv(3, 4, 3, 1, 1);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 2, 8, 8})),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, FilterSurgeryRoundTrip) {
+  Rng rng(5);
+  Conv2d conv(3, 4, 3, 1, 1);
+  conv.init_he(rng);
+  const Tensor original = conv.filter(2);
+  Tensor replacement(Shape{3, 3, 3}, 0.25f);
+  conv.set_filter(2, replacement);
+  EXPECT_EQ(conv.filter(2), replacement);
+  conv.set_filter(2, original);
+  EXPECT_EQ(conv.filter(2), original);
+}
+
+TEST(Conv2d, FilterSurgeryValidation) {
+  Conv2d conv(3, 4, 3, 1, 1);
+  EXPECT_THROW(conv.filter(4), std::out_of_range);
+  EXPECT_THROW(conv.set_filter(0, Tensor(Shape{3, 5, 5})),
+               std::invalid_argument);
+  EXPECT_THROW(conv.set_filter_frozen(4, true), std::out_of_range);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  const Tensor in(Shape{4}, std::vector<float>{-1.0f, 0.0f, 2.0f, -0.5f});
+  const Tensor out = relu.forward(in);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(MaxPool, SelectsWindowMaxima) {
+  MaxPool pool(2, 2);
+  Tensor input(Shape{1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  const Tensor out = pool.forward(input);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+  EXPECT_FLOAT_EQ(out[2], 13.0f);
+  EXPECT_FLOAT_EQ(out[3], 15.0f);
+}
+
+TEST(MaxPool, OverlappingAlexNetStyle) {
+  MaxPool pool(3, 2);
+  EXPECT_EQ(pool.out_size(55), 27u);
+  EXPECT_EQ(pool.out_size(27), 13u);
+  EXPECT_THROW(pool.out_size(2), std::invalid_argument);
+}
+
+TEST(Lrn, UnitInputKnownValue) {
+  // Single channel, x = 1: y = 1 / (2 + 1e-4/5)^0.75.
+  Lrn lrn;
+  Tensor input(Shape{1, 1, 1, 1}, 1.0f);
+  const Tensor out = lrn.forward(input);
+  EXPECT_NEAR(out[0], std::pow(2.0f + 1e-4f / 5.0f, -0.75f), 1e-6);
+}
+
+TEST(Lrn, SuppressionGrowsWithNeighbourActivity) {
+  Lrn lrn;
+  Tensor weak(Shape{1, 5, 1, 1}, 0.0f);
+  weak[2] = 1.0f;
+  const float alone = lrn.forward(weak)[2];
+
+  Tensor strong(Shape{1, 5, 1, 1}, 3.0f);
+  strong[2] = 1.0f;
+  const float crowded = lrn.forward(strong)[2];
+  EXPECT_LT(crowded, alone);
+}
+
+TEST(Linear, KnownValue) {
+  Linear fc(2, 2);
+  fc.weights() = Tensor(Shape{2, 2}, std::vector<float>{1.0f, 2.0f,
+                                                        3.0f, 4.0f});
+  fc.bias() = Tensor(Shape{2}, std::vector<float>{0.5f, -0.5f});
+  const Tensor in(Shape{1, 2}, std::vector<float>{1.0f, 1.0f});
+  const Tensor out = fc.forward(in);
+  EXPECT_FLOAT_EQ(out[0], 3.5f);
+  EXPECT_FLOAT_EQ(out[1], 6.5f);
+}
+
+TEST(Softmax, NormalisesRows) {
+  Softmax sm;
+  const Tensor in(Shape{2, 3}, std::vector<float>{1.0f, 2.0f, 3.0f,
+                                                  10.0f, 10.0f, 10.0f});
+  const Tensor out = sm.forward(in);
+  for (std::size_t s = 0; s < 2; ++s) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < 3; ++j) sum += out[s * 3 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+  EXPECT_NEAR(out[3], 1.0f / 3.0f, 1e-6);
+  EXPECT_GT(out[2], out[1]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Softmax sm;
+  const Tensor in(Shape{1, 2}, std::vector<float>{1000.0f, 1000.0f});
+  const Tensor out = sm.forward(in);
+  EXPECT_NEAR(out[0], 0.5f, 1e-6);
+}
+
+TEST(Flatten, ReshapesAndRestores) {
+  Flatten fl;
+  Tensor in(Shape{2, 3, 4, 5});
+  const Tensor out = fl.forward(in);
+  EXPECT_EQ(out.shape(), (Shape{2, 60}));
+  const Tensor back = fl.backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+}
+
+TEST(Dropout, IdentityAtInference) {
+  Dropout d(0.5f);
+  d.set_training(false);
+  Tensor in(Shape{100}, 1.0f);
+  const Tensor out = d.forward(in);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Dropout, MasksAndRescalesInTraining) {
+  Dropout d(0.5f);
+  d.set_training(true);
+  Tensor in(Shape{4, 4, 4, 4}, 1.0f);
+  const Tensor out = d.forward(in);
+  int zeros = 0;
+  for (std::size_t i = 0; i < out.count(); ++i) {
+    if (out[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_GT(zeros, 64);
+  EXPECT_LT(zeros, 192);
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(Sequential, ForwardUntilAndFromCompose) {
+  auto net = make_minicnn({});
+  Tensor image(Shape{1, 3, 32, 32});
+  Rng rng(8);
+  image.fill_normal(rng, 0.5f, 0.2f);
+
+  const Tensor full = net->forward(image);
+  const Tensor mid = net->forward_until(3, image);
+  const Tensor rest = net->forward_from(3, mid);
+  EXPECT_EQ(full, rest);
+}
+
+TEST(Sequential, LayerAccessValidation) {
+  auto net = make_minicnn({});
+  EXPECT_THROW((void)net->layer(100), std::out_of_range);
+  EXPECT_NO_THROW((void)net->layer_as<Conv2d>(kMiniCnnConv1));
+  EXPECT_THROW((void)net->layer_as<Linear>(kMiniCnnConv1), std::bad_cast);
+}
+
+TEST(AlexNet, GeometryEndToEnd) {
+  auto net = make_alexnet({.num_classes = 43, .seed = 1,
+                           .with_dropout = false});
+  Tensor image(Shape{1, 3, 227, 227});
+  Rng rng(9);
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor logits = net->forward(image);
+  EXPECT_EQ(logits.shape(), (Shape{1, 43}));
+
+  auto& conv1 = net->layer_as<Conv2d>(kAlexNetConv1);
+  EXPECT_EQ(conv1.out_channels(), kAlexNetConv1Filters);
+  EXPECT_EQ(conv1.kernel(), 11u);
+  EXPECT_EQ(conv1.stride(), 4u);
+}
+
+TEST(MiniCnn, GeometryEndToEnd) {
+  auto net = make_minicnn({.num_classes = 5, .conv1_filters = 16, .seed = 2});
+  Tensor image(Shape{2, 3, 32, 32});
+  Rng rng(10);
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor logits = net->forward(image);
+  EXPECT_EQ(logits.shape(), (Shape{2, 5}));
+}
+
+TEST(Layer, BackwardDefaultThrows) {
+  Softmax sm;  // has backward
+  ReLU relu;   // has backward
+  Lrn lrn;     // has backward
+  // A layer without forward state must reject backward.
+  EXPECT_THROW(relu.backward(Tensor(Shape{1})), std::invalid_argument);
+  (void)sm;
+  (void)lrn;
+}
+
+}  // namespace

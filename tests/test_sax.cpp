@@ -1,0 +1,277 @@
+// SAX substrate: z-normalisation, PAA, breakpoints, words, MINDIST and
+// its lower-bounding guarantee (the property the qualifier relies on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sax/breakpoints.hpp"
+#include "sax/mindist.hpp"
+#include "sax/paa.hpp"
+#include "sax/sax_word.hpp"
+#include "sax/znorm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hybridcnn::sax;
+using hybridcnn::util::Rng;
+
+// ----------------------------------------------------------------- znorm
+
+TEST(Znorm, MeanZeroStdOne) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto z = znormalize(s);
+  const auto st = series_stats(z);
+  EXPECT_NEAR(st.mean, 0.0, 1e-12);
+  EXPECT_NEAR(st.stddev, 1.0, 1e-12);
+}
+
+TEST(Znorm, ConstantSeriesBecomesZero) {
+  const std::vector<double> s{3.0, 3.0, 3.0};
+  const auto z = znormalize(s);
+  for (const double v : z) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Znorm, EmptySeries) {
+  EXPECT_TRUE(znormalize({}).empty());
+}
+
+TEST(Znorm, StatsOfKnownSeries) {
+  const auto st = series_stats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(st.mean, 5.0, 1e-12);
+  EXPECT_NEAR(st.stddev, 2.0, 1e-12);
+}
+
+// ------------------------------------------------------------------- paa
+
+TEST(Paa, ExactDivision) {
+  const std::vector<double> s{1.0, 3.0, 5.0, 7.0};
+  const auto p = paa(s, 2);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 2.0, 1e-12);
+  EXPECT_NEAR(p[1], 6.0, 1e-12);
+}
+
+TEST(Paa, IdentityWhenSegmentsEqualLength) {
+  const std::vector<double> s{1.0, -2.0, 4.0};
+  const auto p = paa(s, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p[i], s[i], 1e-12);
+}
+
+TEST(Paa, FractionalBoundariesPreserveMean) {
+  // segments that do not divide n: total mass must be preserved.
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto p = paa(s, 2);
+  ASSERT_EQ(p.size(), 2u);
+  const double series_mean = 3.0;
+  EXPECT_NEAR((p[0] + p[1]) / 2.0, series_mean, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+}
+
+TEST(Paa, SingleSegmentIsMean) {
+  const std::vector<double> s{2.0, 4.0, 9.0};
+  const auto p = paa(s, 1);
+  EXPECT_NEAR(p[0], 5.0, 1e-12);
+}
+
+TEST(Paa, Validation) {
+  EXPECT_THROW(paa({}, 1), std::invalid_argument);
+  EXPECT_THROW(paa({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(paa({1.0}, 2), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- breakpoints
+
+TEST(Breakpoints, MatchesPublishedTable) {
+  // Lin et al. 2003, Table 3.
+  const auto b3 = gaussian_breakpoints(3);
+  ASSERT_EQ(b3.size(), 2u);
+  EXPECT_NEAR(b3[0], -0.43, 0.005);
+  EXPECT_NEAR(b3[1], 0.43, 0.005);
+
+  const auto b4 = gaussian_breakpoints(4);
+  EXPECT_NEAR(b4[0], -0.67, 0.005);
+  EXPECT_NEAR(b4[1], 0.0, 1e-9);
+  EXPECT_NEAR(b4[2], 0.67, 0.005);
+
+  const auto b8 = gaussian_breakpoints(8);
+  EXPECT_NEAR(b8[0], -1.15, 0.005);
+  EXPECT_NEAR(b8[3], 0.0, 1e-9);
+  EXPECT_NEAR(b8[6], 1.15, 0.005);
+}
+
+TEST(Breakpoints, Ascending) {
+  for (std::size_t a = 2; a <= 26; ++a) {
+    const auto bp = gaussian_breakpoints(a);
+    for (std::size_t i = 1; i < bp.size(); ++i) {
+      EXPECT_LT(bp[i - 1], bp[i]);
+    }
+  }
+}
+
+TEST(Breakpoints, Validation) {
+  EXPECT_THROW(gaussian_breakpoints(1), std::invalid_argument);
+  EXPECT_THROW(gaussian_breakpoints(27), std::invalid_argument);
+}
+
+TEST(InverseNormalCdf, KnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.841344746), 1.0, 1e-5);
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughCdf) {
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double x = inverse_normal_cdf(p);
+    const double back = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(back, p, 1e-8);
+  }
+}
+
+// ------------------------------------------------------------------ word
+
+TEST(SaxWord, Symbolize) {
+  const auto bp = gaussian_breakpoints(4);  // {-0.67, 0, 0.67}
+  EXPECT_EQ(symbolize(-2.0, bp), 'a');
+  EXPECT_EQ(symbolize(-0.3, bp), 'b');
+  EXPECT_EQ(symbolize(0.3, bp), 'c');
+  EXPECT_EQ(symbolize(2.0, bp), 'd');
+}
+
+TEST(SaxWord, RampProducesSortedWord) {
+  std::vector<double> ramp(64);
+  for (std::size_t i = 0; i < 64; ++i) ramp[i] = static_cast<double>(i);
+  const std::string w = sax_word(ramp, {8, 4});
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(w.begin(), w.end()));
+  EXPECT_EQ(w.front(), 'a');
+  EXPECT_EQ(w.back(), 'd');
+}
+
+TEST(SaxWord, ConstantSeriesIsMidLetter) {
+  const std::vector<double> flat(32, 5.0);
+  const std::string w = sax_word(flat, {4, 4});
+  // znorm of constant -> all zeros -> letter 'c' (first letter >= 0).
+  EXPECT_EQ(w, "cccc");
+}
+
+TEST(SaxWord, ShiftAndScaleInvariance) {
+  Rng rng(3);
+  std::vector<double> s(128);
+  for (auto& v : s) v = rng.normal(0.0, 1.0);
+  std::vector<double> t(128);
+  for (std::size_t i = 0; i < 128; ++i) t[i] = 100.0 + 7.5 * s[i];
+  const SaxConfig cfg{16, 8};
+  EXPECT_EQ(sax_word(s, cfg), sax_word(t, cfg))
+      << "z-normalisation must make SAX shift/scale invariant";
+}
+
+// --------------------------------------------------------------- mindist
+
+TEST(Mindist, AdjacentSymbolsAreZeroDistance) {
+  const SymbolDistanceTable t(8);
+  EXPECT_EQ(t.dist('a', 'a'), 0.0);
+  EXPECT_EQ(t.dist('a', 'b'), 0.0);
+  EXPECT_EQ(t.dist('d', 'c'), 0.0);
+  EXPECT_GT(t.dist('a', 'c'), 0.0);
+}
+
+TEST(Mindist, SymmetricTable) {
+  const SymbolDistanceTable t(6);
+  for (char a = 'a'; a < 'a' + 6; ++a) {
+    for (char b = 'a'; b < 'a' + 6; ++b) {
+      EXPECT_EQ(t.dist(a, b), t.dist(b, a));
+    }
+  }
+}
+
+TEST(Mindist, RejectsOutOfAlphabetSymbols) {
+  const SymbolDistanceTable t(4);
+  EXPECT_THROW(t.dist('a', 'z'), std::invalid_argument);
+}
+
+TEST(Mindist, IdenticalWordsZero) {
+  const SymbolDistanceTable t(8);
+  EXPECT_EQ(mindist("abcd", "abcd", 64, t), 0.0);
+}
+
+TEST(Mindist, Validation) {
+  const SymbolDistanceTable t(8);
+  EXPECT_THROW(mindist("ab", "abc", 64, t), std::invalid_argument);
+  EXPECT_THROW(mindist("", "", 64, t), std::invalid_argument);
+}
+
+TEST(Mindist, KnownValue) {
+  const SymbolDistanceTable t(4);  // breakpoints {-0.67, 0, 0.67}
+  // dist(a, c) = 0 - (-0.6745) = 0.6745 ; word length 4, n = 16.
+  const double d = mindist("aaaa", "cccc", 16, t);
+  const double cell = 0.674489;
+  EXPECT_NEAR(d, std::sqrt(16.0 / 4.0) * std::sqrt(4.0 * cell * cell), 1e-3);
+}
+
+// The SAX guarantee: MINDIST lower-bounds the Euclidean distance between
+// the z-normalised series. Property-tested over random series.
+class MindistLowerBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MindistLowerBound, HoldsForRandomSeries) {
+  Rng rng(GetParam());
+  constexpr std::size_t n = 128;
+  const SaxConfig cfg{16, 8};
+  const SymbolDistanceTable table(cfg.alphabet);
+
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& v : a) v = rng.normal(0.0, 1.0);
+  // Mix of related and unrelated series exercises small and large dists.
+  const double mix = rng.uniform();
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = mix * a[i] + (1.0 - mix) * rng.normal(0.0, 1.0);
+  }
+
+  const auto za = znormalize(a);
+  const auto zb = znormalize(b);
+  double euclid = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    euclid += (za[i] - zb[i]) * (za[i] - zb[i]);
+  }
+  euclid = std::sqrt(euclid);
+
+  const double lower = mindist(sax_word(a, cfg), sax_word(b, cfg), n, table);
+  EXPECT_LE(lower, euclid + 1e-9)
+      << "MINDIST must never exceed the true Euclidean distance";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MindistLowerBound,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+TEST(MindistRotationInvariant, FindsBestRotation) {
+  const SymbolDistanceTable t(8);
+  const std::string a = "aaccaacc";
+  std::string b = "ccaaccaa";  // a rotated by 2
+  std::size_t rot = 0;
+  const double d = mindist_rotation_invariant(a, b, 64, t, &rot);
+  EXPECT_EQ(d, 0.0);
+  EXPECT_EQ(rot % 4, 2u);
+}
+
+TEST(MindistRotationInvariant, UpperBoundedByPlainMindist) {
+  Rng rng(9);
+  const SaxConfig cfg{16, 8};
+  const SymbolDistanceTable t(cfg.alphabet);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(64);
+    std::vector<double> b(64);
+    for (auto& v : a) v = rng.normal(0.0, 1.0);
+    for (auto& v : b) v = rng.normal(0.0, 1.0);
+    const std::string wa = sax_word(a, cfg);
+    const std::string wb = sax_word(b, cfg);
+    EXPECT_LE(mindist_rotation_invariant(wa, wb, 64, t),
+              mindist(wa, wb, 64, t) + 1e-12);
+  }
+}
+
+}  // namespace

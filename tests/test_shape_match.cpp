@@ -1,0 +1,171 @@
+// Shape matching: analytic polygon signatures, corner counting and the
+// octagon qualifier decision (Figure 3 logic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/renderer.hpp"
+#include "sax/shape_match.hpp"
+#include "vision/edge_map.hpp"
+#include "vision/radial.hpp"
+
+namespace {
+
+using namespace hybridcnn::sax;
+using hybridcnn::tensor::Tensor;
+
+TEST(PolygonSignature, UnitCircumradiusRange) {
+  const auto s = polygon_signature(8, 360);
+  ASSERT_EQ(s.size(), 360u);
+  double lo = 2.0;
+  double hi = 0.0;
+  for (const double v : s) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(hi, 1.0, 1e-6);                       // corners
+  EXPECT_NEAR(lo, std::cos(M_PI / 8.0), 1e-4);      // edge midpoints
+}
+
+TEST(PolygonSignature, PeriodicityMatchesSides) {
+  const std::size_t samples = 360;
+  for (const std::size_t sides : {3u, 4u, 6u, 8u}) {
+    const auto s = polygon_signature(sides, samples);
+    const std::size_t period = samples / sides;
+    for (std::size_t i = 0; i < samples; ++i) {
+      EXPECT_NEAR(s[i], s[(i + period) % samples], 1e-6)
+          << "sides=" << sides << " i=" << i;
+    }
+  }
+}
+
+TEST(PolygonSignature, RotationShiftsSeries) {
+  const std::size_t samples = 360;
+  const std::size_t shift = 10;  // whole samples so the shift is exact
+  const double rot =
+      2.0 * M_PI * static_cast<double>(shift) / static_cast<double>(samples);
+  const auto base = polygon_signature(8, samples);
+  const auto rotated = polygon_signature(8, samples, rot);
+  // Rotating by k samples' worth of angle circularly shifts the series.
+  for (std::size_t i = 0; i < samples; ++i) {
+    EXPECT_NEAR(rotated[(i + shift) % samples], base[i], 1e-6);
+  }
+}
+
+TEST(PolygonSignature, Validation) {
+  EXPECT_THROW(polygon_signature(2, 100), std::invalid_argument);
+  EXPECT_THROW(polygon_signature(8, 0), std::invalid_argument);
+}
+
+// Corner counting on analytic polygons, parameterised over side count.
+class CornerCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CornerCount, AnalyticPolygonHasExactlySidesCorners) {
+  const std::size_t sides = GetParam();
+  const auto s = polygon_signature(sides, 360);
+  EXPECT_EQ(count_corners(s), static_cast<int>(sides));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sides, CornerCount,
+                         ::testing::Values(3u, 4u, 5u, 6u, 8u));
+
+TEST(CountCorners, CircleHasNone) {
+  const std::vector<double> flat(360, 1.0);
+  EXPECT_EQ(count_corners(flat), 0);
+}
+
+TEST(CountCorners, TooShortSeriesIsZero) {
+  EXPECT_EQ(count_corners({1.0, 2.0, 1.0}), 0);
+}
+
+TEST(ShapeTemplate, OctagonWordIsPeriodic) {
+  const std::string w = shape_template_word(8, {32, 8});
+  ASSERT_EQ(w.size(), 32u);
+  // 32 letters over 8 periods: the word repeats every 4 letters.
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(w[i], w[(i + 4) % 32]);
+  }
+}
+
+TEST(MatchShape, AnalyticOctagonMatchesItself) {
+  const auto s = polygon_signature(8, 360);
+  const auto r = match_shape(s, 8);
+  EXPECT_TRUE(r.match);
+  EXPECT_NEAR(r.distance, 0.0, 1e-9);
+  EXPECT_EQ(r.corners, 8);
+}
+
+TEST(MatchShape, RotatedOctagonStillMatches) {
+  for (double deg = 0.0; deg < 45.0; deg += 7.5) {
+    const auto s = polygon_signature(8, 360, deg * M_PI / 180.0);
+    const auto r = match_shape(s, 8);
+    EXPECT_TRUE(r.match) << "rotation " << deg << " deg, dist=" << r.distance
+                         << " corners=" << r.corners;
+  }
+}
+
+TEST(MatchShape, CircleDoesNotMatchOctagon) {
+  const std::vector<double> circle(360, 1.0);
+  const auto r = match_shape(circle, 8);
+  EXPECT_FALSE(r.match) << "flat signature has no corners";
+}
+
+TEST(MatchShape, SquareDoesNotMatchOctagon) {
+  const auto square = polygon_signature(4, 360);
+  const auto r = match_shape(square, 8);
+  EXPECT_FALSE(r.match) << "dist=" << r.distance
+                        << " corners=" << r.corners;
+}
+
+TEST(MatchShape, TriangleDoesNotMatchOctagon) {
+  const auto tri = polygon_signature(3, 360);
+  const auto r = match_shape(tri, 8);
+  EXPECT_FALSE(r.match);
+}
+
+TEST(MatchShape, ShortSeriesIsRejected) {
+  const std::vector<double> s(8, 1.0);
+  const auto r = match_shape(s, 8);  // shorter than word length 32
+  EXPECT_FALSE(r.match);
+}
+
+// End-to-end on rendered pixels: the Fig. 3 pipeline.
+class RenderedStopSign : public ::testing::TestWithParam<double> {};
+
+TEST_P(RenderedStopSign, SilhouetteMatchesOctagonTemplate) {
+  const double angle_deg = GetParam();
+  const Tensor img = hybridcnn::data::render_stop_sign(227, angle_deg);
+  const auto mask = hybridcnn::vision::dominant_shape(img);
+  const auto series = hybridcnn::vision::shape_signature(mask, 360);
+  ASSERT_GE(series.size(), 360u);
+  const auto r = match_shape(series, 8);
+  EXPECT_TRUE(r.match) << "angle " << angle_deg << ": dist=" << r.distance
+                       << " corners=" << r.corners << " word=" << r.word;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RenderedStopSign,
+                         ::testing::Values(0.0, 5.0, 10.0, -8.0, 20.0));
+
+TEST(RenderedShapes, NonOctagonsRejectedByQualifierLogic) {
+  using hybridcnn::data::RenderParams;
+  using hybridcnn::data::SignClass;
+  for (const SignClass cls :
+       {SignClass::kSpeedLimit, SignClass::kYield, SignClass::kParking,
+        SignClass::kPriority}) {
+    RenderParams p;
+    p.cls = cls;
+    p.size = 227;
+    p.scale = 0.85;
+    p.noise_sigma = 0.015;
+    const Tensor img = hybridcnn::data::render_sign(p);
+    const auto mask = hybridcnn::vision::dominant_shape(img);
+    const auto series = hybridcnn::vision::shape_signature(mask, 360);
+    ASSERT_FALSE(series.empty());
+    const auto r = match_shape(series, 8);
+    EXPECT_FALSE(r.match)
+        << hybridcnn::data::class_name(cls) << " wrongly qualified: dist="
+        << r.distance << " corners=" << r.corners;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tensor and Shape semantics.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
+using hybridcnn::util::Rng;
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.count(), 24u);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_EQ(s[2], 4u);
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShapeCountsOne) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(Shape, RejectsZeroDimension) {
+  EXPECT_THROW((Shape{1, 0, 2}), std::invalid_argument);
+}
+
+TEST(Shape, RejectsRankAboveFour) {
+  EXPECT_THROW((Shape{1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  const Shape s{2, 2};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.count(), 6u);
+  for (std::size_t i = 0; i < t.count(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor) {
+  const Tensor t(Shape{4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, VectorConstructorValidatesCount) {
+  EXPECT_THROW(Tensor(Shape{3}, std::vector<float>{1.0f, 2.0f}),
+               std::invalid_argument);
+  const Tensor ok(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_EQ(ok[1], 2.0f);
+}
+
+TEST(Tensor, BoundsCheckedAt) {
+  Tensor t(Shape{2});
+  EXPECT_NO_THROW(t.at(1));
+  EXPECT_THROW(t.at(2), std::out_of_range);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at4(0, 3, 0, 0), std::out_of_range);
+}
+
+TEST(Tensor, At3And2Indexing) {
+  Tensor t3(Shape{2, 3, 4});
+  t3.at3(1, 2, 3) = 1.0f;
+  EXPECT_EQ(t3[(1 * 3 + 2) * 4 + 3], 1.0f);
+  EXPECT_THROW(t3.at3(2, 0, 0), std::out_of_range);
+
+  Tensor t2(Shape{3, 4});
+  t2.at2(2, 3) = 9.0f;
+  EXPECT_EQ(t2[2 * 4 + 3], 9.0f);
+  EXPECT_THROW(t2.at2(0, 4), std::out_of_range);
+}
+
+TEST(Tensor, RankMismatchedAccessorsThrow) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW(t.at4(0, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at3(0, 0, 0), std::out_of_range);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t(Shape{2, 6});
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.shape(), (Shape{3, 4}));
+  EXPECT_THROW(t.reshape(Shape{5}), std::invalid_argument);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  const Tensor t(Shape{5}, std::vector<float>{1.0f, 3.0f, 3.0f, 2.0f, 0.0f});
+  EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, Sum) {
+  const Tensor t(Shape{4}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(t.sum(), 10.0);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a(Shape{3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  const Tensor b(Shape{3}, std::vector<float>{1.0f, 2.5f, 2.0f});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 1.0f);
+  const Tensor c(Shape{2});
+  EXPECT_THROW(a.max_abs_diff(c), std::invalid_argument);
+}
+
+TEST(Tensor, FillNormalStatistics) {
+  Rng rng(3);
+  Tensor t(Shape{4, 4, 4, 4});
+  t.fill_normal(rng, 1.0f, 2.0f);
+  const double mean = t.sum() / static_cast<double>(t.count());
+  EXPECT_NEAR(mean, 1.0, 0.35);
+}
+
+TEST(Tensor, FillUniformRange) {
+  Rng rng(4);
+  Tensor t(Shape{1000});
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  for (std::size_t i = 0; i < t.count(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(Tensor, EqualityIsShapeAndContent) {
+  Tensor a(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_TRUE(a == b);
+  b[1] = 3.0f;
+  EXPECT_FALSE(a == b);
+  Tensor c(Shape{1, 2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Tensor, ArgmaxOnEmptyThrows) {
+  Tensor t;
+  EXPECT_THROW((void)t.argmax(), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Training-loop plumbing: batching, hooks, evaluation metrics.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+using data::DatasetConfig;
+using data::Example;
+using nn::Evaluation;
+using nn::TrainConfig;
+
+/// Tiny linear classifier so each test trains in milliseconds.
+std::unique_ptr<nn::Sequential> tiny_net(std::uint64_t seed = 1) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(3 * 16 * 16, data::kNumClasses);
+  nn::init_network(*net, seed);
+  return net;
+}
+
+std::vector<Example> tiny_data(std::size_t per_class, std::uint64_t seed) {
+  DatasetConfig cfg;
+  cfg.image_size = 16;
+  return data::make_dataset(per_class, cfg, seed);
+}
+
+TEST(Trainer, HistoryLengthMatchesEpochs) {
+  auto net = tiny_net();
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 8;
+  tc.learning_rate = 0.01f;
+  const auto history = nn::train(*net, tiny_data(4, 11), tc);
+  EXPECT_EQ(history.size(), 4u);
+}
+
+TEST(Trainer, HandlesBatchRemainder) {
+  // 5 classes x 3 examples = 15, batch 4 -> last batch has 3 samples.
+  auto net = tiny_net();
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 4;
+  tc.learning_rate = 0.01f;
+  EXPECT_NO_THROW(nn::train(*net, tiny_data(3, 13), tc));
+}
+
+TEST(Trainer, BatchSizeLargerThanDatasetIsOneBatch) {
+  auto net = tiny_net();
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 10000;
+  tc.learning_rate = 0.01f;
+  EXPECT_NO_THROW(nn::train(*net, tiny_data(2, 17), tc));
+}
+
+TEST(Trainer, AfterStepHookRunsOncePerBatch) {
+  auto net = tiny_net();
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 5;  // 15 examples -> 3 batches per epoch
+  tc.learning_rate = 0.01f;
+  int calls = 0;
+  tc.after_step = [&calls](nn::Sequential&) { ++calls; };
+  nn::train(*net, tiny_data(3, 19), tc);
+  EXPECT_EQ(calls, 2 * 3);
+}
+
+TEST(Trainer, TrainingLeavesNetworkInInferenceMode) {
+  auto net = tiny_net();
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  tc.learning_rate = 0.01f;
+  nn::train(*net, tiny_data(2, 23), tc);
+  EXPECT_FALSE(net->training());
+}
+
+TEST(Trainer, AccuracyImprovesOnSeparableData) {
+  auto net = tiny_net();
+  const auto data = tiny_data(20, 29);
+  const auto before = nn::evaluate(*net, data, data::kNumClasses);
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 20;
+  tc.learning_rate = 0.02f;
+  nn::train(*net, data, tc);
+  const auto after = nn::evaluate(*net, data, data::kNumClasses);
+  EXPECT_GT(after.accuracy, before.accuracy);
+  EXPECT_GT(after.accuracy, 0.5);
+}
+
+TEST(Evaluate, ConfidenceIsAProbability) {
+  auto net = tiny_net();
+  const auto data = tiny_data(2, 31);
+  const Evaluation eval = nn::evaluate(*net, data, data::kNumClasses);
+  EXPECT_GE(eval.mean_true_class_confidence, 0.0);
+  EXPECT_LE(eval.mean_true_class_confidence, 1.0);
+  EXPECT_GE(eval.accuracy, 0.0);
+  EXPECT_LE(eval.accuracy, 1.0);
+}
+
+TEST(Evaluate, RejectsClassCountMismatch) {
+  auto net = tiny_net();  // 5-class head
+  const auto data = tiny_data(2, 37);
+  EXPECT_THROW(nn::evaluate(*net, data, 7), std::invalid_argument);
+}
+
+TEST(MeanClassConfidence, SumsToOneAcrossClasses) {
+  auto net = tiny_net();
+  const auto data = tiny_data(2, 41);
+  double total = 0.0;
+  for (std::size_t c = 0; c < data::kNumClasses; ++c) {
+    total += nn::mean_class_confidence(*net, data, static_cast<int>(c));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(MeanClassConfidence, RejectsBadClass) {
+  auto net = tiny_net();
+  const auto data = tiny_data(1, 43);
+  EXPECT_THROW(nn::mean_class_confidence(*net, data, -1),
+               std::invalid_argument);
+  EXPECT_THROW(nn::mean_class_confidence(*net, data, 99),
+               std::invalid_argument);
+}
+
+}  // namespace

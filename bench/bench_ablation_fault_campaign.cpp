@@ -55,20 +55,25 @@ int main() {
 
   for (const char* scheme : {"simplex", "dmr", "tmr"}) {
     for (const double rate : {1e-6, 1e-5, 1e-4, 1e-3}) {
-      faultsim::CampaignSummary summary;
-      for (std::size_t run = 0; run < runs; ++run) {
-        faultsim::FaultConfig cfg;
-        cfg.kind = faultsim::FaultKind::kTransient;
-        cfg.probability = rate;
-        cfg.bit = -1;
-        auto inj = std::make_shared<faultsim::FaultInjector>(
-            cfg, 1000 + run);
-        const auto exec = reliable::make_executor(scheme, inj);
-        const auto result = conv.forward(input, *exec);
-        summary.add(faultsim::classify(inj->stats().faults > 0,
-                                       !result.report.ok,
-                                       result.output == golden));
-      }
+      // Independent runs execute across the thread pool; per-run injector
+      // seeds keep the summary bit-identical at any thread count.
+      const faultsim::CampaignSummary summary = conv.forward_campaign(
+          input, runs,
+          [&](std::size_t run) {
+            faultsim::FaultConfig cfg;
+            cfg.kind = faultsim::FaultKind::kTransient;
+            cfg.probability = rate;
+            cfg.bit = -1;
+            return reliable::make_executor(
+                scheme,
+                std::make_shared<faultsim::FaultInjector>(cfg, 1000 + run));
+          },
+          [&](std::size_t, const reliable::ReliableResult& result,
+              reliable::Executor& exec) {
+            return faultsim::classify(exec.injector()->stats().faults > 0,
+                                      !result.report.ok,
+                                      result.output == golden);
+          });
       table.row({scheme, util::CsvWriter::num(rate),
                  std::to_string(summary.correct),
                  std::to_string(summary.corrected),

@@ -100,7 +100,7 @@ int main() {
   // hybrid
   core::HybridNetwork small_hybrid(make_small(), 0, core::HybridConfig{});
   sw.reset();
-  small_hybrid.classify(img);
+  static_cast<void>(small_hybrid.classify(img));
   const double t_hybrid = sw.seconds();
 
   // fully reliable: both convolutions through DMR operators; the (tiny)

@@ -5,11 +5,16 @@
 
 #include <memory>
 
+#include <vector>
+
 #include "faultsim/injector.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/gemm_ref.hpp"
 #include "reliable/executor.hpp"
 #include "reliable/leaky_bucket.hpp"
 #include "reliable/reliable_conv.hpp"
+#include "runtime/compute_context.hpp"
 #include "sax/sax_word.hpp"
 #include "util/rng.hpp"
 #include "vision/radial.hpp"
@@ -91,6 +96,69 @@ void BM_NativeConvSmall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NativeConvSmall);
+
+// ------------------------------------------------------------------ GEMM
+// Conv2-like shape: the im2col hot path of the CNN engine. items/sec is
+// multiply-accumulates, so the counter reads directly as MAC throughput.
+constexpr std::size_t kGemmM = 96;
+constexpr std::size_t kGemmK = 363;
+constexpr std::size_t kGemmN = 3136;
+
+struct GemmData {
+  std::vector<float> a, b, c;
+  GemmData() : a(kGemmM * kGemmK), b(kGemmK * kGemmN), c(kGemmM * kGemmN) {
+    util::Rng rng(5);
+    for (auto& v : a) v = static_cast<float>(rng.normal()) * 0.1f;
+    for (auto& v : b) v = static_cast<float>(rng.normal()) * 0.1f;
+  }
+};
+
+void BM_GemmSeedKernel(benchmark::State& state) {
+  GemmData d;
+  for (auto _ : state) {
+    nn::ref::gemm(kGemmM, kGemmK, kGemmN, d.a.data(), d.b.data(),
+                  d.c.data());
+    benchmark::DoNotOptimize(d.c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kGemmM * kGemmK *
+                                                    kGemmN));
+}
+BENCHMARK(BM_GemmSeedKernel);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::size_t prior = runtime::ComputeContext::global().slot_count();
+  runtime::ComputeContext::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  GemmData d;
+  for (auto _ : state) {
+    nn::gemm(kGemmM, kGemmK, kGemmN, d.a.data(), d.b.data(), d.c.data());
+    benchmark::DoNotOptimize(d.c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kGemmM * kGemmK *
+                                                    kGemmN));
+  runtime::ComputeContext::set_global_threads(prior);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Conv2dForwardBatch(benchmark::State& state) {
+  const std::size_t prior = runtime::ComputeContext::global().slot_count();
+  runtime::ComputeContext::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(6);
+  nn::Conv2d conv(3, 8, 7, 2, 0);
+  conv.init_he(rng);
+  tensor::Tensor input(tensor::Shape{8, 3, 96, 96});
+  input.fill_normal(rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    const auto out = conv.forward(input);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+  runtime::ComputeContext::set_global_threads(prior);
+}
+BENCHMARK(BM_Conv2dForwardBatch)->Arg(1)->Arg(4);
 
 void BM_SaxWord(benchmark::State& state) {
   util::Rng rng(2);

@@ -8,6 +8,8 @@
 // argument, runnable as a demo.
 #include <cstdio>
 
+#include <vector>
+
 #include "core/hybrid_network.hpp"
 #include "data/renderer.hpp"
 #include "faultsim/campaign.hpp"
@@ -51,26 +53,34 @@ int main() {
                      "avg detected errors"});
 
   for (const double rate : {1e-7, 1e-6, 1e-5, 1e-4}) {
-    faultsim::CampaignSummary summary;
-    double detected = 0.0;
-    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-      core::HybridConfig cfg;
-      cfg.fault_config.kind = faultsim::FaultKind::kTransient;
-      cfg.fault_config.probability = rate;
-      cfg.fault_config.bit = -1;
-      cfg.fault_seed = seed;
-      core::HybridNetwork hybrid(make_net(), 0, cfg);
-      const auto r = hybrid.classify(image);
+    constexpr std::size_t kRuns = 12;
+    // Each run builds its own hybrid network and injector state from the
+    // run index, so the campaign parallelises across the pool with a
+    // thread-count-independent summary.
+    std::vector<std::uint64_t> detected_per_run(kRuns, 0);
+    const faultsim::CampaignSummary summary = faultsim::run_campaign(
+        kRuns, [&](std::size_t run) {
+          core::HybridConfig cfg;
+          cfg.fault_config.kind = faultsim::FaultKind::kTransient;
+          cfg.fault_config.probability = rate;
+          cfg.fault_config.bit = -1;
+          cfg.fault_seed = run + 1;
+          core::HybridNetwork hybrid(make_net(), 0, cfg);
+          const auto r = hybrid.classify(image);
 
-      const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
-      const bool faults = aborted || r.conv1_report.detected_errors > 0 ||
-                          r.qualifier.report.detected_errors > 0;
-      const bool matches = r.predicted_class == g.predicted_class &&
-                           r.qualifier.match == g.qualifier.match &&
-                           r.confidence == g.confidence;
-      summary.add(faultsim::classify(faults, aborted, matches));
-      detected += static_cast<double>(r.conv1_report.detected_errors +
-                                      r.qualifier.report.detected_errors);
+          const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
+          const bool faults = aborted || r.conv1_report.detected_errors > 0 ||
+                              r.qualifier.report.detected_errors > 0;
+          const bool matches = r.predicted_class == g.predicted_class &&
+                               r.qualifier.match == g.qualifier.match &&
+                               r.confidence == g.confidence;
+          detected_per_run[run] = r.conv1_report.detected_errors +
+                                  r.qualifier.report.detected_errors;
+          return faultsim::classify(faults, aborted, matches);
+        });
+    double detected = 0.0;
+    for (const std::uint64_t d : detected_per_run) {
+      detected += static_cast<double>(d);
     }
     table.row({util::Table::fixed(rate, 7),
                std::to_string(summary.correct),

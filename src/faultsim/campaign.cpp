@@ -1,5 +1,7 @@
 #include "faultsim/campaign.hpp"
 
+#include <vector>
+
 namespace hybridcnn::faultsim {
 
 Outcome classify(bool faults_activated, bool aborted, bool matches_golden) {
@@ -55,6 +57,17 @@ double CampaignSummary::safety() const {
 double CampaignSummary::sdc_rate() const {
   if (runs == 0) return 0.0;
   return static_cast<double>(silent_corruption) / static_cast<double>(runs);
+}
+
+CampaignSummary run_campaign(
+    std::size_t runs, const std::function<Outcome(std::size_t)>& run_one,
+    runtime::ComputeContext& ctx) {
+  std::vector<Outcome> outcomes(runs, Outcome::kCorrect);
+  ctx.pool().parallel_for(0, runs,
+                          [&](std::size_t run) { outcomes[run] = run_one(run); });
+  CampaignSummary summary;
+  for (const Outcome o : outcomes) summary.add(o);
+  return summary;
 }
 
 }  // namespace hybridcnn::faultsim

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+
+#include "runtime/compute_context.hpp"
 
 namespace hybridcnn::faultsim {
 
@@ -52,5 +55,19 @@ struct CampaignSummary {
   /// Fraction of runs with silent data corruption.
   [[nodiscard]] double sdc_rate() const;
 };
+
+/// Executes `runs` independent workload runs across the thread pool and
+/// reduces their outcomes into a summary in run-index order.
+///
+/// `run_one(run)` performs one complete workload execution and classifies
+/// it. It is called exactly once per run index, possibly from worker
+/// threads and in any order, so it must derive every piece of stochastic
+/// state (fault-injector seed, executors, RNG streams) from the run index
+/// alone — the pattern the benches already follow with `seed_base + run`.
+/// Under that contract the returned CampaignSummary is bit-identical for
+/// every thread count.
+CampaignSummary run_campaign(
+    std::size_t runs, const std::function<Outcome(std::size_t)>& run_one,
+    runtime::ComputeContext& ctx = runtime::ComputeContext::global());
 
 }  // namespace hybridcnn::faultsim

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/gemm.hpp"
+#include "runtime/compute_context.hpp"
 
 namespace hybridcnn::nn {
 
@@ -93,7 +94,7 @@ void Conv2d::col2im_acc(const float* col, std::size_t in_h, std::size_t in_w,
   }
 }
 
-tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
+tensor::Tensor Conv2d::forward_impl(const tensor::Tensor& input) {
   const auto& in = input.shape();
   if (in.rank() != 4 || in[1] != in_c_) {
     throw std::invalid_argument("Conv2d: expected [N, " +
@@ -109,23 +110,62 @@ tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
   const std::size_t ick2 = in_c_ * k_ * k_;
 
   tensor::Tensor output(tensor::Shape{n, out_c_, out_h, out_w});
-  std::vector<float> col(ick2 * plane);
 
-  for (std::size_t s = 0; s < n; ++s) {
+  // Samples are independent: with enough of them, split the batch across
+  // the pool, each slot drawing its im2col panel from its own workspace
+  // arena. Small batches (fewer samples than slots) instead run the
+  // sample loop serially so the nested GEMM tile loop can use the whole
+  // pool — avoids the utilisation cliff at e.g. batch 2 on 8 slots.
+  auto& ctx = runtime::ComputeContext::global();
+  const auto sample = [&](std::size_t s) {
+    runtime::Workspace& ws = ctx.workspace();
+    runtime::Workspace::Scope scope(ws);
+    float* col = ws.alloc(ick2 * plane);
+
     const float* src = input.data().data() + s * in_c_ * in_h * in_w;
     float* dst = output.data().data() + s * out_c_ * plane;
-    im2col(src, in_h, in_w, out_h, out_w, col.data());
-    gemm(out_c_, ick2, plane, weights_.data().data(), col.data(), dst);
+    im2col(src, in_h, in_w, out_h, out_w, col);
+    gemm(out_c_, ick2, plane, weights_.data().data(), col, dst, ctx);
     for (std::size_t o = 0; o < out_c_; ++o) {
       const float b = bias_[o];
       float* orow = dst + o * plane;
       for (std::size_t i = 0; i < plane; ++i) orow[i] += b;
     }
+  };
+  if (n >= ctx.pool().slot_count()) {
+    ctx.pool().parallel_for(0, n, sample);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) sample(s);
   }
 
+  return output;
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
+  tensor::Tensor output = forward_impl(input);
   if (training_) cached_input_ = input;
   return output;
 }
+
+tensor::Tensor Conv2d::forward(tensor::Tensor&& input) {
+  tensor::Tensor output = forward_impl(input);
+  if (training_) cached_input_ = std::move(input);
+  return output;
+}
+
+namespace {
+// Samples per gradient-accumulation group. Fixed per batch size (never
+// derived from the thread count) so the reduction order — and therefore
+// the result — is identical no matter how many threads run the groups.
+constexpr std::size_t kGradGroup = 4;
+// Cap on the number of groups: partial-dW scratch is groups * |dW|, so
+// large batches widen the groups instead of multiplying the scratch.
+constexpr std::size_t kMaxGradGroups = 16;
+
+std::size_t grad_group_size(std::size_t n) noexcept {
+  return std::max(kGradGroup, (n + kMaxGradGroups - 1) / kMaxGradGroups);
+}
+}  // namespace
 
 tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
   const auto& in = cached_input_.shape();
@@ -145,33 +185,85 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
   }
 
   tensor::Tensor grad_input(in);
-  std::vector<float> col(ick2 * plane);
-  std::vector<float> grad_col(ick2 * plane);
 
-  for (std::size_t s = 0; s < n; ++s) {
-    const float* src = cached_input_.data().data() + s * in_c_ * in_h * in_w;
-    const float* gout = grad_output.data().data() + s * out_c_ * plane;
-    float* gin = grad_input.data().data() + s * in_c_ * in_h * in_w;
+  // dL/dinput is per-sample disjoint, but dW/db accumulate across the
+  // batch. Samples are grouped into fixed-size blocks, each block sums
+  // its contribution into a private partial buffer in sample order, and
+  // the partials are reduced in block order afterwards — deterministic
+  // for every thread count.
+  auto& ctx = runtime::ComputeContext::global();
+  const std::size_t group_size = grad_group_size(n);
+  const std::size_t groups = (n + group_size - 1) / group_size;
+  const std::size_t wsize = out_c_ * ick2;
 
-    im2col(src, in_h, in_w, out_h, out_w, col.data());
+  runtime::Workspace& shared = ctx.workspace();
+  runtime::Workspace::Scope shared_scope(shared);
+  float* partial_w = shared.alloc(groups * wsize);
+  float* partial_b = shared.alloc(groups * out_c_);
+  std::memset(partial_w, 0, groups * wsize * sizeof(float));
+  std::memset(partial_b, 0, groups * out_c_ * sizeof(float));
 
-    // dW[out_c, ick2] += dOut[out_c, plane] * col^T
-    gemm_a_bt(out_c_, plane, ick2, gout, col.data(),
-              grad_weights_.data().data());
+  const auto run_group = [&](std::size_t g) {
+    runtime::Workspace& ws = ctx.workspace();
+    runtime::Workspace::Scope scope(ws);
+    float* col = ws.alloc(ick2 * plane);
+    float* grad_col = ws.alloc(ick2 * plane);
+    float* pw = partial_w + g * wsize;
+    float* pb = partial_b + g * out_c_;
 
-    // db[o] += sum over plane
-    for (std::size_t o = 0; o < out_c_; ++o) {
-      float acc = 0.0f;
-      const float* grow = gout + o * plane;
-      for (std::size_t i = 0; i < plane; ++i) acc += grow[i];
-      grad_bias_[o] += acc;
+    const std::size_t s_end = std::min(n, (g + 1) * group_size);
+    for (std::size_t s = g * group_size; s < s_end; ++s) {
+      const float* src =
+          cached_input_.data().data() + s * in_c_ * in_h * in_w;
+      const float* gout = grad_output.data().data() + s * out_c_ * plane;
+      float* gin = grad_input.data().data() + s * in_c_ * in_h * in_w;
+
+      im2col(src, in_h, in_w, out_h, out_w, col);
+
+      // dW[out_c, ick2] += dOut[out_c, plane] * col^T
+      gemm_a_bt(out_c_, plane, ick2, gout, col, pw, ctx);
+
+      // db[o] += sum over plane
+      for (std::size_t o = 0; o < out_c_; ++o) {
+        float acc = 0.0f;
+        const float* grow = gout + o * plane;
+        for (std::size_t i = 0; i < plane; ++i) acc += grow[i];
+        pb[o] += acc;
+      }
+
+      // dcol[ick2, plane] = W^T * dOut ; then scatter back to input grads.
+      gemm_at_b_assign(ick2, out_c_, plane, weights_.data().data(), gout,
+                       grad_col, ctx);
+      col2im_acc(grad_col, in_h, in_w, out_h, out_w, gin);
     }
+  };
+  // Same cliff-avoidance as forward: few groups → serial group loop with
+  // pool-parallel GEMMs inside. Grouping (and thus the result) is
+  // unchanged either way.
+  if (groups >= ctx.pool().slot_count()) {
+    ctx.pool().parallel_for(0, groups, run_group);
+  } else {
+    for (std::size_t g = 0; g < groups; ++g) run_group(g);
+  }
 
-    // dcol[ick2, plane] = W^T * dOut ; then scatter back to input grads.
-    std::memset(grad_col.data(), 0, grad_col.size() * sizeof(float));
-    gemm_at_b(ick2, out_c_, plane, weights_.data().data(), gout,
-              grad_col.data());
-    col2im_acc(grad_col.data(), in_h, in_w, out_h, out_w, gin);
+  float* gw = grad_weights_.data().data();
+  ctx.pool().parallel_for_chunks(
+      0, wsize, 1024,
+      [&](std::size_t b, std::size_t e, std::size_t /*slot*/) {
+        for (std::size_t idx = b; idx < e; ++idx) {
+          float acc = gw[idx];
+          for (std::size_t g = 0; g < groups; ++g) {
+            acc += partial_w[g * wsize + idx];
+          }
+          gw[idx] = acc;
+        }
+      });
+  for (std::size_t o = 0; o < out_c_; ++o) {
+    float acc = grad_bias_[o];
+    for (std::size_t g = 0; g < groups; ++g) {
+      acc += partial_b[g * out_c_ + o];
+    }
+    grad_bias_[o] = acc;
   }
 
   apply_freeze_masks();

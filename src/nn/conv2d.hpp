@@ -24,6 +24,7 @@ class Conv2d final : public Layer {
          std::size_t kernel, std::size_t stride, std::size_t pad);
 
   tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor forward(tensor::Tensor&& input) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<Param> params() override;
   [[nodiscard]] std::string name() const override { return "conv2d"; }
@@ -61,6 +62,7 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::size_t out_size(std::size_t in) const;
 
  private:
+  tensor::Tensor forward_impl(const tensor::Tensor& input);
   void im2col(const float* src, std::size_t in_h, std::size_t in_w,
               std::size_t out_h, std::size_t out_w, float* col) const;
   void col2im_acc(const float* col, std::size_t in_h, std::size_t in_w,

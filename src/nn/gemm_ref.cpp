@@ -1,0 +1,59 @@
+#include "nn/gemm_ref.hpp"
+
+#include <cstring>
+
+namespace hybridcnn::nn::ref {
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c) {
+  std::memset(c, 0, m * n * sizeof(float));
+  gemm_acc(m, k, n, a, b, c);
+}
+
+void gemm_acc(std::size_t m, std::size_t k, std::size_t n, const float* a,
+              const float* b, float* c) {
+  // i-k-j order: the inner loop streams B and C rows, which autovectorises.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace hybridcnn::nn::ref

@@ -1,0 +1,31 @@
+// Naive single-threaded GEMM reference kernels.
+//
+// These are the seed library's original loop nests (minus the incorrect
+// `a == 0.0f` operation skip, which silently changed NaN/Inf propagation).
+// They serve three purposes: the correctness oracle the blocked kernels
+// are tested against over randomized shapes, the "seed kernel" baseline
+// row in bench_micro_ops, and the small-matrix fast path where packing
+// overhead would dominate.
+#pragma once
+
+#include <cstddef>
+
+namespace hybridcnn::nn::ref {
+
+/// C[m x n] = A[m x k] * B[k x n]  (C is overwritten).
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c);
+
+/// C[m x n] += A[m x k] * B[k x n].
+void gemm_acc(std::size_t m, std::size_t k, std::size_t n, const float* a,
+              const float* b, float* c);
+
+/// C[m x n] += A^T[k x m] * B[k x n]  (A stored k-major, i.e. [k x m]).
+void gemm_at_b(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c);
+
+/// C[m x n] += A[m x k] * B^T[n x k]  (B stored n-major, i.e. [n x k]).
+void gemm_a_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+               const float* b, float* c);
+
+}  // namespace hybridcnn::nn::ref

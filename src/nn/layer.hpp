@@ -35,6 +35,14 @@ class Layer {
   /// input. Throws std::invalid_argument on shape mismatch.
   virtual tensor::Tensor forward(const tensor::Tensor& input) = 0;
 
+  /// Rvalue overload: layers that cache their input for backward (conv,
+  /// linear, lrn, relu) take ownership instead of deep-copying it, so a
+  /// training step over a Sequential does no per-layer input copies.
+  /// Default delegates to the const-lvalue overload.
+  virtual tensor::Tensor forward(tensor::Tensor&& input) {
+    return forward(static_cast<const tensor::Tensor&>(input));
+  }
+
   /// Propagates the loss gradient; returns dL/dinput and accumulates
   /// parameter gradients. Default: unsupported (inference-only layer).
   virtual tensor::Tensor backward(const tensor::Tensor& grad_output);

@@ -22,6 +22,18 @@ void Linear::init_he(util::Rng& rng) {
 }
 
 tensor::Tensor Linear::forward(const tensor::Tensor& input) {
+  tensor::Tensor out = forward_impl(input);
+  if (training_) cached_input_ = input;
+  return out;
+}
+
+tensor::Tensor Linear::forward(tensor::Tensor&& input) {
+  tensor::Tensor out = forward_impl(input);
+  if (training_) cached_input_ = std::move(input);
+  return out;
+}
+
+tensor::Tensor Linear::forward_impl(const tensor::Tensor& input) {
   const auto& in = input.shape();
   if (in.rank() != 2 || in[1] != in_) {
     throw std::invalid_argument("Linear: expected [N, " +
@@ -35,7 +47,6 @@ tensor::Tensor Linear::forward(const tensor::Tensor& input) {
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t o = 0; o < out_; ++o) out[s * out_ + o] += bias_[o];
   }
-  if (training_) cached_input_ = input;
   return out;
 }
 

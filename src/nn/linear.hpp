@@ -12,6 +12,7 @@ class Linear final : public Layer {
   Linear(std::size_t in_features, std::size_t out_features);
 
   tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor forward(tensor::Tensor&& input) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<Param> params() override;
   [[nodiscard]] std::string name() const override { return "linear"; }
@@ -29,6 +30,8 @@ class Linear final : public Layer {
   [[nodiscard]] tensor::Tensor& bias() noexcept { return bias_; }
 
  private:
+  tensor::Tensor forward_impl(const tensor::Tensor& input);
+
   std::size_t in_;
   std::size_t out_;
   tensor::Tensor weights_;  // [out, in]

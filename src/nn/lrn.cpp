@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/compute_context.hpp"
+
 namespace hybridcnn::nn {
 
 Lrn::Lrn(std::size_t size, float k, float alpha, float beta)
@@ -10,7 +12,8 @@ Lrn::Lrn(std::size_t size, float k, float alpha, float beta)
   if (size == 0) throw std::invalid_argument("Lrn: size must be >= 1");
 }
 
-tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
+tensor::Tensor Lrn::forward_impl(const tensor::Tensor& input,
+                                 tensor::Tensor* denom) const {
   const auto& in = input.shape();
   if (in.rank() != 4) {
     throw std::invalid_argument("Lrn: expected NCHW, got " + in.str());
@@ -22,37 +25,66 @@ tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
   const float scale = alpha_ / static_cast<float>(size_);
 
   tensor::Tensor out(in);
-  tensor::Tensor denom(in);
+  if (denom != nullptr) *denom = tensor::Tensor(in);
 
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const auto lo = std::max<std::int64_t>(
-          0, static_cast<std::int64_t>(ch) - half);
-      const auto hi = std::min<std::int64_t>(
-          static_cast<std::int64_t>(c) - 1,
-          static_cast<std::int64_t>(ch) + half);
-      for (std::size_t p = 0; p < plane; ++p) {
-        float ssum = 0.0f;
-        for (std::int64_t j = lo; j <= hi; ++j) {
-          const float v =
-              input[(s * c + static_cast<std::size_t>(j)) * plane + p];
-          ssum += v * v;
+  // Every (sample, channel) plane writes disjoint out/denom slots.
+  runtime::ComputeContext::global().pool().parallel_for(
+      0, n * c, [&](std::size_t sc) {
+        const std::size_t s = sc / c;
+        const std::size_t ch = sc % c;
+        const auto lo = std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(ch) - half);
+        const auto hi = std::min<std::int64_t>(
+            static_cast<std::int64_t>(c) - 1,
+            static_cast<std::int64_t>(ch) + half);
+        for (std::size_t p = 0; p < plane; ++p) {
+          float ssum = 0.0f;
+          for (std::int64_t j = lo; j <= hi; ++j) {
+            const float v =
+                input[(s * c + static_cast<std::size_t>(j)) * plane + p];
+            ssum += v * v;
+          }
+          const std::size_t idx = (s * c + ch) * plane + p;
+          const float d = k_ + scale * ssum;
+          if (denom != nullptr) (*denom)[idx] = d;
+          out[idx] = input[idx] * std::pow(d, -beta_);
         }
-        const std::size_t idx = (s * c + ch) * plane + p;
-        const float d = k_ + scale * ssum;
-        denom[idx] = d;
-        out[idx] = input[idx] * std::pow(d, -beta_);
-      }
-    }
-  }
+      });
 
-  cached_input_ = input;
-  cached_denom_ = denom;
+  return out;
+}
+
+tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
+  tensor::Tensor out =
+      forward_impl(input, training_ ? &cached_denom_ : nullptr);
+  if (training_) {
+    cached_input_ = input;
+  } else {
+    // Drop any previous training-mode cache so a later backward fails
+    // loudly instead of using stale state.
+    cached_input_ = tensor::Tensor();
+    cached_denom_ = tensor::Tensor();
+  }
+  return out;
+}
+
+tensor::Tensor Lrn::forward(tensor::Tensor&& input) {
+  tensor::Tensor out =
+      forward_impl(input, training_ ? &cached_denom_ : nullptr);
+  if (training_) {
+    cached_input_ = std::move(input);
+  } else {
+    cached_input_ = tensor::Tensor();
+    cached_denom_ = tensor::Tensor();
+  }
   return out;
 }
 
 tensor::Tensor Lrn::backward(const tensor::Tensor& grad_output) {
   const auto& in = cached_input_.shape();
+  if (in.rank() != 4) {
+    throw std::logic_error("Lrn::backward before forward (training mode)");
+  }
   if (grad_output.shape() != in) {
     throw std::invalid_argument("Lrn::backward: shape mismatch");
   }
@@ -65,28 +97,29 @@ tensor::Tensor Lrn::backward(const tensor::Tensor& grad_output) {
   // dL/dx_m = g_m * D_m^-beta
   //           - 2*scale*beta * x_m * sum_{i: m in window(i)} g_i x_i D_i^{-beta-1}
   tensor::Tensor grad(in);
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      // window(i) centred at i: m is in window(i) iff |i - m| <= half.
-      const auto lo = std::max<std::int64_t>(
-          0, static_cast<std::int64_t>(ch) - half);
-      const auto hi = std::min<std::int64_t>(
-          static_cast<std::int64_t>(c) - 1,
-          static_cast<std::int64_t>(ch) + half);
-      for (std::size_t p = 0; p < plane; ++p) {
-        const std::size_t m = (s * c + ch) * plane + p;
-        float cross = 0.0f;
-        for (std::int64_t i = lo; i <= hi; ++i) {
-          const std::size_t ii =
-              (s * c + static_cast<std::size_t>(i)) * plane + p;
-          cross += grad_output[ii] * cached_input_[ii] *
-                   std::pow(cached_denom_[ii], -beta_ - 1.0f);
+  runtime::ComputeContext::global().pool().parallel_for(
+      0, n * c, [&](std::size_t sc) {
+        const std::size_t s = sc / c;
+        const std::size_t ch = sc % c;
+        // window(i) centred at i: m is in window(i) iff |i - m| <= half.
+        const auto lo = std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(ch) - half);
+        const auto hi = std::min<std::int64_t>(
+            static_cast<std::int64_t>(c) - 1,
+            static_cast<std::int64_t>(ch) + half);
+        for (std::size_t p = 0; p < plane; ++p) {
+          const std::size_t m = (s * c + ch) * plane + p;
+          float cross = 0.0f;
+          for (std::int64_t i = lo; i <= hi; ++i) {
+            const std::size_t ii =
+                (s * c + static_cast<std::size_t>(i)) * plane + p;
+            cross += grad_output[ii] * cached_input_[ii] *
+                     std::pow(cached_denom_[ii], -beta_ - 1.0f);
+          }
+          grad[m] = grad_output[m] * std::pow(cached_denom_[m], -beta_) -
+                    2.0f * scale * beta_ * cached_input_[m] * cross;
         }
-        grad[m] = grad_output[m] * std::pow(cached_denom_[m], -beta_) -
-                  2.0f * scale * beta_ * cached_input_[m] * cross;
-      }
-    }
-  }
+      });
   return grad;
 }
 

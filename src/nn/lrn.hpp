@@ -14,10 +14,16 @@ class Lrn final : public Layer {
                float beta = 0.75f);
 
   tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor forward(tensor::Tensor&& input) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "lrn"; }
 
  private:
+  /// Shared forward computation; stores per-element denominators into
+  /// `denom` when non-null (training path, needed by backward).
+  tensor::Tensor forward_impl(const tensor::Tensor& input,
+                              tensor::Tensor* denom) const;
+
   std::size_t size_;
   float k_;
   float alpha_;

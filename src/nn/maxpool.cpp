@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/compute_context.hpp"
+
 namespace hybridcnn::nn {
 
 MaxPool::MaxPool(std::size_t window, std::size_t stride)
@@ -32,30 +34,32 @@ tensor::Tensor MaxPool::forward(const tensor::Tensor& input) {
   argmax_.assign(out.count(), 0);
   cached_in_shape_ = in;
 
-  std::size_t oi = 0;
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const std::size_t base = (s * c + ch) * in_h * in_w;
-      for (std::size_t oy = 0; oy < out_h; ++oy) {
-        for (std::size_t ox = 0; ox < out_w; ++ox, ++oi) {
-          std::size_t best_idx = base + (oy * stride_) * in_w + ox * stride_;
-          float best = input[best_idx];
-          for (std::size_t wy = 0; wy < window_; ++wy) {
-            for (std::size_t wx = 0; wx < window_; ++wx) {
-              const std::size_t idx =
-                  base + (oy * stride_ + wy) * in_w + (ox * stride_ + wx);
-              if (input[idx] > best) {
-                best = input[idx];
-                best_idx = idx;
+  // Each (sample, channel) plane is independent; split across the pool.
+  const std::size_t out_plane = out_h * out_w;
+  runtime::ComputeContext::global().pool().parallel_for(
+      0, n * c, [&](std::size_t sc) {
+        const std::size_t base = sc * in_h * in_w;
+        std::size_t oi = sc * out_plane;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          for (std::size_t ox = 0; ox < out_w; ++ox, ++oi) {
+            std::size_t best_idx =
+                base + (oy * stride_) * in_w + ox * stride_;
+            float best = input[best_idx];
+            for (std::size_t wy = 0; wy < window_; ++wy) {
+              for (std::size_t wx = 0; wx < window_; ++wx) {
+                const std::size_t idx =
+                    base + (oy * stride_ + wy) * in_w + (ox * stride_ + wx);
+                if (input[idx] > best) {
+                  best = input[idx];
+                  best_idx = idx;
+                }
               }
             }
+            out[oi] = best;
+            argmax_[oi] = best_idx;
           }
-          out[oi] = best;
-          argmax_[oi] = best_idx;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -63,10 +67,18 @@ tensor::Tensor MaxPool::backward(const tensor::Tensor& grad_output) {
   if (grad_output.count() != argmax_.size()) {
     throw std::invalid_argument("MaxPool::backward: shape mismatch");
   }
-  tensor::Tensor grad(cached_in_shape_);
-  for (std::size_t i = 0; i < argmax_.size(); ++i) {
-    grad[argmax_[i]] += grad_output[i];
-  }
+  const auto& in = cached_in_shape_;
+  tensor::Tensor grad(in);
+  const std::size_t out_plane = argmax_.size() / (in[0] * in[1]);
+  // argmax indices of one (sample, channel) plane stay inside that
+  // plane's input slots, so the scatter is race-free per plane.
+  runtime::ComputeContext::global().pool().parallel_for(
+      0, in[0] * in[1], [&](std::size_t sc) {
+        const std::size_t lo = sc * out_plane;
+        for (std::size_t i = lo; i < lo + out_plane; ++i) {
+          grad[argmax_[i]] += grad_output[i];
+        }
+      });
   return grad;
 }
 

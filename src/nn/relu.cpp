@@ -4,13 +4,35 @@
 
 namespace hybridcnn::nn {
 
-tensor::Tensor ReLU::forward(const tensor::Tensor& input) {
+namespace {
+
+tensor::Tensor relu_impl(const tensor::Tensor& input) {
   tensor::Tensor out(input.shape());
   for (std::size_t i = 0; i < input.count(); ++i) {
     out[i] = input[i] > 0.0f ? input[i] : 0.0f;
   }
+  return out;
+}
+
+}  // namespace
+
+tensor::Tensor ReLU::forward(const tensor::Tensor& input) {
+  tensor::Tensor out = relu_impl(input);
   if (training_) cached_input_ = input;
   return out;
+}
+
+tensor::Tensor ReLU::forward(tensor::Tensor&& input) {
+  // Owning the input, clamp in place instead of allocating a fresh
+  // output — with the exact same select as the lvalue path so both
+  // overloads are bit-identical (incl. NaN -> 0 and -0.0 -> +0.0).
+  // Caching the clamped tensor keeps backward intact: x > 0 holds for
+  // exactly the same elements before and after the clamp.
+  for (std::size_t i = 0; i < input.count(); ++i) {
+    input[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  }
+  if (training_) cached_input_ = input;
+  return std::move(input);
 }
 
 tensor::Tensor ReLU::backward(const tensor::Tensor& grad_output) {

@@ -9,6 +9,7 @@ namespace hybridcnn::nn {
 class ReLU final : public Layer {
  public:
   tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor forward(tensor::Tensor&& input) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "relu"; }
 

@@ -13,14 +13,26 @@ tensor::Tensor Sequential::forward(const tensor::Tensor& input) {
   return forward_from(0, input);
 }
 
+tensor::Tensor Sequential::forward(tensor::Tensor&& input) {
+  if (layers_.empty()) return std::move(input);
+  tensor::Tensor x = layers_[0]->forward(std::move(input));
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(std::move(x));
+  }
+  return x;
+}
+
 tensor::Tensor Sequential::forward_from(std::size_t start,
                                         const tensor::Tensor& input) {
   if (start > layers_.size()) {
     throw std::out_of_range("Sequential::forward_from");
   }
-  tensor::Tensor x = input;
-  for (std::size_t i = start; i < layers_.size(); ++i) {
-    x = layers_[i]->forward(x);
+  if (start == layers_.size()) return input;
+  // First layer reads the caller's tensor in place; intermediates are
+  // moved along the chain.
+  tensor::Tensor x = layers_[start]->forward(input);
+  for (std::size_t i = start + 1; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(std::move(x));
   }
   return x;
 }
@@ -30,9 +42,10 @@ tensor::Tensor Sequential::forward_until(std::size_t stop,
   if (stop > layers_.size()) {
     throw std::out_of_range("Sequential::forward_until");
   }
-  tensor::Tensor x = input;
-  for (std::size_t i = 0; i < stop; ++i) {
-    x = layers_[i]->forward(x);
+  if (stop == 0) return input;
+  tensor::Tensor x = layers_[0]->forward(input);
+  for (std::size_t i = 1; i < stop; ++i) {
+    x = layers_[i]->forward(std::move(x));
   }
   return x;
 }

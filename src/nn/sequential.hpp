@@ -33,6 +33,11 @@ class Sequential final : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input) override;
 
+  /// Rvalue chain: moves the input into the first layer and every
+  /// intermediate activation into the next, so caching layers keep their
+  /// backward state without deep copies.
+  tensor::Tensor forward(tensor::Tensor&& input) override;
+
   /// Runs layers [start, size()) on `input` — the hybrid re-entry point.
   tensor::Tensor forward_from(std::size_t start, const tensor::Tensor& input);
 

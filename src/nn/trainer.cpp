@@ -24,10 +24,12 @@ std::vector<EpochStats> train(Sequential& net,
          first += config.batch_size) {
       const std::size_t count =
           std::min(config.batch_size, examples.size() - first);
-      const data::Batch batch = data::make_batch(examples, first, count);
+      data::Batch batch = data::make_batch(examples, first, count);
 
       net.zero_grad();
-      const tensor::Tensor logits = net.forward(batch.images);
+      // The batch tensor is freshly stacked each step; moving it into the
+      // chain lets caching layers keep it without a deep copy.
+      const tensor::Tensor logits = net.forward(std::move(batch.images));
       const LossResult loss = softmax_cross_entropy(logits, batch.labels);
       net.backward(loss.grad_logits);
       sgd.step(net);

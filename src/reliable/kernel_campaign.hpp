@@ -1,0 +1,36 @@
+// Shared implementation of the reliable kernels' forward_campaign: fan a
+// fixed number of independent qualified executions of one kernel across
+// the thread pool and reduce the classified outcomes in run order. Works
+// for any kernel exposing `ReliableResult forward(const Tensor&,
+// Executor&) const` (ReliableConv2d, ReliableLinear).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "faultsim/campaign.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/reliable_conv.hpp"
+#include "runtime/compute_context.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::reliable::detail {
+
+template <typename Kernel>
+faultsim::CampaignSummary kernel_campaign(
+    const Kernel& kernel, const tensor::Tensor& input, std::size_t runs,
+    const std::function<std::unique_ptr<Executor>(std::size_t)>& make_exec,
+    const std::function<faultsim::Outcome(std::size_t, const ReliableResult&,
+                                          Executor&)>& classify,
+    runtime::ComputeContext& ctx) {
+  return faultsim::run_campaign(
+      runs,
+      [&](std::size_t run) {
+        const auto exec = make_exec(run);
+        const ReliableResult result = kernel.forward(input, *exec);
+        return classify(run, result, *exec);
+      },
+      ctx);
+}
+
+}  // namespace hybridcnn::reliable::detail

@@ -5,6 +5,7 @@
 
 #include "faultsim/bitflip.hpp"
 #include "reliable/checkpoint.hpp"
+#include "reliable/kernel_campaign.hpp"
 
 namespace hybridcnn::reliable {
 
@@ -205,6 +206,16 @@ ReliableResult ReliableConv2d::forward(const tensor::Tensor& input,
   report.bucket_peak = bucket.peak();
   report.bucket_exhausted = bucket.exhausted();
   return result;
+}
+
+faultsim::CampaignSummary ReliableConv2d::forward_campaign(
+    const tensor::Tensor& input, std::size_t runs,
+    const std::function<std::unique_ptr<Executor>(std::size_t)>& make_exec,
+    const std::function<faultsim::Outcome(std::size_t, const ReliableResult&,
+                                          Executor&)>& classify,
+    runtime::ComputeContext& ctx) const {
+  return detail::kernel_campaign(*this, input, runs, make_exec, classify,
+                                 ctx);
 }
 
 tensor::Tensor ReliableConv2d::reference_forward(

@@ -1,0 +1,49 @@
+#include "runtime/compute_context.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace hybridcnn::runtime {
+
+namespace {
+
+/// Thread count for the global context: HYBRIDCNN_THREADS if set and
+/// parseable, else 0 (hardware concurrency).
+std::size_t env_thread_count() {
+  const char* v = std::getenv("HYBRIDCNN_THREADS");
+  if (v == nullptr || v[0] == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return 0;
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+ComputeContext::ComputeContext(std::size_t threads) { resize(threads); }
+
+void ComputeContext::resize(std::size_t threads) {
+  pool_ = std::make_unique<ThreadPool>(threads);
+  const std::size_t slots = pool_->slot_count();
+  workspaces_.clear();
+  workspaces_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    workspaces_.push_back(std::make_unique<Workspace>());
+  }
+}
+
+Workspace& ComputeContext::overflow_workspace() noexcept {
+  thread_local Workspace ws;
+  return ws;
+}
+
+ComputeContext& ComputeContext::global() {
+  static ComputeContext ctx(env_thread_count());
+  return ctx;
+}
+
+void ComputeContext::set_global_threads(std::size_t threads) {
+  global().resize(threads);
+}
+
+}  // namespace hybridcnn::runtime

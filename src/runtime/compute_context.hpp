@@ -1,0 +1,79 @@
+// ComputeContext: the handle the compute layers run on.
+//
+// Bundles a ThreadPool with one Workspace per execution slot. Kernels
+// take (or default to) the process-global context, split work with
+// ctx.pool().parallel_for*, and draw scratch from ctx.workspace() — which
+// resolves to the calling slot's private arena, so parallel workers never
+// contend or share buffers.
+//
+// The global context sizes its pool from the HYBRIDCNN_THREADS
+// environment variable (falling back to hardware concurrency);
+// set_global_threads() rebuilds it, which tests use to prove outputs are
+// bit-identical at 1, 2 and 8 threads. Rebuilding while kernels are in
+// flight on another thread is undefined — it is a setup-time knob.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+
+namespace hybridcnn::runtime {
+
+class ComputeContext {
+ public:
+  /// Context over `threads` total threads (0 = hardware concurrency).
+  explicit ComputeContext(std::size_t threads = 0);
+
+  ComputeContext(const ComputeContext&) = delete;
+  ComputeContext& operator=(const ComputeContext&) = delete;
+
+  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+
+  /// Scratch arena of the calling thread. Inside a parallel region of
+  /// *this context's own pool* the executing slot's arena is returned —
+  /// exclusive to one thread for the duration of the job. Everywhere
+  /// else (top-level callers, or chunks of some other pool whose slot
+  /// numbering this context knows nothing about) every thread gets its
+  /// own thread-local arena: two threads must never share a bump
+  /// allocator.
+  [[nodiscard]] Workspace& workspace() noexcept {
+    if (ThreadPool::current_pool() == pool_.get()) {
+      const std::size_t slot = ThreadPool::current_slot();
+      if (slot < workspaces_.size()) return *workspaces_[slot];
+    }
+    return overflow_workspace();
+  }
+
+  /// Workspace of an explicit slot; requires slot < slot_count().
+  [[nodiscard]] Workspace& workspace(std::size_t slot) noexcept {
+    return *workspaces_[slot];
+  }
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return workspaces_.size();
+  }
+
+  /// Rebuilds this context's pool and per-slot workspaces for `threads`
+  /// total threads (0 = hardware concurrency). Outstanding workspace
+  /// pointers are invalidated. Setup-time only; see file comment.
+  void resize(std::size_t threads);
+
+  /// Process-global context. First use reads HYBRIDCNN_THREADS. The
+  /// returned reference is stable for the process lifetime (resize swaps
+  /// its internals, not the object).
+  static ComputeContext& global();
+
+  /// global().resize(threads) — convenience for tests and benches.
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  static Workspace& overflow_workspace() noexcept;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Workspace>> workspaces_;
+};
+
+}  // namespace hybridcnn::runtime

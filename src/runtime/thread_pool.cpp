@@ -1,0 +1,179 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace hybridcnn::runtime {
+
+namespace {
+
+thread_local std::size_t tls_slot = 0;
+thread_local bool tls_in_region = false;
+thread_local const void* tls_pool = nullptr;
+
+/// Scoped slot/region/pool marker for the duration of chunk execution.
+struct RegionGuard {
+  std::size_t saved_slot;
+  bool saved_in_region;
+  const void* saved_pool;
+  RegionGuard(std::size_t slot, const void* pool) noexcept
+      : saved_slot(tls_slot),
+        saved_in_region(tls_in_region),
+        saved_pool(tls_pool) {
+    tls_slot = slot;
+    tls_in_region = true;
+    tls_pool = pool;
+  }
+  ~RegionGuard() noexcept {
+    tls_slot = saved_slot;
+    tls_in_region = saved_in_region;
+    tls_pool = saved_pool;
+  }
+};
+
+}  // namespace
+
+/// One parallel_for invocation: an index range pre-split into chunks that
+/// workers claim through an atomic cursor.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+      nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk_size = 1;
+  std::size_t nchunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Job> job;
+  bool stop = false;
+  std::mutex submit_mu;  // serialises top-level parallel_for calls
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t slot = 1; slot < threads; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::current_slot() noexcept { return tls_slot; }
+
+bool ThreadPool::in_parallel_region() noexcept { return tls_in_region; }
+
+const ThreadPool* ThreadPool::current_pool() noexcept {
+  return static_cast<const ThreadPool*>(tls_pool);
+}
+
+void ThreadPool::run_chunks(Job& job, std::size_t slot) {
+  RegionGuard guard(slot, this);
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.nchunks) break;
+    const std::size_t b = job.begin + c * job.chunk_size;
+    const std::size_t e = std::min(b + job.chunk_size, job.end);
+    try {
+      (*job.fn)(b, e, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t slot) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(impl_->mu);
+      impl_->work_cv.wait(lk, [&] {
+        return impl_->stop ||
+               (impl_->job != nullptr &&
+                impl_->job->next.load(std::memory_order_relaxed) <
+                    impl_->job->nchunks);
+      });
+      if (impl_->stop) return;
+      job = impl_->job;
+    }
+    run_chunks(*job, slot);
+    {
+      // Publish completion under the lock so the submitting thread's
+      // predicate re-check cannot miss the final increment.
+      std::lock_guard<std::mutex> lk(impl_->mu);
+    }
+    impl_->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (grain == 0) grain = 1;
+
+  // Serial paths: no workers, a nested region, or a range too small to
+  // split. Runs inline under the caller's current slot and — when at top
+  // level — without marking a region, so a nested parallel_for (e.g. GEMM
+  // tiles under a batch-of-one layer loop) can still use the pool.
+  if (workers_.empty() || tls_in_region || count <= grain) {
+    fn(begin, end, tls_slot);
+    return;
+  }
+
+  // ~4 chunks per slot balances load without shrinking chunks below the
+  // caller's grain. Boundaries are a pure function of the range split.
+  const std::size_t target = slot_count() * 4;
+  const std::size_t chunk_size =
+      std::max(grain, (count + target - 1) / target);
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->chunk_size = chunk_size;
+  job->nchunks = (count + chunk_size - 1) / chunk_size;
+
+  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job = job;
+  }
+  impl_->work_cv.notify_all();
+
+  run_chunks(*job, /*slot=*/0);
+
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_cv.wait(lk, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->nchunks;
+    });
+    impl_->job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace hybridcnn::runtime

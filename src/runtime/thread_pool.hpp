@@ -1,0 +1,90 @@
+// Persistent worker pool with a deterministic blocked parallel_for.
+//
+// The pool is the compute substrate for the hot paths (blocked GEMM,
+// batched layer forward/backward, fault-injection campaigns). Work is
+// split into contiguous index chunks whose boundaries are a pure function
+// of the range and grain — never of scheduling — and every chunk writes
+// only its own output slots, so results are bit-identical regardless of
+// how many threads execute them. The calling thread participates as slot
+// 0; workers occupy slots 1..worker_count(), which per-slot scratch
+// arenas (runtime::Workspace) key on.
+//
+// Nested parallel regions are serialised: a parallel_for issued from
+// inside a chunk runs inline on the current thread. This keeps the
+// batch-level parallelism of the layers composable with the tile-level
+// parallelism inside GEMM without oversubscription or deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hybridcnn::runtime {
+
+class ThreadPool {
+ public:
+  /// A pool executing with `threads` total threads (including the
+  /// caller). 0 picks std::thread::hardware_concurrency(). `threads == 1`
+  /// spawns no workers and runs every parallel_for inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Background workers owned by the pool (excludes the caller).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Execution slots: workers plus the calling thread.
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs `fn(chunk_begin, chunk_end, slot)` over [begin, end) split into
+  /// contiguous chunks of at least `grain` indices. Blocks until every
+  /// chunk finished; the first exception thrown by a chunk is rethrown
+  /// here. Chunk boundaries depend only on (begin, end, grain, slot
+  /// count), and chunks may run on any slot — callers must write only to
+  /// per-index (or per-chunk) disjoint outputs.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Element-wise convenience: `fn(i)` for every i in [begin, end).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    parallel_for_chunks(begin, end, 1,
+                        [&fn](std::size_t b, std::size_t e, std::size_t) {
+                          for (std::size_t i = b; i < e; ++i) fn(i);
+                        });
+  }
+
+  /// Slot of the calling thread: 0 outside any parallel region (and for
+  /// the caller inside one), the worker's slot inside a chunk.
+  [[nodiscard]] static std::size_t current_slot() noexcept;
+
+  /// True while the calling thread executes inside a parallel_for chunk.
+  [[nodiscard]] static bool in_parallel_region() noexcept;
+
+  /// The pool whose parallel region the calling thread currently executes
+  /// in, or nullptr outside any region. Slot numbers are only meaningful
+  /// relative to this pool — ComputeContext uses it to keep per-slot
+  /// arenas from aliasing across distinct pools.
+  [[nodiscard]] static const ThreadPool* current_pool() noexcept;
+
+ private:
+  struct Job;
+
+  void worker_loop(std::size_t slot);
+  void run_chunks(Job& job, std::size_t slot);
+
+  std::vector<std::thread> workers_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hybridcnn::runtime

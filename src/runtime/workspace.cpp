@@ -1,0 +1,72 @@
+#include "runtime/workspace.hpp"
+
+#include <algorithm>
+
+namespace hybridcnn::runtime {
+
+namespace {
+// First block size; later blocks double (or fit the request, whichever is
+// larger) so a workspace converges to O(1) blocks for any workload.
+constexpr std::size_t kMinBlockFloats = 1u << 14;  // 64 KiB
+}  // namespace
+
+float* Workspace::alloc(std::size_t count) {
+  if (count == 0) count = 1;  // keep returned pointers distinct/valid
+  // Advance through existing blocks looking for room.
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.data.size() - b.used >= count) {
+      float* p = b.data.data() + b.used;
+      b.used += count;
+      return p;
+    }
+    if (b.used == 0 && active_ + 1 == blocks_.size()) break;  // grow instead
+    ++active_;
+  }
+  // Need a fresh block. Never reallocate an existing block: handed-out
+  // pointers must survive later allocs.
+  const std::size_t prev =
+      blocks_.empty() ? 0 : blocks_.back().data.size();
+  const std::size_t size = std::max({count, 2 * prev, kMinBlockFloats});
+  // Drop a trailing never-used block that was too small for this request.
+  if (!blocks_.empty() && blocks_.back().used == 0 &&
+      active_ + 1 == blocks_.size()) {
+    blocks_.pop_back();
+  }
+  blocks_.push_back(Block{std::vector<float>(size), count});
+  active_ = blocks_.size() - 1;
+  return blocks_.back().data.data();
+}
+
+void Workspace::reset() noexcept {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+void Workspace::release_memory() noexcept {
+  blocks_.clear();
+  active_ = 0;
+}
+
+std::size_t Workspace::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.data.size();
+  return total;
+}
+
+std::size_t Workspace::in_use() const noexcept {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.used;
+  return total;
+}
+
+void Workspace::rewind(std::size_t block, std::size_t used) noexcept {
+  if (blocks_.empty()) return;
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+  blocks_[block].used = used;
+  active_ = block;
+}
+
+}  // namespace hybridcnn::runtime

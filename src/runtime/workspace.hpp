@@ -1,0 +1,84 @@
+// Grow-only scratch arena for kernel workspace (im2col/col2im panels,
+// GEMM packing buffers).
+//
+// The hot paths used to heap-allocate their scratch on every call; a
+// Workspace instead bump-allocates out of blocks that persist across
+// calls, so steady-state forward/backward does no allocation at all.
+// Blocks are never reallocated once handed out, so pointers from alloc()
+// stay valid until the enclosing Scope is released (or reset() is
+// called). Each execution slot of the ThreadPool owns its own Workspace
+// (see ComputeContext), so no locking is needed.
+//
+// Usage:
+//   Workspace::Scope scope(ws);          // marks the current watermark
+//   float* col = ws.alloc(n);            // uninitialised scratch
+//   ...                                  // scope exit frees back to mark
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hybridcnn::runtime {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Bump-allocates `count` floats of *uninitialised* scratch. The
+  /// pointer stays valid until the enclosing Scope releases it.
+  float* alloc(std::size_t count);
+
+  /// Span-returning convenience over alloc().
+  std::span<float> alloc_span(std::size_t count) {
+    return {alloc(count), count};
+  }
+
+  /// Releases every allocation (keeps block capacity for reuse).
+  void reset() noexcept;
+
+  /// Frees the backing blocks themselves.
+  void release_memory() noexcept;
+
+  /// Total floats of backing capacity currently held.
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  /// Floats currently allocated (watermark across blocks).
+  [[nodiscard]] std::size_t in_use() const noexcept;
+
+  /// RAII watermark: allocations made after construction are released on
+  /// destruction. Scopes nest (stack discipline).
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws) noexcept
+        : ws_(ws), block_(ws.active_), used_(ws.used_in_active()) {}
+    ~Scope() noexcept { ws_.rewind(block_, used_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Workspace& ws_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+ private:
+  friend class Scope;
+
+  struct Block {
+    std::vector<float> data;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] std::size_t used_in_active() const noexcept {
+    return blocks_.empty() ? 0 : blocks_[active_].used;
+  }
+  void rewind(std::size_t block, std::size_t used) noexcept;
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // index of the block new allocations bump into
+};
+
+}  // namespace hybridcnn::runtime

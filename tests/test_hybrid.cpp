@@ -206,7 +206,7 @@ TEST(HybridNetwork, CostSplitShowsHybridSavings) {
 
 TEST(HybridNetwork, ClassifyRejectsBatchedInput) {
   HybridNetwork hybrid(make_testnet(), 0, HybridConfig{});
-  EXPECT_THROW(hybrid.classify(Tensor(Shape{1, 3, 128, 128})),
+  EXPECT_THROW(static_cast<void>(hybrid.classify(Tensor(Shape{1, 3, 128, 128}))),
                std::invalid_argument);
 }
 

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "nn/alexnet.hpp"
 #include "nn/conv2d.hpp"
@@ -107,6 +109,29 @@ TEST(ReLU, ClampsNegatives) {
   EXPECT_FLOAT_EQ(out[3], 0.0f);
 }
 
+TEST(ReLU, LvalueAndRvalueForwardsAreBitIdentical) {
+  // The rvalue overload clamps in place; it must still agree with the
+  // lvalue path bit-for-bit, including NaN -> 0 and -0.0 -> +0.0.
+  const Tensor in(Shape{5},
+                  std::vector<float>{std::nanf(""), -0.0f, -1.0f, 0.0f,
+                                     2.5f});
+  ReLU by_copy;
+  ReLU by_move;
+  const Tensor a = by_copy.forward(in);
+  Tensor movable = in;
+  const Tensor b = by_move.forward(std::move(movable));
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    const float av = a[i];
+    const float bv = b[i];
+    std::uint32_t abits = 0;
+    std::uint32_t bbits = 0;
+    std::memcpy(&abits, &av, sizeof(abits));
+    std::memcpy(&bbits, &bv, sizeof(bbits));
+    EXPECT_EQ(abits, bbits) << "element " << i;
+  }
+}
+
 TEST(MaxPool, SelectsWindowMaxima) {
   MaxPool pool(2, 2);
   Tensor input(Shape{1, 1, 4, 4});
@@ -123,7 +148,7 @@ TEST(MaxPool, OverlappingAlexNetStyle) {
   MaxPool pool(3, 2);
   EXPECT_EQ(pool.out_size(55), 27u);
   EXPECT_EQ(pool.out_size(27), 13u);
-  EXPECT_THROW(pool.out_size(2), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(pool.out_size(2)), std::invalid_argument);
 }
 
 TEST(Lrn, UnitInputKnownValue) {

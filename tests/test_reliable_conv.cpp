@@ -65,7 +65,8 @@ TEST(ReliableConv2d, RejectsZeroStride) {
 
 TEST(ReliableConv2d, RejectsChannelMismatch) {
   const ReliableConv2d conv = make_conv(2, 3, 3, ConvSpec{1, 0});
-  EXPECT_THROW(conv.output_shape(Shape{2, 8, 8}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(conv.output_shape(Shape{2, 8, 8})),
+               std::invalid_argument);
 }
 
 TEST(ReliableConv2d, OutputShapeStrideAndPad) {

@@ -1,0 +1,186 @@
+// Runtime layer semantics: thread pool scheduling, workspace arena
+// reuse/reset, and the compute-context bundle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/compute_context.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/workspace.hpp"
+
+namespace {
+
+using hybridcnn::runtime::ComputeContext;
+using hybridcnn::runtime::ThreadPool;
+using hybridcnn::runtime::Workspace;
+
+TEST(ThreadPool, SingleThreadHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.slot_count(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(0, kCount, [&](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  pool.parallel_for_chunks(
+      0, 777, 10, [&](std::size_t b, std::size_t e, std::size_t slot) {
+        EXPECT_LT(slot, pool.slot_count());
+        EXPECT_LT(b, e);
+        for (std::size_t i = b; i < e; ++i) hits[i]++;
+      });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Pool stays usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineAndCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(0, kOuter, [&](std::size_t o) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    pool.parallel_for(0, kInner,
+                      [&](std::size_t i) { hits[o * kInner + i]++; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(Workspace, ReusesCapacityAcrossScopes) {
+  Workspace ws;
+  float* first = nullptr;
+  {
+    Workspace::Scope scope(ws);
+    first = ws.alloc(1024);
+    EXPECT_EQ(ws.in_use(), 1024u);
+  }
+  EXPECT_EQ(ws.in_use(), 0u);
+  const std::size_t cap = ws.capacity();
+  EXPECT_GE(cap, 1024u);
+  {
+    Workspace::Scope scope(ws);
+    // Same request after release lands on the same memory, no growth.
+    EXPECT_EQ(ws.alloc(1024), first);
+  }
+  EXPECT_EQ(ws.capacity(), cap);
+}
+
+TEST(Workspace, PointersSurviveLaterBlockGrowth) {
+  Workspace ws;
+  Workspace::Scope scope(ws);
+  float* small = ws.alloc(64);
+  small[0] = 42.0f;
+  // Force allocation of additional blocks well past the first.
+  float* big = ws.alloc(1u << 20);
+  big[0] = 1.0f;
+  EXPECT_EQ(small[0], 42.0f);  // first block never reallocated
+  EXPECT_GE(ws.in_use(), (1u << 20) + 64u);
+}
+
+TEST(Workspace, NestedScopesRestoreWatermarks) {
+  Workspace ws;
+  Workspace::Scope outer(ws);
+  (void)ws.alloc(100);
+  const std::size_t outer_mark = ws.in_use();
+  {
+    Workspace::Scope inner(ws);
+    (void)ws.alloc(5000);
+    EXPECT_GT(ws.in_use(), outer_mark);
+  }
+  EXPECT_EQ(ws.in_use(), outer_mark);
+}
+
+TEST(Workspace, ResetKeepsCapacityReleaseMemoryDrops) {
+  Workspace ws;
+  (void)ws.alloc(4096);
+  ws.reset();
+  EXPECT_EQ(ws.in_use(), 0u);
+  EXPECT_GE(ws.capacity(), 4096u);
+  ws.release_memory();
+  EXPECT_EQ(ws.capacity(), 0u);
+}
+
+TEST(ComputeContext, GlobalIsStableAndResizable) {
+  ComputeContext& a = ComputeContext::global();
+  ComputeContext::set_global_threads(3);
+  ComputeContext& b = ComputeContext::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.slot_count(), 3u);
+  EXPECT_EQ(b.pool().slot_count(), 3u);
+  ComputeContext::set_global_threads(1);
+  EXPECT_EQ(b.slot_count(), 1u);
+}
+
+TEST(ComputeContext, IndependentThreadsGetDistinctArenas) {
+  // Two plain std::threads outside any pool region must not share a bump
+  // allocator (the seed kernels' function-local scratch was thread-safe;
+  // the arena replacement has to be too).
+  ComputeContext& ctx = ComputeContext::global();
+  Workspace* seen[2] = {nullptr, nullptr};
+  std::thread a([&] { seen[0] = &ctx.workspace(); });
+  std::thread b([&] { seen[1] = &ctx.workspace(); });
+  a.join();
+  b.join();
+  EXPECT_NE(seen[0], nullptr);
+  EXPECT_NE(seen[0], seen[1]);
+}
+
+TEST(ComputeContext, PerSlotWorkspacesAreDistinct) {
+  ComputeContext ctx(4);
+  ASSERT_EQ(ctx.slot_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(&ctx.workspace(i), &ctx.workspace(j));
+    }
+  }
+  // Outside any parallel region the caller gets its thread-local arena,
+  // not a slot arena — see IndependentThreadsGetDistinctArenas.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NE(&ctx.workspace(), &ctx.workspace(i));
+  }
+}
+
+}  // namespace

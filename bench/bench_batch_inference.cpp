@@ -1,0 +1,138 @@
+// BENCH-BATCH — batched hybrid inference throughput.
+//
+// Measures end-to-end hybrid classification (reliable DCNN + qualifier +
+// CNN remainder) as images/sec for the single-image classify() loop vs
+// classify_batch(), at 1/2/8 threads. classify_batch amortises the
+// reliable-kernel construction across the batch and fans the dominant
+// per-image dependable stage across the thread pool while the SAX/vision
+// stages draw their scratch from per-slot workspace arenas — results stay
+// bit-identical to the loop (verified here before timing).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/hybrid_network.hpp"
+#include "data/renderer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "runtime/compute_context.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+std::unique_ptr<nn::Sequential> make_net(std::size_t image) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 8, 7, 2, 0);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool>(3, 2);
+  net->emplace<nn::Flatten>();
+  const std::size_t conv = (image - 7) / 2 + 1;
+  const std::size_t pooled = (conv - 3) / 2 + 1;
+  net->emplace<nn::Linear>(8 * pooled * pooled, 5);
+  nn::init_network(*net, 7);
+  return net;
+}
+
+std::vector<tensor::Tensor> make_batch(std::size_t count, std::size_t size) {
+  std::vector<tensor::Tensor> images;
+  images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    data::RenderParams p;
+    p.cls = static_cast<data::SignClass>(i % data::kNumClasses);
+    p.size = size;
+    p.rotation = 0.04 * static_cast<double>(i % 7) - 0.12;
+    p.scale = 0.7 + 0.03 * static_cast<double>(i % 4);
+    p.noise_seed = 900 + i;
+    images.push_back(data::render_sign(p));
+  }
+  return images;
+}
+
+bool identical(const core::HybridClassification& a,
+               const core::HybridClassification& b) {
+  return a.predicted_class == b.predicted_class &&
+         a.confidence == b.confidence && a.decision == b.decision &&
+         a.qualifier.match == b.qualifier.match &&
+         a.qualifier.shape.distance == b.qualifier.shape.distance &&
+         a.conv1_report.ok == b.conv1_report.ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("BENCH-BATCH",
+                "batched hybrid inference (images/sec, 1/2/8 threads)");
+
+  const std::size_t size = 96;
+  const std::size_t count = bench::quick_mode() ? 8 : 24;
+  const std::vector<tensor::Tensor> images = make_batch(count, size);
+  std::printf("workload: %zu renders at %zux%zu through the full hybrid "
+              "dataflow (DMR conv1 + full-resolution qualifier)\n",
+              count, size, size);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host: %u hardware thread(s) — thread counts beyond that "
+              "time-slice one core and cannot speed up\n", cores);
+
+  util::Table table("hybrid inference throughput: loop vs classify_batch",
+                    {"threads", "loop img/s", "batch img/s", "speedup",
+                     "vs 1-thread loop"});
+  util::CsvWriter csv(
+      util::results_path(bench::results_dir(), "batch_inference.csv"),
+      {"threads", "loop_images_per_sec", "batch_images_per_sec", "speedup"});
+
+  double loop_1thread = 0.0;
+  bool all_identical = true;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    runtime::ComputeContext::set_global_threads(threads);
+
+    core::HybridNetwork looped(make_net(size), 0, core::HybridConfig{});
+    util::Stopwatch sw;
+    std::vector<core::HybridClassification> loop_results;
+    loop_results.reserve(count);
+    for (const auto& img : images) loop_results.push_back(looped.classify(img));
+    const double loop_s = sw.seconds();
+
+    core::HybridNetwork batched(make_net(size), 0, core::HybridConfig{});
+    sw.reset();
+    const std::vector<core::HybridClassification> batch_results =
+        batched.classify_batch(images);
+    const double batch_s = sw.seconds();
+
+    for (std::size_t i = 0; i < count; ++i) {
+      all_identical = all_identical &&
+                      identical(loop_results[i], batch_results[i]);
+    }
+
+    const double loop_ips = static_cast<double>(count) / loop_s;
+    const double batch_ips = static_cast<double>(count) / batch_s;
+    if (threads == 1) loop_1thread = loop_ips;
+    table.row({std::to_string(threads), util::Table::fixed(loop_ips, 2),
+               util::Table::fixed(batch_ips, 2),
+               util::Table::fixed(batch_ips / loop_ips, 2),
+               util::Table::fixed(batch_ips / loop_1thread, 2)});
+    csv.row({std::to_string(threads), util::CsvWriter::num(loop_ips),
+             util::CsvWriter::num(batch_ips),
+             util::CsvWriter::num(batch_ips / loop_ips)});
+  }
+  table.print();
+
+  std::printf("\nbatch results bit-identical to the classify() loop: %s\n",
+              all_identical ? "yes" : "NO — BUG");
+  std::printf("expected shape: the dependable stage dominates and is "
+              "embarrassingly parallel across images, so classify_batch "
+              "approaches linear scaling while the loop only exploits "
+              "intra-layer parallelism.\n");
+  std::printf("CSV written to %s\n", csv.path().c_str());
+  return all_identical ? 0 : 1;
+}

@@ -54,20 +54,23 @@ int main() {
 
   for (const double rate : {1e-7, 1e-6, 1e-5, 1e-4}) {
     constexpr std::size_t kRuns = 12;
-    // Each run builds its own hybrid network and injector state from the
-    // run index, so the campaign parallelises across the pool with a
-    // thread-count-independent summary.
-    std::vector<std::uint64_t> detected_per_run(kRuns, 0);
-    const faultsim::CampaignSummary summary = faultsim::run_campaign(
-        kRuns, [&](std::size_t run) {
-          core::HybridConfig cfg;
-          cfg.fault_config.kind = faultsim::FaultKind::kTransient;
-          cfg.fault_config.probability = rate;
-          cfg.fault_config.bit = -1;
-          cfg.fault_seed = run + 1;
-          core::HybridNetwork hybrid(make_net(), 0, cfg);
-          const auto r = hybrid.classify(image);
+    // One hybrid network serves the whole campaign: classify_campaign
+    // gives run i the fault seed fault_seed + i (the same per-run streams
+    // the old build-a-network-per-run pattern used), fans the reliable
+    // stage across the pool, and reduces outcomes in run order — the
+    // summary stays bit-identical at every thread count while the
+    // network/kernel construction is amortised.
+    core::HybridConfig cfg;
+    cfg.fault_config.kind = faultsim::FaultKind::kTransient;
+    cfg.fault_config.probability = rate;
+    cfg.fault_config.bit = -1;
+    cfg.fault_seed = 1;
+    core::HybridNetwork hybrid(make_net(), 0, cfg);
 
+    std::vector<std::uint64_t> detected_per_run(kRuns, 0);
+    const faultsim::CampaignSummary summary = hybrid.classify_campaign(
+        image, kRuns,
+        [&](std::size_t run, const core::HybridClassification& r) {
           const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
           const bool faults = aborted || r.conv1_report.detected_errors > 0 ||
                               r.qualifier.report.detected_errors > 0;

@@ -8,6 +8,7 @@
 #include "nn/filters.hpp"
 #include "nn/linear.hpp"
 #include "nn/maxpool.hpp"
+#include "runtime/compute_context.hpp"
 
 namespace hybridcnn::core {
 
@@ -55,30 +56,78 @@ reliable::ReliableConv2d HybridNetwork::make_reliable_conv1() const {
           reliable::ConvSpec{conv1.stride(), conv1.pad()}, config_.policy};
 }
 
-HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
-  if (image.shape().rank() != 3) {
-    throw std::invalid_argument("HybridNetwork::classify: expected CHW");
-  }
-
-  HybridClassification result;
+HybridNetwork::DependableStage HybridNetwork::dependable_stage(
+    const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
+    std::uint64_t fault_seed) const {
+  DependableStage stage;
 
   // --- Reliable (DCNN) stage: conv1 through qualified operators. -----
   auto injector = std::make_shared<faultsim::FaultInjector>(
-      config_.fault_config, next_fault_seed_++);
+      config_.fault_config, fault_seed);
   const std::unique_ptr<reliable::Executor> exec =
       reliable::make_executor(config_.scheme, injector);
 
-  const reliable::ReliableConv2d rconv = make_reliable_conv1();
   reliable::ReliableResult rel = rconv.forward(image, *exec);
-  result.conv1_report = rel.report;
+  stage.report = rel.report;
+  stage.reliable_ok = rel.report.ok;
 
-  // --- Non-reliable remainder of the CNN (bifurcation branch 1). -----
+  // --- Qualifier (bifurcation branch 2). ------------------------------
+  // Runs before the CNN remainder (which never touches the executor, so
+  // the injector stream position is identical to the single-image path)
+  // and draws its vision/SAX scratch from the calling slot's arena.
+  const tensor::Shape map_shape = rel.output.shape();
+  const std::size_t plane = map_shape[1] * map_shape[2];
+  runtime::Workspace& ws = runtime::ComputeContext::global().workspace();
+  switch (config_.qualifier.source) {
+    case QualifierSource::kDependableFeatureMap: {
+      // The paper's single mixed-direction dependable map.
+      runtime::Workspace::Scope scope(ws);
+      const std::span<float> fm = ws.alloc_span_as<float>(plane);
+      for (std::size_t i = 0; i < plane; ++i) {
+        fm[i] = rel.output[config_.dependable_filter * plane + i];
+      }
+      stage.qualifier = qualifier_.qualify_feature_map(
+          fm, map_shape[1], map_shape[2], rel.report, ws);
+      break;
+    }
+    case QualifierSource::kDependableFeatureMapPair: {
+      // Gradient magnitude from the dependable (x, y) filter pair.
+      runtime::Workspace::Scope scope(ws);
+      const std::span<float> fm = ws.alloc_span_as<float>(plane);
+      const std::size_t fx = config_.dependable_filter * plane;
+      const std::size_t fy = (config_.dependable_filter + 1) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float gx = rel.output[fx + i];
+        const float gy = rel.output[fy + i];
+        fm[i] = std::sqrt(gx * gx + gy * gy);
+      }
+      stage.qualifier = qualifier_.qualify_feature_map(
+          fm, map_shape[1], map_shape[2], rel.report, ws);
+      break;
+    }
+    case QualifierSource::kFullResolution:
+      stage.qualifier = qualifier_.qualify(image, *exec, ws);
+      break;
+  }
+
+  // --- CNN input (bifurcation branch 1). ------------------------------
   // On a persistent reliable-execution failure the committed partial maps
   // must not feed the classifier; the CNN branch falls back to a plain
-  // re-execution so a (non-safety) prediction is still available, but the
-  // decision below reports the fail-stop.
-  tensor::Tensor conv1_out =
-      rel.report.ok ? rel.output : rconv.reference_forward(image);
+  // re-execution so a (non-safety) prediction is still available, while
+  // the decision reports the fail-stop.
+  stage.conv1_out =
+      rel.report.ok ? std::move(rel.output) : rconv.reference_forward(image);
+  return stage;
+}
+
+HybridClassification HybridNetwork::finish_classification(
+    DependableStage&& stage) {
+  HybridClassification result;
+  result.conv1_report = std::move(stage.report);
+  result.qualifier = std::move(stage.qualifier);
+
+  // --- Non-reliable remainder of the CNN (bifurcation branch 1). -----
+  tensor::Tensor conv1_out = std::move(stage.conv1_out);
   const tensor::Shape map_shape = conv1_out.shape();
   conv1_out.reshape(
       tensor::Shape{1, map_shape[0], map_shape[1], map_shape[2]});
@@ -101,42 +150,87 @@ HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
   result.predicted_class = static_cast<int>(best);
   result.confidence = 1.0 / denom;
 
-  // --- Qualifier (bifurcation branch 2). ------------------------------
-  const std::size_t plane = map_shape[1] * map_shape[2];
-  switch (config_.qualifier.source) {
-    case QualifierSource::kDependableFeatureMap: {
-      // The paper's single mixed-direction dependable map.
-      tensor::Tensor fm(tensor::Shape{map_shape[1], map_shape[2]});
-      for (std::size_t i = 0; i < plane; ++i) {
-        fm[i] = rel.output[config_.dependable_filter * plane + i];
-      }
-      result.qualifier = qualifier_.qualify_feature_map(fm, rel.report);
-      break;
-    }
-    case QualifierSource::kDependableFeatureMapPair: {
-      // Gradient magnitude from the dependable (x, y) filter pair.
-      tensor::Tensor fm(tensor::Shape{map_shape[1], map_shape[2]});
-      const std::size_t fx = config_.dependable_filter * plane;
-      const std::size_t fy = (config_.dependable_filter + 1) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        const float gx = rel.output[fx + i];
-        const float gy = rel.output[fy + i];
-        fm[i] = std::sqrt(gx * gx + gy * gy);
-      }
-      result.qualifier = qualifier_.qualify_feature_map(fm, rel.report);
-      break;
-    }
-    case QualifierSource::kFullResolution:
-      result.qualifier = qualifier_.qualify(image, *exec);
-      break;
-  }
-
   // --- Reliable Result combination (Figure 1). ------------------------
-  const bool reliable_ok = rel.report.ok && result.qualifier.report.ok;
+  const bool reliable_ok =
+      stage.reliable_ok && result.qualifier.report.ok;
   result.safety_critical = safety_.is_critical(result.predicted_class);
   result.decision = safety_.decide(result.predicted_class,
                                    result.qualifier.qualifies(), reliable_ok);
   return result;
+}
+
+HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument("HybridNetwork::classify: expected CHW");
+  }
+  const reliable::ReliableConv2d rconv = make_reliable_conv1();
+  return finish_classification(
+      dependable_stage(rconv, image, next_fault_seed_++));
+}
+
+std::vector<HybridClassification> HybridNetwork::classify_indexed(
+    std::size_t count, const tensor::Tensor* const* images) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (images[i]->shape().rank() != 3) {
+      throw std::invalid_argument(
+          "HybridNetwork::classify_batch: expected CHW images");
+    }
+  }
+  if (count == 0) return {};
+
+  // One reliable kernel (weight copy) for the whole batch, and the seed
+  // block a classify() loop would consume — image i gets seed base + i.
+  const reliable::ReliableConv2d rconv = make_reliable_conv1();
+  const std::uint64_t seed_base = next_fault_seed_;
+  next_fault_seed_ += count;
+
+  // Phase 1 (parallel): per-image reliable DCNN + qualifier. Images are
+  // independent and each chunk writes only its own stage slot, so the
+  // outputs are bit-identical at every thread count. Nested parallel
+  // regions inside the reliable/vision code serialise inline.
+  std::vector<DependableStage> stages(count);
+  auto& ctx = runtime::ComputeContext::global();
+  ctx.pool().parallel_for(0, count, [&](std::size_t i) {
+    stages[i] = dependable_stage(rconv, *images[i], seed_base + i);
+  });
+
+  // Phase 2 (serial): the non-reliable CNN remainder mutates layer
+  // forward caches, so images run through it one at a time — exactly the
+  // single-image path; GEMM parallelism inside the layers still uses the
+  // pool.
+  std::vector<HybridClassification> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    results.push_back(finish_classification(std::move(stages[i])));
+  }
+  return results;
+}
+
+std::vector<HybridClassification> HybridNetwork::classify_batch(
+    const std::vector<tensor::Tensor>& images) {
+  std::vector<const tensor::Tensor*> ptrs;
+  ptrs.reserve(images.size());
+  for (const tensor::Tensor& img : images) ptrs.push_back(&img);
+  return classify_indexed(ptrs.size(), ptrs.data());
+}
+
+std::vector<HybridClassification> HybridNetwork::classify_repeat(
+    const tensor::Tensor& image, std::size_t runs) {
+  std::vector<const tensor::Tensor*> ptrs(runs, &image);
+  return classify_indexed(ptrs.size(), ptrs.data());
+}
+
+faultsim::CampaignSummary HybridNetwork::classify_campaign(
+    const tensor::Tensor& image, std::size_t runs,
+    const std::function<faultsim::Outcome(
+        std::size_t, const HybridClassification&)>& judge) {
+  const std::vector<HybridClassification> results =
+      classify_repeat(image, runs);
+  faultsim::CampaignSummary summary;
+  for (std::size_t run = 0; run < results.size(); ++run) {
+    summary.add(judge(run, results[run]));
+  }
+  return summary;
 }
 
 HybridNetwork::CostSplit HybridNetwork::cost_split(

@@ -11,10 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/policy.hpp"
 #include "core/shape_qualifier.hpp"
+#include "faultsim/campaign.hpp"
 #include "faultsim/fault_model.hpp"
 #include "nn/sequential.hpp"
 #include "reliable/executor.hpp"
@@ -68,6 +71,35 @@ class HybridNetwork {
   /// Classifies one [3, H, W] image through the hybrid dataflow.
   [[nodiscard]] HybridClassification classify(const tensor::Tensor& image);
 
+  /// Batched classification: the reliable conv1 kernel is built once for
+  /// the whole batch and the per-image dependable stage (reliable DCNN +
+  /// qualifier, the dominant cost) fans out across the global
+  /// runtime::ThreadPool, each image drawing its vision/SAX scratch from
+  /// the executing slot's Workspace arena. Image i uses fault seed
+  /// `fault_seed + i` relative to the network's current stream position,
+  /// exactly the seeds a loop of classify() calls would consume, so the
+  /// returned results are bit-identical to looped single-image classify
+  /// at every thread count. The non-reliable CNN remainder then runs
+  /// serially per image (layers cache forward state and must not be
+  /// entered concurrently); it parallelises internally over GEMM tiles.
+  [[nodiscard]] std::vector<HybridClassification> classify_batch(
+      const std::vector<tensor::Tensor>& images);
+
+  /// Campaign form of classify_batch: `runs` classifications of the same
+  /// image with consecutive fault seeds, without copying the image.
+  [[nodiscard]] std::vector<HybridClassification> classify_repeat(
+      const tensor::Tensor& image, std::size_t runs);
+
+  /// Fault-injection campaign over the full hybrid classify path:
+  /// classify_repeat(image, runs), then `judge(run, result)` maps each
+  /// classification to a dependability outcome, reduced in run order.
+  /// Construction (network, reliable kernel, qualifier templates) is
+  /// amortised across the whole campaign.
+  [[nodiscard]] faultsim::CampaignSummary classify_campaign(
+      const tensor::Tensor& image, std::size_t runs,
+      const std::function<faultsim::Outcome(
+          std::size_t, const HybridClassification&)>& judge);
+
   /// The wrapped CNN (e.g. for training or filter surgery).
   [[nodiscard]] nn::Sequential& cnn() noexcept { return *cnn_; }
 
@@ -88,7 +120,33 @@ class HybridNetwork {
   [[nodiscard]] CostSplit cost_split(const tensor::Shape& input_shape) const;
 
  private:
+  /// Product of the parallel per-image phase: everything classify needs
+  /// before the (serial) non-reliable CNN remainder runs.
+  struct DependableStage {
+    tensor::Tensor conv1_out;  ///< committed reliable output or fallback
+    reliable::ExecutionReport report;
+    QualifierVerdict qualifier;
+    bool reliable_ok = false;
+  };
+
   [[nodiscard]] reliable::ReliableConv2d make_reliable_conv1() const;
+
+  /// Reliable DCNN + qualifier for one image with an explicit fault
+  /// seed. Pure function of (weights, image, seed) — safe to run from
+  /// pool workers; scratch comes from the calling slot's arena.
+  [[nodiscard]] DependableStage dependable_stage(
+      const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
+      std::uint64_t fault_seed) const;
+
+  /// Non-reliable CNN remainder + decision combination. Serial-only:
+  /// the wrapped layers cache forward state.
+  [[nodiscard]] HybridClassification finish_classification(
+      DependableStage&& stage);
+
+  /// Shared core of classify_batch/classify_repeat over an index->image
+  /// mapping (avoids copying a repeated campaign image `runs` times).
+  [[nodiscard]] std::vector<HybridClassification> classify_indexed(
+      std::size_t count, const tensor::Tensor* const* images);
 
   std::unique_ptr<nn::Sequential> cnn_;
   std::size_t conv1_index_;

@@ -1,6 +1,8 @@
 #include "core/shape_qualifier.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "nn/filters.hpp"
 #include "vision/edge_map.hpp"
@@ -8,9 +10,6 @@
 #include "vision/radial.hpp"
 
 namespace hybridcnn::core {
-
-ShapeQualifier::ShapeQualifier(ShapeQualifierConfig config)
-    : config_(config) {}
 
 namespace {
 
@@ -34,30 +33,58 @@ reliable::ReliableConv2d make_sobel_conv(
 
 }  // namespace
 
+ShapeQualifier::ShapeQualifier(ShapeQualifierConfig config)
+    : config_(config), sobel_conv_(make_sobel_conv(config.policy)) {
+  // The matcher precomputes the polygon templates; configurations it
+  // rejects (e.g. samples shorter than the SAX word) fall back to the
+  // per-call match path, which reproduces the legacy error behaviour.
+  try {
+    matcher_.emplace(config_.sides, config_.samples, config_.match);
+  } catch (const std::invalid_argument&) {
+    matcher_.reset();
+  }
+}
+
 QualifierVerdict ShapeQualifier::qualify(const tensor::Tensor& image,
                                          reliable::Executor& exec) const {
-  const tensor::Tensor gray = vision::to_gray(image);
-  tensor::Tensor gray_chw = gray;
-  gray_chw.reshape(tensor::Shape{1, gray.shape()[0], gray.shape()[1]});
+  return qualify(image, exec, runtime::thread_scratch());
+}
 
-  const reliable::ReliableConv2d sobel = make_sobel_conv(config_.policy);
-  const reliable::ReliableResult edges = sobel.forward(gray_chw, exec);
+QualifierVerdict ShapeQualifier::qualify(const tensor::Tensor& image,
+                                         reliable::Executor& exec,
+                                         runtime::Workspace& ws) const {
+  tensor::Tensor gray = vision::to_gray(image);
+  gray.reshape(tensor::Shape{1, gray.shape()[0], gray.shape()[1]});
+
+  const reliable::ReliableResult edges = sobel_conv_.forward(gray, exec);
 
   // Magnitude map from the two dependable responses.
   const std::size_t h = edges.output.shape()[1];
   const std::size_t w = edges.output.shape()[2];
-  tensor::Tensor magnitude(tensor::Shape{h, w});
+  runtime::Workspace::Scope scope(ws);
+  const std::span<float> magnitude = ws.alloc_span_as<float>(h * w);
   for (std::size_t i = 0; i < h * w; ++i) {
     const float gx = edges.output[i];
     const float gy = edges.output[h * w + i];
     magnitude[i] = std::sqrt(gx * gx + gy * gy);
   }
-  return qualify_feature_map(magnitude, edges.report);
+  return qualify_feature_map(magnitude, h, w, edges.report, ws);
 }
 
 QualifierVerdict ShapeQualifier::qualify_feature_map(
     const tensor::Tensor& feature_map,
     const reliable::ExecutionReport& report) const {
+  const auto& sh = feature_map.shape();
+  if (sh.rank() != 2) {
+    throw std::invalid_argument("qualify_feature_map: expected [H, W]");
+  }
+  return qualify_feature_map(feature_map.data(), sh[0], sh[1], report,
+                             runtime::thread_scratch());
+}
+
+QualifierVerdict ShapeQualifier::qualify_feature_map(
+    std::span<const float> feature_map, std::size_t h, std::size_t w,
+    const reliable::ExecutionReport& report, runtime::Workspace& ws) const {
   QualifierVerdict verdict;
   verdict.report = report;
   verdict.reliable = report.ok;
@@ -67,15 +94,31 @@ QualifierVerdict ShapeQualifier::qualify_feature_map(
     return verdict;
   }
 
-  const vision::BinaryMask silhouette =
-      vision::mask_from_feature_map(feature_map);
-  const std::vector<double> series =
-      vision::shape_signature(silhouette, config_.samples);
-  if (series.size() < config_.match.sax.word_length) {
+  runtime::Workspace::Scope scope(ws);
+  const vision::MaskView silhouette{h, w, ws.alloc_as<std::uint8_t>(h * w)};
+  vision::mask_from_feature_map(feature_map, h, w, silhouette, ws);
+
+  const std::span<double> series =
+      ws.alloc_span_as<double>(config_.samples);
+  const std::size_t got =
+      vision::shape_signature(silhouette, series, ws);
+  if (got < config_.match.sax.word_length) {
     return verdict;  // no usable shape found; not a match
   }
 
-  verdict.shape = sax::match_shape(series, config_.sides, config_.match);
+  if (matcher_) {
+    verdict.shape = matcher_->match(series.first(got), ws);
+  } else {
+    // matcher_ is only absent when its construction rejected the config.
+    // The samples-shorter-than-word case never reaches here (the early
+    // return above fires first), so this branch exists purely to rethrow
+    // the legacy per-call invalid_argument (sides < 3, word_length == 0,
+    // bad alphabet) at use time instead of construction time — it never
+    // produces a verdict.
+    verdict.shape = sax::match_shape(
+        std::vector<double>(series.begin(), series.begin() + got),
+        config_.sides, config_.match);
+  }
   verdict.match = verdict.shape.match;
   return verdict;
 }

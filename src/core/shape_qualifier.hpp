@@ -3,9 +3,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <span>
 
 #include "core/qualifier.hpp"
 #include "reliable/reliable_conv.hpp"
+#include "runtime/workspace.hpp"
 #include "sax/shape_match.hpp"
 
 namespace hybridcnn::core {
@@ -38,6 +41,13 @@ struct ShapeQualifierConfig {
 };
 
 /// Deterministic, reliably executed shape qualifier.
+///
+/// Construction precomputes everything shared across images — the
+/// reliable Sobel convolution weights and the SAX ShapeMatcher (distance
+/// table + polygon template words) — so the per-image qualify paths only
+/// draw transient scratch from a runtime::Workspace arena. The object is
+/// immutable after construction; qualify calls are const and safe to run
+/// concurrently from campaign/batch workers.
 class ShapeQualifier final : public Qualifier {
  public:
   explicit ShapeQualifier(ShapeQualifierConfig config = {});
@@ -46,6 +56,13 @@ class ShapeQualifier final : public Qualifier {
   [[nodiscard]] QualifierVerdict qualify(
       const tensor::Tensor& image, reliable::Executor& exec) const override;
 
+  /// Explicit-scratch overload of qualify(); vision/SAX intermediates
+  /// come from `ws` (the reliable Sobel stage still produces owning
+  /// tensors — reliable execution evidence outlives the call).
+  [[nodiscard]] QualifierVerdict qualify(const tensor::Tensor& image,
+                                         reliable::Executor& exec,
+                                         runtime::Workspace& ws) const;
+
   /// Qualifies an already reliably-computed edge feature map [H, W]
   /// (the kDependableFeatureMap bifurcation). `report` is the reliable
   /// conv's execution report and is folded into the verdict.
@@ -53,12 +70,21 @@ class ShapeQualifier final : public Qualifier {
       const tensor::Tensor& feature_map,
       const reliable::ExecutionReport& report) const;
 
+  /// Explicit-scratch overload over a flat h x w feature-map plane.
+  [[nodiscard]] QualifierVerdict qualify_feature_map(
+      std::span<const float> feature_map, std::size_t h, std::size_t w,
+      const reliable::ExecutionReport& report, runtime::Workspace& ws) const;
+
   [[nodiscard]] const ShapeQualifierConfig& config() const noexcept {
     return config_;
   }
 
  private:
   ShapeQualifierConfig config_;
+  /// Absent when the configuration cannot form a SAX word (samples
+  /// shorter than the word length) — those series never qualify anyway.
+  std::optional<sax::ShapeMatcher> matcher_;
+  reliable::ReliableConv2d sobel_conv_;
 };
 
 }  // namespace hybridcnn::core

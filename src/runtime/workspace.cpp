@@ -39,13 +39,20 @@ float* Workspace::alloc(std::size_t count) {
 }
 
 void Workspace::reset() noexcept {
+  assert(open_scopes_ == 0 &&
+         "Workspace::reset with live Scopes: their scratch would dangle");
   for (Block& b : blocks_) b.used = 0;
   active_ = 0;
+  ++generation_;
 }
 
 void Workspace::release_memory() noexcept {
+  assert(open_scopes_ == 0 &&
+         "Workspace::release_memory with live Scopes: their scratch "
+         "would dangle");
   blocks_.clear();
   active_ = 0;
+  ++generation_;
 }
 
 std::size_t Workspace::capacity() const noexcept {
@@ -60,8 +67,18 @@ std::size_t Workspace::in_use() const noexcept {
   return total;
 }
 
+Workspace& thread_scratch() {
+  thread_local Workspace ws;
+  return ws;
+}
+
 void Workspace::rewind(std::size_t block, std::size_t used) noexcept {
   if (blocks_.empty()) return;
+  // Stack discipline: an outer scope must never find the watermark below
+  // its own mark (inner scopes release first).
+  assert(block <= active_ && "Workspace Scope released out of stack order");
+  assert((block < active_ || blocks_[block].used >= used) &&
+         "Workspace Scope released out of stack order");
   for (std::size_t i = block + 1; i < blocks_.size(); ++i) {
     blocks_[i].used = 0;
   }

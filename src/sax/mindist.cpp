@@ -29,23 +29,38 @@ double SymbolDistanceTable::dist(char a, char b) const {
   return table_[ia * alphabet_ + ib];
 }
 
-double mindist(const std::string& a, const std::string& b,
+namespace {
+
+/// MINDIST of `a` against `b` rotated left by `rot` letters, evaluated by
+/// modular indexing. Summation order (ascending i) matches the
+/// straight-line mindist exactly, so results are bit-identical to
+/// materialising the rotated word.
+double mindist_rotated(std::string_view a, std::string_view b,
+                       std::size_t rot, std::size_t original_length,
+                       const SymbolDistanceTable& table) {
+  const std::size_t n = a.size();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = table.dist(a[i], b[(i + rot) % n]);
+    sum += d * d;
+  }
+  const double scale = std::sqrt(static_cast<double>(original_length) /
+                                 static_cast<double>(n));
+  return scale * std::sqrt(sum);
+}
+
+}  // namespace
+
+double mindist(std::string_view a, std::string_view b,
                std::size_t original_length,
                const SymbolDistanceTable& table) {
   if (a.size() != b.size() || a.empty()) {
     throw std::invalid_argument("mindist: words must be equal non-zero length");
   }
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = table.dist(a[i], b[i]);
-    sum += d * d;
-  }
-  const double scale = std::sqrt(static_cast<double>(original_length) /
-                                 static_cast<double>(a.size()));
-  return scale * std::sqrt(sum);
+  return mindist_rotated(a, b, 0, original_length, table);
 }
 
-double mindist_rotation_invariant(const std::string& a, const std::string& b,
+double mindist_rotation_invariant(std::string_view a, std::string_view b,
                                   std::size_t original_length,
                                   const SymbolDistanceTable& table,
                                   std::size_t* best_rotation) {
@@ -55,16 +70,12 @@ double mindist_rotation_invariant(const std::string& a, const std::string& b,
   }
   double best = -1.0;
   std::size_t best_rot = 0;
-  std::string rotated = b;
   for (std::size_t rot = 0; rot < b.size(); ++rot) {
-    const double d = mindist(a, rotated, original_length, table);
+    const double d = mindist_rotated(a, b, rot, original_length, table);
     if (best < 0.0 || d < best) {
       best = d;
       best_rot = rot;
     }
-    // rotate left by one
-    rotated.push_back(rotated.front());
-    rotated.erase(rotated.begin());
   }
   if (best_rotation != nullptr) *best_rotation = best_rot;
   return best;

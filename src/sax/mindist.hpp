@@ -8,7 +8,7 @@
 // test suite verifies.
 #pragma once
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace hybridcnn::sax {
@@ -31,15 +31,18 @@ class SymbolDistanceTable {
 
 /// MINDIST between two equal-length SAX words of `original_length`-point
 /// series. Throws std::invalid_argument on length mismatch or symbols
-/// outside the table's alphabet.
-double mindist(const std::string& a, const std::string& b,
+/// outside the table's alphabet. Allocation-free; string_view accepts
+/// std::string, literals, and workspace-backed character scratch alike.
+double mindist(std::string_view a, std::string_view b,
                std::size_t original_length, const SymbolDistanceTable& table);
 
 /// Minimum MINDIST over all circular rotations of `b` — the
 /// rotation-invariant comparison used for shape words, since a rotated
 /// sign yields a circularly shifted radial signature. Returns the best
 /// distance and writes the best rotation to `*best_rotation` if non-null.
-double mindist_rotation_invariant(const std::string& a, const std::string& b,
+/// Rotations are evaluated by modular indexing — no copies, no
+/// allocation.
+double mindist_rotation_invariant(std::string_view a, std::string_view b,
                                   std::size_t original_length,
                                   const SymbolDistanceTable& table,
                                   std::size_t* best_rotation = nullptr);

@@ -1,12 +1,13 @@
 #include "sax/paa.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hybridcnn::sax {
 
-std::vector<double> paa(const std::vector<double>& series,
-                        std::size_t segments) {
+void paa(std::span<const double> series, std::span<double> out) {
   const std::size_t n = series.size();
+  const std::size_t segments = out.size();
   if (n == 0) throw std::invalid_argument("paa: empty series");
   if (segments == 0 || segments > n) {
     throw std::invalid_argument("paa: segments must be in [1, n]");
@@ -14,7 +15,6 @@ std::vector<double> paa(const std::vector<double>& series,
 
   // Each segment covers n/segments points; with fractional boundaries a
   // point straddling two segments contributes proportionally to both.
-  std::vector<double> out(segments, 0.0);
   const double width =
       static_cast<double>(n) / static_cast<double>(segments);
   for (std::size_t s = 0; s < segments; ++s) {
@@ -29,6 +29,16 @@ std::vector<double> paa(const std::vector<double>& series,
     }
     out[s] = acc / width;
   }
+}
+
+std::vector<double> paa(const std::vector<double>& series,
+                        std::size_t segments) {
+  if (series.empty()) throw std::invalid_argument("paa: empty series");
+  if (segments == 0 || segments > series.size()) {
+    throw std::invalid_argument("paa: segments must be in [1, n]");
+  }
+  std::vector<double> out(segments, 0.0);
+  paa(std::span<const double>(series), std::span<double>(out));
   return out;
 }
 

@@ -1,14 +1,19 @@
 // Piecewise Aggregate Approximation (PAA).
 #pragma once
 
+#include <span>
 #include <vector>
 
 namespace hybridcnn::sax {
 
-/// Reduces `series` to `segments` equal-width segment means. Handles
-/// lengths not divisible by `segments` with fractional weighting (the
-/// standard generalised PAA). Throws std::invalid_argument for empty
-/// input or segments == 0 or segments > series length.
+/// Explicit-scratch overload: reduces `series` to out.size() equal-width
+/// segment means written into `out`. Handles lengths not divisible by the
+/// segment count with fractional weighting (the standard generalised
+/// PAA). Throws std::invalid_argument for empty input or out.size() == 0
+/// or out.size() > series length. `out` must not alias `series`.
+void paa(std::span<const double> series, std::span<double> out);
+
+/// Allocating wrapper: returns the `segments` segment means.
 std::vector<double> paa(const std::vector<double>& series,
                         std::size_t segments);
 

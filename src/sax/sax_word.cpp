@@ -8,12 +8,36 @@
 
 namespace hybridcnn::sax {
 
-char symbolize(double value, const std::vector<double>& breakpoints) {
+char symbolize(double value, std::span<const double> breakpoints) {
   std::size_t letter = 0;
   while (letter < breakpoints.size() && value >= breakpoints[letter]) {
     ++letter;
   }
   return static_cast<char>('a' + letter);
+}
+
+void sax_word(std::span<const double> series, const SaxConfig& config,
+              std::span<const double> breakpoints, std::span<char> word_out,
+              runtime::Workspace& ws) {
+  if (config.word_length == 0) {
+    throw std::invalid_argument("sax_word: word_length must be >= 1");
+  }
+  if (word_out.size() != config.word_length) {
+    throw std::invalid_argument("sax_word: word_out size != word_length");
+  }
+  if (breakpoints.size() + 1 != config.alphabet) {
+    throw std::invalid_argument("sax_word: breakpoints do not match alphabet");
+  }
+
+  runtime::Workspace::Scope scope(ws);
+  const std::span<double> z = ws.alloc_span_as<double>(series.size());
+  znormalize(series, z);
+  const std::span<double> segments =
+      ws.alloc_span_as<double>(config.word_length);
+  paa(z, segments);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    word_out[i] = symbolize(segments[i], breakpoints);
+  }
 }
 
 std::string sax_word(const std::vector<double>& series,

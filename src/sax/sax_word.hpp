@@ -6,8 +6,11 @@
 // znorm -> PAA -> quantise pipeline of Lin et al. 2003.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
+
+#include "runtime/workspace.hpp"
 
 namespace hybridcnn::sax {
 
@@ -18,11 +21,20 @@ struct SaxConfig {
 };
 
 /// Quantises one z-normalised value to a SAX letter.
-char symbolize(double value, const std::vector<double>& breakpoints);
+char symbolize(double value, std::span<const double> breakpoints);
 
-/// Full SAX transform: znormalize -> paa -> symbolize each segment.
-/// Throws std::invalid_argument on invalid config or series shorter than
-/// the word length.
+/// Explicit-scratch overload of the full SAX transform: znormalize ->
+/// paa -> symbolize into `word_out` (size must equal config.word_length),
+/// drawing the intermediate z/PAA buffers from `ws`. `breakpoints` must
+/// be gaussian_breakpoints(config.alphabet) — precomputed by the caller
+/// so steady-state symbolisation does no heap allocation. Throws
+/// std::invalid_argument on invalid config, mismatched breakpoint or
+/// output sizes, or series shorter than the word length.
+void sax_word(std::span<const double> series, const SaxConfig& config,
+              std::span<const double> breakpoints, std::span<char> word_out,
+              runtime::Workspace& ws);
+
+/// Allocating wrapper: full SAX transform returning the word.
 std::string sax_word(const std::vector<double>& series,
                      const SaxConfig& config);
 

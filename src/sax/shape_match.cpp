@@ -1,46 +1,27 @@
 #include "sax/shape_match.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "sax/breakpoints.hpp"
+
 namespace hybridcnn::sax {
 
-std::vector<double> polygon_signature(std::size_t sides, std::size_t samples,
-                                      double rotation) {
-  if (sides < 3) {
-    throw std::invalid_argument("polygon_signature: sides must be >= 3");
-  }
-  if (samples == 0) {
-    throw std::invalid_argument("polygon_signature: samples must be >= 1");
-  }
-  constexpr double two_pi = 6.283185307179586476925286766559;
-  const double sector = two_pi / static_cast<double>(sides);
-  const double apothem_angle = sector / 2.0;
+namespace {
 
-  std::vector<double> series(samples, 0.0);
-  for (std::size_t i = 0; i < samples; ++i) {
-    double theta = two_pi * static_cast<double>(i) /
-                       static_cast<double>(samples) -
-                   rotation;
-    theta = std::fmod(std::fmod(theta, sector) + sector, sector);
-    // Distance from centre to the edge of a unit-circumradius polygon.
-    series[i] = std::cos(apothem_angle) / std::cos(theta - apothem_angle);
-  }
-  return series;
-}
+constexpr double kTwoPi = 6.283185307179586476925286766559;
 
-std::string shape_template_word(std::size_t sides, const SaxConfig& config,
-                                std::size_t samples) {
-  return sax_word(polygon_signature(sides, samples), config);
-}
-
-int count_corners(const std::vector<double>& series, double prominence_frac) {
+/// Shared corner-counting core; `smooth` is caller-provided scratch of
+/// series.size() doubles (the circular moving-average buffer).
+int count_corners_core(std::span<const double> series,
+                       std::span<double> smooth, double prominence_frac) {
   const std::size_t n = series.size();
   if (n < 8) return 0;
 
   // Circular moving-average smoothing.
   const std::size_t smooth_w = std::max<std::size_t>(1, n / 64);
-  std::vector<double> s(n, 0.0);
+  std::span<double> s = smooth;
   for (std::size_t i = 0; i < n; ++i) {
     double acc = 0.0;
     for (std::size_t k = 0; k <= 2 * smooth_w; ++k) {
@@ -77,47 +58,130 @@ int count_corners(const std::vector<double>& series, double prominence_frac) {
   return corners;
 }
 
-ShapeMatchResult match_shape(const std::vector<double>& series,
-                             std::size_t sides,
-                             const ShapeMatchConfig& config) {
+}  // namespace
+
+void polygon_signature(std::size_t sides, std::span<double> out,
+                       double rotation) {
+  if (sides < 3) {
+    throw std::invalid_argument("polygon_signature: sides must be >= 3");
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("polygon_signature: samples must be >= 1");
+  }
+  const std::size_t samples = out.size();
+  const double sector = kTwoPi / static_cast<double>(sides);
+  const double apothem_angle = sector / 2.0;
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    double theta = kTwoPi * static_cast<double>(i) /
+                       static_cast<double>(samples) -
+                   rotation;
+    theta = std::fmod(std::fmod(theta, sector) + sector, sector);
+    // Distance from centre to the edge of a unit-circumradius polygon.
+    out[i] = std::cos(apothem_angle) / std::cos(theta - apothem_angle);
+  }
+}
+
+std::vector<double> polygon_signature(std::size_t sides, std::size_t samples,
+                                      double rotation) {
+  if (samples == 0) {
+    throw std::invalid_argument("polygon_signature: samples must be >= 1");
+  }
+  std::vector<double> series(samples, 0.0);
+  polygon_signature(sides, std::span<double>(series), rotation);
+  return series;
+}
+
+std::string shape_template_word(std::size_t sides, const SaxConfig& config,
+                                std::size_t samples) {
+  return sax_word(polygon_signature(sides, samples), config);
+}
+
+int count_corners(std::span<const double> series, runtime::Workspace& ws,
+                  double prominence_frac) {
+  runtime::Workspace::Scope scope(ws);
+  const std::span<double> smooth = ws.alloc_span_as<double>(series.size());
+  return count_corners_core(series, smooth, prominence_frac);
+}
+
+int count_corners(const std::vector<double>& series, double prominence_frac) {
+  std::vector<double> smooth(series.size(), 0.0);
+  return count_corners_core(series, smooth, prominence_frac);
+}
+
+ShapeMatcher::ShapeMatcher(std::size_t sides, std::size_t samples,
+                           ShapeMatchConfig config)
+    : sides_(sides),
+      samples_(samples),
+      config_(config),
+      table_(config.sax.alphabet),
+      breakpoints_(gaussian_breakpoints(config.sax.alphabet)) {
+  if (config_.sax.word_length == 0) {
+    throw std::invalid_argument("ShapeMatcher: word_length must be >= 1");
+  }
+  if (samples_ < config_.sax.word_length) {
+    throw std::invalid_argument(
+        "ShapeMatcher: samples shorter than the SAX word length");
+  }
+  // Circular letter rotation only models shifts by whole PAA segments; a
+  // sign tilted by a fraction of a segment changes the segment means and
+  // hence the word. The templates therefore span one polygon sector (the
+  // signature is periodic in the sector) at kShapeSubRotations
+  // sub-segment rotations; match() keeps the minimum distance.
+  const double sector = kTwoPi / static_cast<double>(sides_);
+  templates_.reserve(kShapeSubRotations);
+  for (std::size_t r = 0; r < kShapeSubRotations; ++r) {
+    const double rot = sector * static_cast<double>(r) /
+                       static_cast<double>(kShapeSubRotations);
+    templates_.push_back(
+        sax_word(polygon_signature(sides_, samples_, rot), config_.sax));
+  }
+}
+
+ShapeMatchResult ShapeMatcher::match(std::span<const double> series,
+                                     runtime::Workspace& ws) const {
   ShapeMatchResult result;
-  if (series.size() < config.sax.word_length) return result;
+  if (series.size() < config_.sax.word_length) return result;
+  if (series.size() != samples_) {
+    throw std::invalid_argument(
+        "ShapeMatcher::match: series length != samples()");
+  }
 
-  result.word = sax_word(series, config.sax);
-  result.template_word =
-      shape_template_word(sides, config.sax, series.size());
-  const SymbolDistanceTable table(config.sax.alphabet);
+  runtime::Workspace::Scope scope(ws);
+  const std::span<char> word =
+      ws.alloc_span_as<char>(config_.sax.word_length);
+  sax_word(series, config_.sax, breakpoints_, word, ws);
+  result.word.assign(word.data(), word.size());
 
-  // Circular letter rotation only models shifts by whole PAA segments;
-  // a sign tilted by a fraction of a segment changes the segment means
-  // and hence the word. Compare against template words generated at
-  // sub-segment rotations spanning one polygon sector (the signature is
-  // periodic in the sector), keeping the minimum distance.
-  constexpr double two_pi = 6.283185307179586476925286766559;
-  const double sector = two_pi / static_cast<double>(sides);
-  constexpr std::size_t kSubRotations = 16;
   result.distance = -1.0;
-  for (std::size_t r = 0; r < kSubRotations; ++r) {
-    const double rot =
-        sector * static_cast<double>(r) / static_cast<double>(kSubRotations);
-    const std::string tmpl =
-        sax_word(polygon_signature(sides, series.size(), rot), config.sax);
+  for (std::size_t r = 0; r < kShapeSubRotations; ++r) {
+    const std::string& tmpl = templates_[r];
     std::size_t letter_rot = 0;
     const double d = mindist_rotation_invariant(
-        result.word, tmpl, series.size(), table, &letter_rot);
+        std::string_view(word.data(), word.size()), tmpl, samples_, table_,
+        &letter_rot);
     if (result.distance < 0.0 || d < result.distance) {
       result.distance = d;
       result.rotation = letter_rot;
       result.template_word = tmpl;
     }
   }
-  result.corners = count_corners(series);
+  result.corners = count_corners(series, ws);
 
   const bool corners_ok =
-      std::abs(result.corners - static_cast<int>(sides)) <=
-      config.corner_tolerance;
-  result.match = result.distance <= config.mindist_threshold && corners_ok;
+      std::abs(result.corners - static_cast<int>(sides_)) <=
+      config_.corner_tolerance;
+  result.match = result.distance <= config_.mindist_threshold && corners_ok;
   return result;
+}
+
+ShapeMatchResult match_shape(const std::vector<double>& series,
+                             std::size_t sides,
+                             const ShapeMatchConfig& config) {
+  if (series.size() < config.sax.word_length) return {};
+  const ShapeMatcher matcher(sides, series.size(), config);
+  return matcher.match(std::span<const double>(series),
+                       runtime::thread_scratch());
 }
 
 }  // namespace hybridcnn::sax

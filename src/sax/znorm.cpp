@@ -1,10 +1,11 @@
 #include "sax/znorm.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace hybridcnn::sax {
 
-SeriesStats series_stats(const std::vector<double>& series) {
+SeriesStats series_stats(std::span<const double> series) {
   SeriesStats st;
   if (series.empty()) return st;
   for (const double v : series) st.mean += v;
@@ -15,14 +16,30 @@ SeriesStats series_stats(const std::vector<double>& series) {
   return st;
 }
 
-std::vector<double> znormalize(const std::vector<double>& series,
-                               double epsilon) {
+SeriesStats series_stats(const std::vector<double>& series) {
+  return series_stats(std::span<const double>(series));
+}
+
+void znormalize(std::span<const double> series, std::span<double> out,
+                double epsilon) {
+  if (out.size() != series.size()) {
+    throw std::invalid_argument("znormalize: out.size() != series.size()");
+  }
   const SeriesStats st = series_stats(series);
-  std::vector<double> out(series.size(), 0.0);
-  if (st.stddev < epsilon) return out;
+  if (st.stddev < epsilon) {
+    for (double& v : out) v = 0.0;
+    return;
+  }
   for (std::size_t i = 0; i < series.size(); ++i) {
     out[i] = (series[i] - st.mean) / st.stddev;
   }
+}
+
+std::vector<double> znormalize(const std::vector<double>& series,
+                               double epsilon) {
+  std::vector<double> out(series.size(), 0.0);
+  znormalize(std::span<const double>(series), std::span<double>(out),
+             epsilon);
   return out;
 }
 

@@ -1,6 +1,7 @@
 // Z-normalisation of time series (SAX preprocessing step).
 #pragma once
 
+#include <span>
 #include <vector>
 
 namespace hybridcnn::sax {
@@ -12,11 +13,20 @@ struct SeriesStats {
 };
 
 /// Computes mean and (population) standard deviation.
+SeriesStats series_stats(std::span<const double> series);
+
+/// std::vector convenience (also accepts brace-enclosed lists).
 SeriesStats series_stats(const std::vector<double>& series);
 
-/// Returns the z-normalised series: (x - mean) / stddev. Series with
-/// stddev below `epsilon` (near-constant, e.g. a circle's radial
-/// signature) are returned as all-zero — the SAX convention.
+/// Explicit-scratch overload: z-normalises `series` into `out`.
+/// out.size() must equal series.size() (throws std::invalid_argument
+/// otherwise); aliasing out == series is allowed. Series with stddev
+/// below `epsilon` (near-constant, e.g. a circle's radial signature)
+/// become all-zero — the SAX convention.
+void znormalize(std::span<const double> series, std::span<double> out,
+                double epsilon = 1e-9);
+
+/// Allocating wrapper: returns the z-normalised series.
 std::vector<double> znormalize(const std::vector<double>& series,
                                double epsilon = 1e-9);
 

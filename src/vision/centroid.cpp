@@ -2,7 +2,7 @@
 
 namespace hybridcnn::vision {
 
-std::optional<Centroid> centroid(const BinaryMask& mask) {
+std::optional<Centroid> centroid(ConstMaskView mask) {
   double sy = 0.0;
   double sx = 0.0;
   std::size_t n = 0;
@@ -16,6 +16,10 @@ std::optional<Centroid> centroid(const BinaryMask& mask) {
   }
   if (n == 0) return std::nullopt;
   return Centroid{sy / static_cast<double>(n), sx / static_cast<double>(n)};
+}
+
+std::optional<Centroid> centroid(const BinaryMask& mask) {
+  return centroid(mask.view());
 }
 
 }  // namespace hybridcnn::vision

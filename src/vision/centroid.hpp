@@ -14,6 +14,10 @@ struct Centroid {
 };
 
 /// First moment of the set pixels; nullopt for an empty mask.
+/// Allocation-free view overload.
+std::optional<Centroid> centroid(ConstMaskView mask);
+
+/// First moment of the set pixels; nullopt for an empty mask.
 std::optional<Centroid> centroid(const BinaryMask& mask);
 
 }  // namespace hybridcnn::vision

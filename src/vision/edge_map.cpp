@@ -1,7 +1,6 @@
 #include "vision/edge_map.hpp"
 
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
 #include "vision/gray.hpp"
@@ -9,6 +8,18 @@
 #include "vision/threshold.hpp"
 
 namespace hybridcnn::vision {
+
+void edge_magnitude(const tensor::Tensor& chw, std::span<float> out,
+                    runtime::Workspace& ws) {
+  const auto& sh = chw.shape();
+  if (sh.rank() != 3 || (sh[0] != 3 && sh[0] != 1)) {
+    throw std::invalid_argument("edge_magnitude: expected [3|1, H, W]");
+  }
+  runtime::Workspace::Scope scope(ws);
+  const std::span<float> gray = ws.alloc_span_as<float>(sh[1] * sh[2]);
+  to_gray(chw, gray);
+  sobel_magnitude(gray, sh[1], sh[2], out);
+}
 
 tensor::Tensor edge_magnitude(const tensor::Tensor& chw) {
   return sobel_magnitude(to_gray(chw));
@@ -56,53 +67,65 @@ BinaryMask dominant_shape(const tensor::Tensor& chw, double min_fraction) {
   return candidate;
 }
 
-BinaryMask mask_from_feature_map(const tensor::Tensor& feature_map) {
+void mask_from_feature_map(std::span<const float> feature_map, std::size_t h,
+                           std::size_t w, MaskView out,
+                           runtime::Workspace& ws) {
+  if (feature_map.size() != h * w || out.height != h || out.width != w ||
+      out.data == nullptr) {
+    throw std::invalid_argument("mask_from_feature_map: size mismatch");
+  }
+  const std::size_t n = h * w;
+  runtime::Workspace::Scope scope(ws);
+
   // Edge pixels from the feature map's absolute response.
-  tensor::Tensor mag(feature_map.shape());
-  for (std::size_t i = 0; i < mag.count(); ++i) {
+  const std::span<float> mag = ws.alloc_span_as<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const float v = feature_map[i];
     mag[i] = v >= 0.0f ? v : -v;
   }
-  BinaryMask edges = threshold_otsu(mag);
-  const std::size_t h = edges.height;
-  const std::size_t w = edges.width;
+  MaskView edges{h, w, ws.alloc_as<std::uint8_t>(n)};
+  threshold_otsu(mag, edges);
 
   // A zero-padded edge convolution produces spurious strong responses
   // along the image frame; the frame is not shape evidence, so clear a
   // two-pixel band before any morphology can smear it inward.
-  const auto clear_band = [&](std::size_t width) {
+  const auto clear_band = [&](MaskView m, std::size_t width) {
     for (std::size_t b = 0; b < width; ++b) {
       for (std::size_t x = 0; x < w; ++x) {
-        edges.set(b, x, false);
-        edges.set(h - 1 - b, x, false);
+        m.set(b, x, false);
+        m.set(h - 1 - b, x, false);
       }
       for (std::size_t y = 0; y < h; ++y) {
-        edges.set(y, b, false);
-        edges.set(y, w - 1 - b, false);
+        m.set(y, b, false);
+        m.set(y, w - 1 - b, false);
       }
     }
   };
-  clear_band(2);
+  clear_band(edges, 2);
 
   // Close small contour gaps: a single mixed-direction filter (the
   // paper's Sobel x/y/x stack collapses both gradient axes into one map)
   // has directional nulls where the boundary response vanishes, and any
   // gap lets the background flood leak into the shape.
-  edges = dilate(edges, 1);
+  MaskView dilated{h, w, ws.alloc_as<std::uint8_t>(n)};
+  dilate(edges, 1, dilated);
 
   // Keep the outermost ring free so the background flood below always
   // has entry points.
-  clear_band(1);
+  clear_band(dilated, 1);
 
   // Fill the interior: flood the background from the border over non-edge
   // pixels; whatever is unreachable is inside an edge contour.
-  std::vector<std::uint8_t> outside(h * w, 0);
-  std::queue<std::size_t> frontier;
+  std::uint8_t* outside = ws.alloc_as<std::uint8_t>(n);
+  for (std::size_t i = 0; i < n; ++i) outside[i] = 0;
+  std::size_t* queue = ws.alloc_as<std::size_t>(n);
+  std::size_t head = 0;
+  std::size_t tail = 0;
   const auto push = [&](std::size_t y, std::size_t x) {
     const std::size_t idx = y * w + x;
-    if (outside[idx] != 0 || edges.data[idx] != 0) return;
+    if (outside[idx] != 0 || dilated.data[idx] != 0) return;
     outside[idx] = 1;
-    frontier.push(idx);
+    queue[tail++] = idx;
   };
   for (std::size_t x = 0; x < w; ++x) {
     push(0, x);
@@ -112,9 +135,8 @@ BinaryMask mask_from_feature_map(const tensor::Tensor& feature_map) {
     push(y, 0);
     push(y, w - 1);
   }
-  while (!frontier.empty()) {
-    const std::size_t idx = frontier.front();
-    frontier.pop();
+  while (head < tail) {
+    const std::size_t idx = queue[head++];
     const std::size_t y = idx / w;
     const std::size_t x = idx % w;
     if (y > 0) push(y - 1, x);
@@ -123,12 +145,25 @@ BinaryMask mask_from_feature_map(const tensor::Tensor& feature_map) {
     if (x + 1 < w) push(y, x + 1);
   }
 
-  BinaryMask filled(h, w);
-  for (std::size_t i = 0; i < filled.data.size(); ++i) {
+  MaskView filled{h, w, ws.alloc_as<std::uint8_t>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
     filled.data[i] = outside[i] != 0 ? 0 : 1;
   }
   // Erode once to undo the dilation's boundary fattening.
-  return largest_component(erode(filled, 1));
+  MaskView eroded{h, w, ws.alloc_as<std::uint8_t>(n)};
+  erode(filled, 1, eroded);
+  largest_component(eroded, out, ws);
+}
+
+BinaryMask mask_from_feature_map(const tensor::Tensor& feature_map) {
+  const auto& sh = feature_map.shape();
+  if (sh.rank() != 2) {
+    throw std::invalid_argument("mask_from_feature_map: expected [H, W]");
+  }
+  BinaryMask out(sh[0], sh[1]);
+  mask_from_feature_map(feature_map.data(), sh[0], sh[1], out.view(),
+                        runtime::thread_scratch());
+  return out;
 }
 
 }  // namespace hybridcnn::vision

@@ -4,24 +4,34 @@
 
 namespace hybridcnn::vision {
 
+void to_gray(const tensor::Tensor& chw, std::span<float> out) {
+  const auto& sh = chw.shape();
+  if (sh.rank() != 3 || (sh[0] != 3 && sh[0] != 1)) {
+    throw std::invalid_argument("to_gray: expected [3|1, H, W], got " +
+                                sh.str());
+  }
+  const std::size_t plane = sh[1] * sh[2];
+  if (out.size() != plane) {
+    throw std::invalid_argument("to_gray: out.size() != H*W");
+  }
+  if (sh[0] == 1) {
+    for (std::size_t i = 0; i < plane; ++i) out[i] = chw[i];
+    return;
+  }
+  for (std::size_t i = 0; i < plane; ++i) {
+    out[i] = 0.299f * chw[i] + 0.587f * chw[plane + i] +
+             0.114f * chw[2 * plane + i];
+  }
+}
+
 tensor::Tensor to_gray(const tensor::Tensor& chw) {
   const auto& sh = chw.shape();
   if (sh.rank() != 3 || (sh[0] != 3 && sh[0] != 1)) {
     throw std::invalid_argument("to_gray: expected [3|1, H, W], got " +
                                 sh.str());
   }
-  const std::size_t h = sh[1];
-  const std::size_t w = sh[2];
-  tensor::Tensor gray(tensor::Shape{h, w});
-  if (sh[0] == 1) {
-    for (std::size_t i = 0; i < h * w; ++i) gray[i] = chw[i];
-    return gray;
-  }
-  const std::size_t plane = h * w;
-  for (std::size_t i = 0; i < plane; ++i) {
-    gray[i] = 0.299f * chw[i] + 0.587f * chw[plane + i] +
-              0.114f * chw[2 * plane + i];
-  }
+  tensor::Tensor gray(tensor::Shape{sh[1], sh[2]});
+  to_gray(chw, gray.data());
   return gray;
 }
 

@@ -1,12 +1,18 @@
 // Grayscale conversion between tensor image formats.
 #pragma once
 
+#include <span>
+
 #include "tensor/tensor.hpp"
 
 namespace hybridcnn::vision {
 
-/// Converts a [3, H, W] (or [1, H, W]) float image to a [H, W] luminance
-/// image using Rec.601 weights. Throws std::invalid_argument otherwise.
+/// Explicit-scratch overload: converts a [3, H, W] (or [1, H, W]) float
+/// image into the H*W luminance plane `out` using Rec.601 weights.
+/// Throws std::invalid_argument on shape or out-size mismatch.
+void to_gray(const tensor::Tensor& chw, std::span<float> out);
+
+/// Allocating wrapper: returns the [H, W] luminance image.
 tensor::Tensor to_gray(const tensor::Tensor& chw);
 
 }  // namespace hybridcnn::vision

@@ -1,8 +1,22 @@
 #include "vision/mask.hpp"
 
-#include <queue>
+#include <stdexcept>
+#include <string>
 
 namespace hybridcnn::vision {
+
+namespace {
+
+void require_same_dims(const ConstMaskView& in, const MaskView& out,
+                       const char* what) {
+  if (in.height != out.height || in.width != out.width ||
+      out.data == nullptr) {
+    throw std::invalid_argument(std::string(what) +
+                                ": output view dimensions mismatch");
+  }
+}
+
+}  // namespace
 
 std::size_t BinaryMask::count() const {
   std::size_t n = 0;
@@ -10,9 +24,10 @@ std::size_t BinaryMask::count() const {
   return n;
 }
 
-BinaryMask dilate(const BinaryMask& mask, std::size_t radius) {
+void dilate(ConstMaskView mask, std::size_t radius, MaskView out) {
+  require_same_dims(mask, out, "dilate");
   const auto r = static_cast<std::int64_t>(radius);
-  BinaryMask out(mask.height, mask.width);
+  out.fill(0);
   for (std::size_t y = 0; y < mask.height; ++y) {
     for (std::size_t x = 0; x < mask.width; ++x) {
       if (!mask.at(y, x)) continue;
@@ -28,12 +43,18 @@ BinaryMask dilate(const BinaryMask& mask, std::size_t radius) {
       }
     }
   }
+}
+
+BinaryMask dilate(const BinaryMask& mask, std::size_t radius) {
+  BinaryMask out(mask.height, mask.width);
+  dilate(mask.view(), radius, out.view());
   return out;
 }
 
-BinaryMask erode(const BinaryMask& mask, std::size_t radius) {
+void erode(ConstMaskView mask, std::size_t radius, MaskView out) {
+  require_same_dims(mask, out, "erode");
   const auto r = static_cast<std::int64_t>(radius);
-  BinaryMask out(mask.height, mask.width);
+  out.fill(0);
   for (std::size_t y = 0; y < mask.height; ++y) {
     for (std::size_t x = 0; x < mask.width; ++x) {
       bool all = true;
@@ -51,48 +72,78 @@ BinaryMask erode(const BinaryMask& mask, std::size_t radius) {
       if (all) out.set(y, x, true);
     }
   }
+}
+
+BinaryMask erode(const BinaryMask& mask, std::size_t radius) {
+  BinaryMask out(mask.height, mask.width);
+  erode(mask.view(), radius, out.view());
   return out;
 }
 
-BinaryMask largest_component(const BinaryMask& mask) {
-  BinaryMask best(mask.height, mask.width);
+void largest_component(ConstMaskView mask, MaskView out,
+                       runtime::Workspace& ws) {
+  require_same_dims(mask, out, "largest_component");
+  const std::size_t n = mask.size();
+  out.fill(0);
+  if (n == 0) return;
+
+  runtime::Workspace::Scope scope(ws);
+  // Component labels (0 = background / unvisited) and a flat BFS ring
+  // buffer; every pixel enters the queue at most once, so n slots are
+  // enough.
+  std::size_t* label = ws.alloc_as<std::size_t>(n);
+  std::size_t* queue = ws.alloc_as<std::size_t>(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = 0;
+
+  std::size_t next_label = 0;
+  std::size_t best_label = 0;
   std::size_t best_size = 0;
-  std::vector<std::uint8_t> visited(mask.data.size(), 0);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (mask.data[start] == 0 || label[start] != 0) continue;
 
-  for (std::size_t start = 0; start < mask.data.size(); ++start) {
-    if (mask.data[start] == 0 || visited[start] != 0) continue;
-
-    // BFS flood fill from `start`.
-    std::vector<std::size_t> component;
-    std::queue<std::size_t> frontier;
-    frontier.push(start);
-    visited[start] = 1;
-    while (!frontier.empty()) {
-      const std::size_t idx = frontier.front();
-      frontier.pop();
-      component.push_back(idx);
+    // BFS flood fill from `start`. Start pixels are visited in raster
+    // order, so on ties the earliest component wins — the same tie-break
+    // the allocating version applies.
+    ++next_label;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    queue[tail++] = start;
+    label[start] = next_label;
+    std::size_t component_size = 0;
+    while (head < tail) {
+      const std::size_t idx = queue[head++];
+      ++component_size;
       const auto y = static_cast<std::int64_t>(idx / mask.width);
       const auto x = static_cast<std::int64_t>(idx % mask.width);
       const std::int64_t neighbours[4][2] = {
           {y - 1, x}, {y + 1, x}, {y, x - 1}, {y, x + 1}};
-      for (const auto& n : neighbours) {
-        if (!mask.contains(n[0], n[1])) continue;
+      for (const auto& nb : neighbours) {
+        if (!mask.contains(nb[0], nb[1])) continue;
         const std::size_t nidx =
-            static_cast<std::size_t>(n[0]) * mask.width +
-            static_cast<std::size_t>(n[1]);
-        if (mask.data[nidx] == 0 || visited[nidx] != 0) continue;
-        visited[nidx] = 1;
-        frontier.push(nidx);
+            static_cast<std::size_t>(nb[0]) * mask.width +
+            static_cast<std::size_t>(nb[1]);
+        if (mask.data[nidx] == 0 || label[nidx] != 0) continue;
+        label[nidx] = next_label;
+        queue[tail++] = nidx;
       }
     }
 
-    if (component.size() > best_size) {
-      best_size = component.size();
-      best = BinaryMask(mask.height, mask.width);
-      for (const std::size_t idx : component) best.data[idx] = 1;
+    if (component_size > best_size) {
+      best_size = component_size;
+      best_label = next_label;
     }
   }
-  return best;
+
+  if (best_size == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.data[i] = label[i] == best_label ? 1 : 0;
+  }
+}
+
+BinaryMask largest_component(const BinaryMask& mask) {
+  BinaryMask out(mask.height, mask.width);
+  largest_component(mask.view(), out.view(), runtime::thread_scratch());
+  return out;
 }
 
 }  // namespace hybridcnn::vision

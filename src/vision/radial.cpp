@@ -5,15 +5,14 @@
 
 namespace hybridcnn::vision {
 
-std::vector<double> radial_distance_series(const BinaryMask& mask,
-                                           const Centroid& c,
-                                           std::size_t samples) {
-  if (samples == 0) {
+void radial_distance_series(ConstMaskView mask, const Centroid& c,
+                            std::span<double> out) {
+  if (out.empty()) {
     throw std::invalid_argument("radial_distance_series: samples == 0");
   }
+  const std::size_t samples = out.size();
   const double max_r = std::hypot(static_cast<double>(mask.height),
                                   static_cast<double>(mask.width));
-  std::vector<double> series(samples, 0.0);
   constexpr double two_pi = 6.283185307179586476925286766559;
 
   for (std::size_t s = 0; s < samples; ++s) {
@@ -32,9 +31,31 @@ std::vector<double> radial_distance_series(const BinaryMask& mask,
         farthest = r;
       }
     }
-    series[s] = farthest;
+    out[s] = farthest;
   }
+}
+
+std::vector<double> radial_distance_series(const BinaryMask& mask,
+                                           const Centroid& c,
+                                           std::size_t samples) {
+  if (samples == 0) {
+    throw std::invalid_argument("radial_distance_series: samples == 0");
+  }
+  std::vector<double> series(samples, 0.0);
+  radial_distance_series(mask.view(), c, std::span<double>(series));
   return series;
+}
+
+std::size_t shape_signature(ConstMaskView mask, std::span<double> out,
+                            runtime::Workspace& ws) {
+  runtime::Workspace::Scope scope(ws);
+  const MaskView component{mask.height, mask.width,
+                           ws.alloc_as<std::uint8_t>(mask.size())};
+  largest_component(mask, component, ws);
+  const std::optional<Centroid> c = centroid(ConstMaskView(component));
+  if (!c) return 0;
+  radial_distance_series(component, *c, out);
+  return out.size();
 }
 
 std::vector<double> shape_signature(const BinaryMask& mask,

@@ -7,54 +7,99 @@ namespace hybridcnn::vision {
 
 namespace {
 
+constexpr float kSobelX[3][3] = {
+    {-1.0f, 0.0f, 1.0f}, {-2.0f, 0.0f, 2.0f}, {-1.0f, 0.0f, 1.0f}};
+constexpr float kSobelY[3][3] = {
+    {-1.0f, -2.0f, -1.0f}, {0.0f, 0.0f, 0.0f}, {1.0f, 2.0f, 1.0f}};
+
+void check_plane(std::span<const float> gray, std::size_t h, std::size_t w,
+                 std::span<float> out) {
+  if (gray.size() != h * w || out.size() != h * w) {
+    throw std::invalid_argument("sobel: plane/out size != H*W");
+  }
+}
+
+/// 3x3 response of kernel `k` at (y, x) with zero padding.
+float tap3x3(std::span<const float> gray, std::int64_t h, std::int64_t w,
+             std::int64_t y, std::int64_t x, const float k[3][3]) {
+  float acc = 0.0f;
+  for (std::int64_t ky = -1; ky <= 1; ++ky) {
+    const std::int64_t iy = y + ky;
+    if (iy < 0 || iy >= h) continue;
+    for (std::int64_t kx = -1; kx <= 1; ++kx) {
+      const std::int64_t ix = x + kx;
+      if (ix < 0 || ix >= w) continue;
+      acc += k[ky + 1][kx + 1] * gray[static_cast<std::size_t>(iy * w + ix)];
+    }
+  }
+  return acc;
+}
+
+void apply3x3(std::span<const float> gray, std::size_t h, std::size_t w,
+              const float k[3][3], std::span<float> out) {
+  check_plane(gray, h, w, out);
+  const auto ih = static_cast<std::int64_t>(h);
+  const auto iw = static_cast<std::int64_t>(w);
+  for (std::int64_t y = 0; y < ih; ++y) {
+    for (std::int64_t x = 0; x < iw; ++x) {
+      out[static_cast<std::size_t>(y * iw + x)] =
+          tap3x3(gray, ih, iw, y, x, k);
+    }
+  }
+}
+
 tensor::Tensor apply3x3(const tensor::Tensor& gray, const float k[3][3]) {
   const auto& sh = gray.shape();
   if (sh.rank() != 2) {
     throw std::invalid_argument("sobel: expected [H, W], got " + sh.str());
   }
-  const auto h = static_cast<std::int64_t>(sh[0]);
-  const auto w = static_cast<std::int64_t>(sh[1]);
   tensor::Tensor out(sh);
-  for (std::int64_t y = 0; y < h; ++y) {
-    for (std::int64_t x = 0; x < w; ++x) {
-      float acc = 0.0f;
-      for (std::int64_t ky = -1; ky <= 1; ++ky) {
-        const std::int64_t iy = y + ky;
-        if (iy < 0 || iy >= h) continue;
-        for (std::int64_t kx = -1; kx <= 1; ++kx) {
-          const std::int64_t ix = x + kx;
-          if (ix < 0 || ix >= w) continue;
-          acc += k[ky + 1][kx + 1] *
-                 gray[static_cast<std::size_t>(iy * w + ix)];
-        }
-      }
-      out[static_cast<std::size_t>(y * w + x)] = acc;
-    }
-  }
+  apply3x3(gray.data(), sh[0], sh[1], k, out.data());
   return out;
 }
 
 }  // namespace
 
+void sobel_x(std::span<const float> gray, std::size_t h, std::size_t w,
+             std::span<float> out) {
+  apply3x3(gray, h, w, kSobelX, out);
+}
+
+void sobel_y(std::span<const float> gray, std::size_t h, std::size_t w,
+             std::span<float> out) {
+  apply3x3(gray, h, w, kSobelY, out);
+}
+
+void sobel_magnitude(std::span<const float> gray, std::size_t h,
+                     std::size_t w, std::span<float> out) {
+  check_plane(gray, h, w, out);
+  const auto ih = static_cast<std::int64_t>(h);
+  const auto iw = static_cast<std::int64_t>(w);
+  for (std::int64_t y = 0; y < ih; ++y) {
+    for (std::int64_t x = 0; x < iw; ++x) {
+      const float gx = tap3x3(gray, ih, iw, y, x, kSobelX);
+      const float gy = tap3x3(gray, ih, iw, y, x, kSobelY);
+      out[static_cast<std::size_t>(y * iw + x)] =
+          std::sqrt(gx * gx + gy * gy);
+    }
+  }
+}
+
 tensor::Tensor sobel_x(const tensor::Tensor& gray) {
-  static constexpr float kx[3][3] = {
-      {-1.0f, 0.0f, 1.0f}, {-2.0f, 0.0f, 2.0f}, {-1.0f, 0.0f, 1.0f}};
-  return apply3x3(gray, kx);
+  return apply3x3(gray, kSobelX);
 }
 
 tensor::Tensor sobel_y(const tensor::Tensor& gray) {
-  static constexpr float ky[3][3] = {
-      {-1.0f, -2.0f, -1.0f}, {0.0f, 0.0f, 0.0f}, {1.0f, 2.0f, 1.0f}};
-  return apply3x3(gray, ky);
+  return apply3x3(gray, kSobelY);
 }
 
 tensor::Tensor sobel_magnitude(const tensor::Tensor& gray) {
-  const tensor::Tensor gx = sobel_x(gray);
-  const tensor::Tensor gy = sobel_y(gray);
-  tensor::Tensor mag(gray.shape());
-  for (std::size_t i = 0; i < mag.count(); ++i) {
-    mag[i] = std::sqrt(gx[i] * gx[i] + gy[i] * gy[i]);
+  const auto& sh = gray.shape();
+  if (sh.rank() != 2) {
+    throw std::invalid_argument("sobel: expected [H, W], got " + sh.str());
   }
+  tensor::Tensor mag(sh);
+  sobel_magnitude(gray.data(), sh[0], sh[1], mag.data());
   return mag;
 }
 

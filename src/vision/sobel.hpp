@@ -5,9 +5,22 @@
 // vision pipeline and as an independent reference in tests.
 #pragma once
 
+#include <span>
+
 #include "tensor/tensor.hpp"
 
 namespace hybridcnn::vision {
+
+/// Explicit-scratch overloads over a flat H*W luminance plane; `out`
+/// must hold h*w floats and must not alias `gray`. Allocation-free.
+void sobel_x(std::span<const float> gray, std::size_t h, std::size_t w,
+             std::span<float> out);
+void sobel_y(std::span<const float> gray, std::size_t h, std::size_t w,
+             std::span<float> out);
+/// Fused gradient magnitude sqrt(gx^2 + gy^2) — single pass, no gx/gy
+/// intermediates, bit-identical to composing sobel_x/sobel_y per pixel.
+void sobel_magnitude(std::span<const float> gray, std::size_t h,
+                     std::size_t w, std::span<float> out);
 
 /// 3x3 Sobel-x response (same-size output, zero padding).
 tensor::Tensor sobel_x(const tensor::Tensor& gray);

@@ -1,9 +1,19 @@
 #include "vision/threshold.hpp"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
 
 namespace hybridcnn::vision {
+
+void threshold(std::span<const float> image, float value, MaskView out) {
+  if (out.size() != image.size() || out.data == nullptr) {
+    throw std::invalid_argument("threshold: output view size mismatch");
+  }
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    out.data[i] = image[i] > value ? 1 : 0;
+  }
+}
 
 BinaryMask threshold(const tensor::Tensor& image, float value) {
   const auto& sh = image.shape();
@@ -12,21 +22,18 @@ BinaryMask threshold(const tensor::Tensor& image, float value) {
                                 sh.str());
   }
   BinaryMask mask(sh[0], sh[1]);
-  for (std::size_t i = 0; i < image.count(); ++i) {
-    mask.data[i] = image[i] > value ? 1 : 0;
-  }
+  threshold(image.data(), value, mask.view());
   return mask;
 }
 
-float otsu_threshold(const tensor::Tensor& image) {
-  const auto& sh = image.shape();
-  if (sh.rank() != 2 || image.count() == 0) {
-    throw std::invalid_argument("otsu_threshold: expected [H, W]");
+float otsu_threshold(std::span<const float> image) {
+  if (image.empty()) {
+    throw std::invalid_argument("otsu_threshold: empty image");
   }
 
   float lo = image[0];
   float hi = image[0];
-  for (std::size_t i = 1; i < image.count(); ++i) {
+  for (std::size_t i = 1; i < image.size(); ++i) {
     lo = std::min(lo, image[i]);
     hi = std::max(hi, image[i]);
   }
@@ -35,12 +42,12 @@ float otsu_threshold(const tensor::Tensor& image) {
   constexpr int kBins = 256;
   std::array<std::uint64_t, kBins> hist{};
   const float scale = static_cast<float>(kBins - 1) / (hi - lo);
-  for (std::size_t i = 0; i < image.count(); ++i) {
+  for (std::size_t i = 0; i < image.size(); ++i) {
     const int bin = static_cast<int>((image[i] - lo) * scale);
     ++hist[static_cast<std::size_t>(std::min(std::max(bin, 0), kBins - 1))];
   }
 
-  const double total = static_cast<double>(image.count());
+  const double total = static_cast<double>(image.size());
   double sum_all = 0.0;
   for (int b = 0; b < kBins; ++b) sum_all += b * static_cast<double>(hist[b]);
 
@@ -64,6 +71,18 @@ float otsu_threshold(const tensor::Tensor& image) {
     }
   }
   return lo + static_cast<float>(best_bin) / scale;
+}
+
+float otsu_threshold(const tensor::Tensor& image) {
+  const auto& sh = image.shape();
+  if (sh.rank() != 2 || image.count() == 0) {
+    throw std::invalid_argument("otsu_threshold: expected [H, W]");
+  }
+  return otsu_threshold(std::span<const float>(image.data()));
+}
+
+void threshold_otsu(std::span<const float> image, MaskView out) {
+  threshold(image, otsu_threshold(image), out);
 }
 
 BinaryMask threshold_otsu(const tensor::Tensor& image) {

@@ -1,18 +1,31 @@
 // Image binarisation: fixed threshold and Otsu's method.
 #pragma once
 
+#include <span>
+
 #include "tensor/tensor.hpp"
 #include "vision/mask.hpp"
 
 namespace hybridcnn::vision {
 
-/// Pixels strictly above `threshold` become 1.
+/// Explicit-scratch overload: pixels strictly above `value` become 1 in
+/// `out` (out dimensions must cover image.size() pixels).
+void threshold(std::span<const float> image, float value, MaskView out);
+
+/// Pixels strictly above `value` become 1.
 BinaryMask threshold(const tensor::Tensor& image, float value);
 
-/// Otsu's automatic threshold on a min-max normalised 256-bin histogram.
-/// Returns the threshold in the image's original value range. Flat images
-/// (max == min) return that single value.
+/// Otsu's automatic threshold on a min-max normalised 256-bin histogram
+/// over a flat pixel span. Allocation-free. Returns the threshold in the
+/// pixels' original value range; flat spans (max == min) return that
+/// single value. Throws std::invalid_argument on an empty span.
+float otsu_threshold(std::span<const float> image);
+
+/// Otsu threshold of a [H, W] image tensor.
 float otsu_threshold(const tensor::Tensor& image);
+
+/// Explicit-scratch overload: binarise with the Otsu threshold.
+void threshold_otsu(std::span<const float> image, MaskView out);
 
 /// Convenience: binarise with the Otsu threshold.
 BinaryMask threshold_otsu(const tensor::Tensor& image);

@@ -1,0 +1,182 @@
+// Randomized property tests for the SAX pipeline: z-normalisation
+// moments, PAA invariants, and the MINDIST metric properties (symmetry,
+// non-negativity, and the Lin et al. lower-bounding guarantee the
+// qualifier's thresholds rest on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "sax/breakpoints.hpp"
+#include "sax/mindist.hpp"
+#include "sax/paa.hpp"
+#include "sax/sax_word.hpp"
+#include "sax/znorm.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+using sax::SaxConfig;
+using sax::SymbolDistanceTable;
+
+std::vector<double> random_series(std::mt19937& rng, std::size_t n,
+                                  double spread) {
+  std::normal_distribution<double> dist(0.0, spread);
+  std::vector<double> s(n);
+  for (double& v : s) v = 5.0 + dist(rng);
+  return s;
+}
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(sum);
+}
+
+TEST(SaxProperties, ZnormHasZeroMeanUnitVariance) {
+  std::mt19937 rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 32 + static_cast<std::size_t>(rng() % 480);
+    const std::vector<double> series =
+        random_series(rng, n, 0.5 + 3.0 * (trial % 5));
+    const std::vector<double> z = sax::znormalize(series);
+
+    const sax::SeriesStats st = sax::series_stats(z);
+    EXPECT_NEAR(st.mean, 0.0, 1e-9);
+    EXPECT_NEAR(st.stddev, 1.0, 1e-9);
+  }
+}
+
+TEST(SaxProperties, ZnormOfNearConstantSeriesIsAllZero) {
+  const std::vector<double> series(100, 42.0);
+  for (const double v : sax::znormalize(series)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SaxProperties, PaaOfConstantSeriesIsConstant) {
+  std::mt19937 rng(202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 16 + static_cast<std::size_t>(rng() % 200);
+    const std::size_t segments = 1 + static_cast<std::size_t>(rng() % n);
+    const double value = -3.0 + 0.37 * trial;
+    const std::vector<double> series(n, value);
+    for (const double v : sax::paa(series, segments)) {
+      EXPECT_NEAR(v, value, 1e-9);
+    }
+  }
+}
+
+TEST(SaxProperties, PaaPreservesTheSeriesMean) {
+  // With fractional segment weighting the weighted total is conserved:
+  // mean(PAA) == mean(series) for every segment count.
+  std::mt19937 rng(303);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 20 + static_cast<std::size_t>(rng() % 300);
+    const std::size_t segments = 1 + static_cast<std::size_t>(rng() % n);
+    const std::vector<double> series = random_series(rng, n, 2.0);
+
+    const std::vector<double> reduced = sax::paa(series, segments);
+    double series_mean = 0.0;
+    for (const double v : series) series_mean += v;
+    series_mean /= static_cast<double>(n);
+    double paa_mean = 0.0;
+    for (const double v : reduced) paa_mean += v;
+    paa_mean /= static_cast<double>(segments);
+    EXPECT_NEAR(paa_mean, series_mean, 1e-9);
+  }
+}
+
+TEST(SaxProperties, PaaIdentityWhenSegmentsEqualLength) {
+  std::mt19937 rng(404);
+  const std::vector<double> series = random_series(rng, 64, 1.5);
+  const std::vector<double> out = sax::paa(series, series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_NEAR(out[i], series[i], 1e-9);
+  }
+}
+
+TEST(SaxProperties, MindistIsSymmetricNonNegativeAndZeroOnSelf) {
+  std::mt19937 rng(505);
+  const SaxConfig cfg{16, 8};
+  const SymbolDistanceTable table(cfg.alphabet);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 64;
+    const std::string wa = sax::sax_word(random_series(rng, n, 2.0), cfg);
+    const std::string wb = sax::sax_word(random_series(rng, n, 2.0), cfg);
+
+    const double dab = sax::mindist(wa, wb, n, table);
+    const double dba = sax::mindist(wb, wa, n, table);
+    EXPECT_EQ(dab, dba);  // symbol table is symmetric -> exact symmetry
+    EXPECT_GE(dab, 0.0);
+    EXPECT_EQ(sax::mindist(wa, wa, n, table), 0.0);
+  }
+}
+
+TEST(SaxProperties, MindistLowerBoundsEuclideanDistance) {
+  // The Lin et al. 2003 soundness property: MINDIST of the SAX words
+  // never exceeds the Euclidean distance of the z-normalised series.
+  std::mt19937 rng(606);
+  for (const std::size_t word_length : {8u, 16u, 32u}) {
+    for (const std::size_t alphabet : {4u, 8u, 12u}) {
+      const SaxConfig cfg{word_length, alphabet};
+      const SymbolDistanceTable table(cfg.alphabet);
+      for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t n = 96;
+        const std::vector<double> a = random_series(rng, n, 1.0 + trial % 4);
+        const std::vector<double> b = random_series(rng, n, 1.0 + trial % 3);
+
+        const double lower = sax::mindist(sax::sax_word(a, cfg),
+                                          sax::sax_word(b, cfg), n, table);
+        const double euclid = euclidean(sax::znormalize(a),
+                                        sax::znormalize(b));
+        EXPECT_LE(lower, euclid + 1e-9)
+            << "w=" << word_length << " a=" << alphabet;
+      }
+    }
+  }
+}
+
+TEST(SaxProperties, RotationInvariantMindistNeverExceedsPlainMindist) {
+  std::mt19937 rng(707);
+  const SaxConfig cfg{16, 8};
+  const SymbolDistanceTable table(cfg.alphabet);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 128;
+    const std::string wa = sax::sax_word(random_series(rng, n, 2.0), cfg);
+    const std::string wb = sax::sax_word(random_series(rng, n, 2.0), cfg);
+
+    std::size_t rot = 0;
+    const double invariant =
+        sax::mindist_rotation_invariant(wa, wb, n, table, &rot);
+    EXPECT_LE(invariant, sax::mindist(wa, wb, n, table));
+    EXPECT_LT(rot, wb.size());
+
+    // And it must equal the explicit minimum over materialised rotations.
+    double best = -1.0;
+    std::string rotated = wb;
+    for (std::size_t r = 0; r < wb.size(); ++r) {
+      const double d = sax::mindist(wa, rotated, n, table);
+      if (best < 0.0 || d < best) best = d;
+      rotated.push_back(rotated.front());
+      rotated.erase(rotated.begin());
+    }
+    EXPECT_EQ(invariant, best);
+  }
+}
+
+TEST(SaxProperties, MindistScalesWithOriginalSeriesLength) {
+  // MINDIST carries the sqrt(n/w) compensation factor; doubling the
+  // source length scales every distance by sqrt(2).
+  const SaxConfig cfg{8, 6};
+  const SymbolDistanceTable table(cfg.alphabet);
+  std::mt19937 rng(808);
+  const std::string wa = sax::sax_word(random_series(rng, 64, 2.0), cfg);
+  const std::string wb = sax::sax_word(random_series(rng, 64, 2.0), cfg);
+  const double d64 = sax::mindist(wa, wb, 64, table);
+  const double d128 = sax::mindist(wa, wb, 128, table);
+  EXPECT_NEAR(d128, d64 * std::sqrt(2.0), 1e-12 + 1e-12 * std::abs(d128));
+}
+
+}  // namespace

@@ -1,0 +1,375 @@
+// Golden regression tests for the deterministic vision pipeline
+// (gray -> threshold -> sobel -> edge_map -> centroid) on small synthetic
+// shape images, plus scratch-overload vs allocating-overload equivalence
+// for every refactored sax/vision function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "runtime/workspace.hpp"
+#include "sax/breakpoints.hpp"
+#include "sax/paa.hpp"
+#include "sax/sax_word.hpp"
+#include "sax/shape_match.hpp"
+#include "sax/znorm.hpp"
+#include "tensor/tensor.hpp"
+#include "vision/centroid.hpp"
+#include "vision/edge_map.hpp"
+#include "vision/gray.hpp"
+#include "vision/mask.hpp"
+#include "vision/radial.hpp"
+#include "vision/sobel.hpp"
+#include "vision/threshold.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+using tensor::Shape;
+using tensor::Tensor;
+using vision::BinaryMask;
+
+/// [3, n, n] image: dark background with a bright axis-aligned square
+/// covering [lo, hi) x [lo, hi).
+Tensor square_image(std::size_t n, std::size_t lo, std::size_t hi) {
+  Tensor img(Shape{3, n, n}, 0.1f);
+  for (std::size_t y = lo; y < hi; ++y) {
+    for (std::size_t x = lo; x < hi; ++x) {
+      img.at3(0, y, x) = 0.9f;
+      img.at3(1, y, x) = 0.8f;
+      img.at3(2, y, x) = 0.7f;
+    }
+  }
+  return img;
+}
+
+Tensor random_plane(std::mt19937& rng, std::size_t h, std::size_t w) {
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  Tensor t(Shape{h, w});
+  for (std::size_t i = 0; i < t.count(); ++i) t[i] = dist(rng);
+  return t;
+}
+
+BinaryMask random_mask(std::mt19937& rng, std::size_t h, std::size_t w,
+                       double density) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  BinaryMask m(h, w);
+  for (auto& v : m.data) v = dist(rng) < density ? 1 : 0;
+  return m;
+}
+
+void expect_same_mask(const BinaryMask& a, const BinaryMask& b,
+                      const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.height, b.height);
+  ASSERT_EQ(a.width, b.width);
+  EXPECT_EQ(a.data, b.data);
+}
+
+// ------------------------------------------------------------------
+// Golden regressions on the synthetic square.
+// ------------------------------------------------------------------
+
+TEST(VisionPipelineGolden, GrayAppliesRec601Weights) {
+  const Tensor img = square_image(16, 4, 12);
+  const Tensor gray = vision::to_gray(img);
+  ASSERT_EQ(gray.shape(), (Shape{16, 16}));
+  // Background: 0.1 everywhere -> luminance 0.1.
+  EXPECT_NEAR(gray.at2(0, 0), 0.1f, 1e-6f);
+  // Square: 0.299*0.9 + 0.587*0.8 + 0.114*0.7.
+  EXPECT_NEAR(gray.at2(8, 8), 0.299f * 0.9f + 0.587f * 0.8f + 0.114f * 0.7f,
+              1e-6f);
+}
+
+TEST(VisionPipelineGolden, OtsuThresholdSeparatesSquareFromBackground) {
+  const Tensor gray = vision::to_gray(square_image(16, 4, 12));
+  const BinaryMask mask = vision::threshold_otsu(gray);
+  EXPECT_EQ(mask.count(), 8u * 8u);
+  EXPECT_TRUE(mask.at(5, 5));
+  EXPECT_FALSE(mask.at(0, 0));
+}
+
+TEST(VisionPipelineGolden, SobelRespondsOnlyOnSquareBoundary) {
+  const Tensor gray = vision::to_gray(square_image(16, 4, 12));
+  const Tensor gx = vision::sobel_x(gray);
+  // Flat regions: zero response (interior of square and background).
+  EXPECT_FLOAT_EQ(gx.at2(8, 8), 0.0f);
+  EXPECT_FLOAT_EQ(gx.at2(1, 1), 0.0f);
+  // Vertical boundary column: |gx| = 4 * step for a unit vertical edge.
+  const float step = gray.at2(8, 8) - gray.at2(8, 0);
+  EXPECT_NEAR(std::abs(gx.at2(8, 4)), 4.0f * std::abs(step), 1e-4f);
+  // Horizontal boundary has no x-gradient mid-edge.
+  const Tensor gy = vision::sobel_y(gray);
+  EXPECT_NEAR(std::abs(gy.at2(4, 8)), 4.0f * std::abs(step), 1e-4f);
+}
+
+TEST(VisionPipelineGolden, EdgeMapRecoversSquareInterior) {
+  const std::size_t n = 32;
+  const Tensor gray = vision::to_gray(square_image(n, 8, 24));
+  const Tensor edge = vision::sobel_magnitude(gray);
+  const BinaryMask silhouette = vision::mask_from_feature_map(edge);
+
+  // The filled silhouette covers (approximately, up to one boundary
+  // pixel of morphology) the square's area.
+  const std::size_t area = 16 * 16;
+  EXPECT_GE(silhouette.count(), area * 3 / 4);
+  EXPECT_LE(silhouette.count(), area * 5 / 4);
+  EXPECT_TRUE(silhouette.at(15, 15));
+  EXPECT_FALSE(silhouette.at(2, 2));
+
+  const auto c = vision::centroid(silhouette);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->y, 15.5, 1.0);
+  EXPECT_NEAR(c->x, 15.5, 1.0);
+}
+
+TEST(VisionPipelineGolden, CentroidOfRectangleIsItsCentre) {
+  BinaryMask m(10, 20);
+  for (std::size_t y = 2; y < 8; ++y) {
+    for (std::size_t x = 4; x < 16; ++x) m.set(y, x, true);
+  }
+  const auto c = vision::centroid(m);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->y, 4.5);
+  EXPECT_DOUBLE_EQ(c->x, 9.5);
+  EXPECT_FALSE(vision::centroid(BinaryMask(4, 4)).has_value());
+}
+
+TEST(VisionPipelineGolden, RadialSeriesOfCentredSquareMatchesGeometry) {
+  const std::size_t n = 33;
+  BinaryMask m(n, n);
+  for (std::size_t y = 8; y <= 24; ++y) {
+    for (std::size_t x = 8; x <= 24; ++x) m.set(y, x, true);
+  }
+  const std::vector<double> series = vision::shape_signature(m, 360);
+  ASSERT_EQ(series.size(), 360u);
+  // Axis-aligned rays hit the edge at the half-side, diagonal rays at
+  // half-side * sqrt(2); half-pixel ray marching quantises to 0.5.
+  EXPECT_NEAR(series[0], 8.0, 0.75);    // 0 degrees
+  EXPECT_NEAR(series[90], 8.0, 0.75);   // 90 degrees
+  EXPECT_NEAR(series[45], 8.0 * std::sqrt(2.0), 0.75);
+  // Four-fold symmetry of the square.
+  EXPECT_NEAR(series[10], series[100], 0.75);
+}
+
+// ------------------------------------------------------------------
+// Scratch-overload vs allocating-overload equivalence, per function.
+// ------------------------------------------------------------------
+
+TEST(VisionScratchEquivalence, ToGray) {
+  runtime::Workspace ws;
+  for (const std::size_t channels : {1u, 3u}) {
+    Tensor img(Shape{channels, 9, 11});
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+    for (std::size_t i = 0; i < img.count(); ++i) img[i] = dist(rng);
+
+    const Tensor expect = vision::to_gray(img);
+    runtime::Workspace::Scope scope(ws);
+    const std::span<float> got = ws.alloc_span_as<float>(9 * 11);
+    vision::to_gray(img, got);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << i;
+    }
+  }
+}
+
+TEST(VisionScratchEquivalence, ThresholdAndOtsu) {
+  std::mt19937 rng(2);
+  runtime::Workspace ws;
+  const Tensor plane = random_plane(rng, 13, 7);
+
+  EXPECT_EQ(vision::otsu_threshold(std::span<const float>(plane.data())),
+            vision::otsu_threshold(plane));
+
+  const BinaryMask expect_fixed = vision::threshold(plane, 0.4f);
+  const BinaryMask expect_otsu = vision::threshold_otsu(plane);
+  runtime::Workspace::Scope scope(ws);
+  vision::MaskView got_fixed{13, 7, ws.alloc_as<std::uint8_t>(13 * 7)};
+  vision::threshold(plane.data(), 0.4f, got_fixed);
+  vision::MaskView got_otsu{13, 7, ws.alloc_as<std::uint8_t>(13 * 7)};
+  vision::threshold_otsu(plane.data(), got_otsu);
+  for (std::size_t i = 0; i < expect_fixed.data.size(); ++i) {
+    EXPECT_EQ(got_fixed.data[i], expect_fixed.data[i]);
+    EXPECT_EQ(got_otsu.data[i], expect_otsu.data[i]);
+  }
+}
+
+TEST(VisionScratchEquivalence, SobelXYAndMagnitude) {
+  std::mt19937 rng(3);
+  runtime::Workspace ws;
+  const Tensor plane = random_plane(rng, 17, 19);
+  const Tensor ex = vision::sobel_x(plane);
+  const Tensor ey = vision::sobel_y(plane);
+  const Tensor emag = vision::sobel_magnitude(plane);
+
+  runtime::Workspace::Scope scope(ws);
+  const std::span<float> gx = ws.alloc_span_as<float>(plane.count());
+  const std::span<float> gy = ws.alloc_span_as<float>(plane.count());
+  const std::span<float> mag = ws.alloc_span_as<float>(plane.count());
+  vision::sobel_x(plane.data(), 17, 19, gx);
+  vision::sobel_y(plane.data(), 17, 19, gy);
+  vision::sobel_magnitude(plane.data(), 17, 19, mag);
+  for (std::size_t i = 0; i < plane.count(); ++i) {
+    EXPECT_EQ(gx[i], ex[i]);
+    EXPECT_EQ(gy[i], ey[i]);
+    EXPECT_EQ(mag[i], emag[i]);
+  }
+}
+
+TEST(VisionScratchEquivalence, MaskMorphologyAndLargestComponent) {
+  std::mt19937 rng(4);
+  runtime::Workspace ws;
+  for (int trial = 0; trial < 10; ++trial) {
+    const BinaryMask mask = random_mask(rng, 21, 18, 0.35 + 0.03 * trial);
+
+    const BinaryMask expect_dilated = vision::dilate(mask, 1);
+    const BinaryMask expect_eroded = vision::erode(mask, 1);
+    const BinaryMask expect_component = vision::largest_component(mask);
+
+    runtime::Workspace::Scope scope(ws);
+    BinaryMask got(21, 18);
+    vision::dilate(mask.view(), 1, got.view());
+    expect_same_mask(got, expect_dilated, "dilate");
+    vision::erode(mask.view(), 1, got.view());
+    expect_same_mask(got, expect_eroded, "erode");
+    vision::largest_component(mask.view(), got.view(), ws);
+    expect_same_mask(got, expect_component, "largest_component");
+  }
+}
+
+TEST(VisionScratchEquivalence, EdgeMagnitudeAndMaskFromFeatureMap) {
+  runtime::Workspace ws;
+  const Tensor img = square_image(32, 8, 24);
+  const Tensor expect_edge = vision::edge_magnitude(img);
+  {
+    runtime::Workspace::Scope scope(ws);
+    const std::span<float> got = ws.alloc_span_as<float>(32 * 32);
+    vision::edge_magnitude(img, got, ws);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect_edge[i]);
+    }
+  }
+
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Mix of structured edges and noise exercises Otsu + flood + erosion.
+    Tensor fm = random_plane(rng, 24, 24);
+    const Tensor structured = vision::sobel_magnitude(
+        vision::to_gray(square_image(24, 5, 19)));
+    for (std::size_t i = 0; i < fm.count(); ++i) {
+      fm[i] = structured[i] + 0.08f * fm[i];
+    }
+    const BinaryMask expect = vision::mask_from_feature_map(fm);
+    runtime::Workspace::Scope scope(ws);
+    BinaryMask got(24, 24);
+    vision::mask_from_feature_map(fm.data(), 24, 24, got.view(), ws);
+    expect_same_mask(got, expect, "mask_from_feature_map");
+  }
+}
+
+TEST(VisionScratchEquivalence, RadialSeriesAndShapeSignature) {
+  std::mt19937 rng(6);
+  runtime::Workspace ws;
+  for (int trial = 0; trial < 5; ++trial) {
+    const BinaryMask mask = random_mask(rng, 25, 25, 0.5);
+    const std::vector<double> expect = vision::shape_signature(mask, 90);
+    runtime::Workspace::Scope scope(ws);
+    const std::span<double> got = ws.alloc_span_as<double>(90);
+    const std::size_t n = vision::shape_signature(mask.view(), got, ws);
+    ASSERT_EQ(n, expect.size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], expect[i]);
+
+    const auto c = vision::centroid(mask);
+    if (c) {
+      EXPECT_EQ(vision::centroid(mask.view())->y, c->y);
+      EXPECT_EQ(vision::centroid(mask.view())->x, c->x);
+      const std::vector<double> expect_radial =
+          vision::radial_distance_series(mask, *c, 45);
+      const std::span<double> got_radial = ws.alloc_span_as<double>(45);
+      vision::radial_distance_series(mask.view(), *c, got_radial);
+      for (std::size_t i = 0; i < 45; ++i) {
+        EXPECT_EQ(got_radial[i], expect_radial[i]);
+      }
+    }
+  }
+  // Empty mask: scratch overload reports zero samples.
+  runtime::Workspace::Scope scope(ws);
+  const std::span<double> out = ws.alloc_span_as<double>(16);
+  EXPECT_EQ(vision::shape_signature(BinaryMask(8, 8).view(), out, ws), 0u);
+}
+
+TEST(SaxScratchEquivalence, ZnormPaaAndWord) {
+  std::mt19937 rng(7);
+  runtime::Workspace ws;
+  std::normal_distribution<double> dist(0.0, 2.0);
+  std::vector<double> series(200);
+  for (double& v : series) v = dist(rng);
+
+  const std::vector<double> expect_z = sax::znormalize(series);
+  const std::vector<double> expect_paa = sax::paa(series, 32);
+  const sax::SaxConfig cfg{32, 8};
+  const std::string expect_word = sax::sax_word(series, cfg);
+
+  runtime::Workspace::Scope scope(ws);
+  const std::span<double> z = ws.alloc_span_as<double>(series.size());
+  sax::znormalize(series, z);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_EQ(z[i], expect_z[i]);
+
+  const std::span<double> reduced = ws.alloc_span_as<double>(32);
+  sax::paa(series, reduced);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(reduced[i], expect_paa[i]);
+
+  const std::vector<double> bp = sax::gaussian_breakpoints(cfg.alphabet);
+  const std::span<char> word = ws.alloc_span_as<char>(cfg.word_length);
+  sax::sax_word(series, cfg, bp, word, ws);
+  EXPECT_EQ(std::string(word.data(), word.size()), expect_word);
+}
+
+TEST(SaxScratchEquivalence, CountCornersAndShapeMatcher) {
+  runtime::Workspace ws;
+  const sax::ShapeMatchConfig cfg{};
+  for (const std::size_t sides : {3u, 6u, 8u}) {
+    const std::vector<double> series =
+        sax::polygon_signature(sides, 360, 0.19);
+
+    EXPECT_EQ(sax::count_corners(series, ws), sax::count_corners(series));
+
+    const sax::ShapeMatchResult expect =
+        sax::match_shape(series, sides, cfg);
+    const sax::ShapeMatcher matcher(sides, series.size(), cfg);
+    const sax::ShapeMatchResult got =
+        matcher.match(std::span<const double>(series), ws);
+    EXPECT_EQ(got.match, expect.match);
+    EXPECT_EQ(got.distance, expect.distance);
+    EXPECT_EQ(got.corners, expect.corners);
+    EXPECT_EQ(got.word, expect.word);
+    EXPECT_EQ(got.template_word, expect.template_word);
+    EXPECT_EQ(got.rotation, expect.rotation);
+    EXPECT_TRUE(got.match) << sides;  // analytic polygon matches itself
+
+    // Scratch polygon_signature agrees with the allocating one.
+    runtime::Workspace::Scope scope(ws);
+    const std::span<double> sig = ws.alloc_span_as<double>(series.size());
+    sax::polygon_signature(sides, sig, 0.19);
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+      EXPECT_EQ(sig[i], series[i]);
+    }
+  }
+}
+
+TEST(SaxScratchEquivalence, ShortSeriesNeverMatches) {
+  runtime::Workspace ws;
+  const sax::ShapeMatchConfig cfg{};
+  const std::vector<double> tiny(8, 1.0);
+  EXPECT_FALSE(sax::match_shape(tiny, 8, cfg).match);
+  const sax::ShapeMatcher matcher(8, 360, cfg);
+  EXPECT_FALSE(
+      matcher.match(std::span<const double>(tiny), ws).match);
+  EXPECT_THROW(static_cast<void>(matcher.match(
+                   std::span<const double>(std::vector<double>(90, 1.0)), ws)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,15 +1,22 @@
 // BENCH-BATCH — batched hybrid inference throughput.
 //
 // Measures end-to-end hybrid classification (reliable DCNN + qualifier +
-// CNN remainder) as images/sec for the single-image classify() loop vs
-// classify_batch(), at 1/2/8 threads. classify_batch amortises the
-// reliable-kernel construction across the batch and fans the dominant
-// per-image dependable stage across the thread pool while the SAX/vision
-// stages draw their scratch from per-slot workspace arenas — results stay
-// bit-identical to the loop (verified here before timing).
+// CNN remainder) as images/sec at 1/2/8 threads for three execution
+// shapes:
+//   loop         — single-image classify() per image (the baseline)
+//   batch-serial — PR 2's classify_batch: dependable stage fanned across
+//                  the pool, CNN remainder serial per image
+//   batch-fanned — the re-entrant shape: the whole per-image pipeline,
+//                  remainder included, fans across the pool as const
+//                  inference over one shared model
+// All three are bit-identical (verified here before timing). Alongside
+// the stdout table the bench emits BENCH_batch_inference.json so the
+// perf trajectory can be tracked across PRs.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +75,44 @@ bool identical(const core::HybridClassification& a,
          a.conv1_report.ok == b.conv1_report.ok;
 }
 
+struct Row {
+  std::size_t threads = 0;
+  double loop_ips = 0.0;
+  double serial_ips = 0.0;
+  double fanned_ips = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                std::size_t count, std::size_t size, bool all_identical) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot write " + path);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"batch_inference\",\n");
+  std::fprintf(f, "  \"workload\": {\"images\": %zu, \"size\": %zu, "
+              "\"pipeline\": \"dmr_conv1+full_resolution_qualifier\"},\n",
+              count, size);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"bit_identical\": %s,\n",
+              all_identical ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %zu, \"loop_images_per_sec\": %.6g, "
+        "\"batch_serial_remainder_images_per_sec\": %.6g, "
+        "\"batch_fanned_remainder_images_per_sec\": %.6g, "
+        "\"fanned_speedup_vs_loop\": %.6g, "
+        "\"fanned_speedup_vs_serial_remainder\": %.6g}%s\n",
+        r.threads, r.loop_ips, r.serial_ips, r.fanned_ips,
+        r.fanned_ips / r.loop_ips, r.fanned_ips / r.serial_ips,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main() {
@@ -84,14 +129,16 @@ int main() {
   std::printf("host: %u hardware thread(s) — thread counts beyond that "
               "time-slice one core and cannot speed up\n", cores);
 
-  util::Table table("hybrid inference throughput: loop vs classify_batch",
-                    {"threads", "loop img/s", "batch img/s", "speedup",
-                     "vs 1-thread loop"});
+  util::Table table(
+      "hybrid inference throughput: loop vs serial vs fanned remainder",
+      {"threads", "loop img/s", "serial-rem img/s", "fanned-rem img/s",
+       "fanned/loop", "fanned/serial"});
   util::CsvWriter csv(
       util::results_path(bench::results_dir(), "batch_inference.csv"),
-      {"threads", "loop_images_per_sec", "batch_images_per_sec", "speedup"});
+      {"threads", "loop_images_per_sec", "batch_serial_images_per_sec",
+       "batch_fanned_images_per_sec", "fanned_speedup_vs_loop"});
 
-  double loop_1thread = 0.0;
+  std::vector<Row> rows;
   bool all_identical = true;
   for (const std::size_t threads : {1u, 2u, 8u}) {
     runtime::ComputeContext::set_global_threads(threads);
@@ -103,36 +150,52 @@ int main() {
     for (const auto& img : images) loop_results.push_back(looped.classify(img));
     const double loop_s = sw.seconds();
 
-    core::HybridNetwork batched(make_net(size), 0, core::HybridConfig{});
+    core::HybridNetwork serial(make_net(size), 0, core::HybridConfig{});
     sw.reset();
-    const std::vector<core::HybridClassification> batch_results =
-        batched.classify_batch(images);
-    const double batch_s = sw.seconds();
+    const std::vector<core::HybridClassification> serial_results =
+        serial.classify_batch(images, core::RemainderMode::kSerial);
+    const double serial_s = sw.seconds();
+
+    core::HybridNetwork fanned(make_net(size), 0, core::HybridConfig{});
+    sw.reset();
+    const std::vector<core::HybridClassification> fanned_results =
+        fanned.classify_batch(images, core::RemainderMode::kFanned);
+    const double fanned_s = sw.seconds();
 
     for (std::size_t i = 0; i < count; ++i) {
       all_identical = all_identical &&
-                      identical(loop_results[i], batch_results[i]);
+                      identical(loop_results[i], serial_results[i]) &&
+                      identical(loop_results[i], fanned_results[i]);
     }
 
-    const double loop_ips = static_cast<double>(count) / loop_s;
-    const double batch_ips = static_cast<double>(count) / batch_s;
-    if (threads == 1) loop_1thread = loop_ips;
-    table.row({std::to_string(threads), util::Table::fixed(loop_ips, 2),
-               util::Table::fixed(batch_ips, 2),
-               util::Table::fixed(batch_ips / loop_ips, 2),
-               util::Table::fixed(batch_ips / loop_1thread, 2)});
-    csv.row({std::to_string(threads), util::CsvWriter::num(loop_ips),
-             util::CsvWriter::num(batch_ips),
-             util::CsvWriter::num(batch_ips / loop_ips)});
+    Row row;
+    row.threads = threads;
+    row.loop_ips = static_cast<double>(count) / loop_s;
+    row.serial_ips = static_cast<double>(count) / serial_s;
+    row.fanned_ips = static_cast<double>(count) / fanned_s;
+    rows.push_back(row);
+    table.row({std::to_string(threads), util::Table::fixed(row.loop_ips, 2),
+               util::Table::fixed(row.serial_ips, 2),
+               util::Table::fixed(row.fanned_ips, 2),
+               util::Table::fixed(row.fanned_ips / row.loop_ips, 2),
+               util::Table::fixed(row.fanned_ips / row.serial_ips, 2)});
+    csv.row({std::to_string(threads), util::CsvWriter::num(row.loop_ips),
+             util::CsvWriter::num(row.serial_ips),
+             util::CsvWriter::num(row.fanned_ips),
+             util::CsvWriter::num(row.fanned_ips / row.loop_ips)});
   }
   table.print();
 
-  std::printf("\nbatch results bit-identical to the classify() loop: %s\n",
-              all_identical ? "yes" : "NO — BUG");
-  std::printf("expected shape: the dependable stage dominates and is "
-              "embarrassingly parallel across images, so classify_batch "
-              "approaches linear scaling while the loop only exploits "
-              "intra-layer parallelism.\n");
-  std::printf("CSV written to %s\n", csv.path().c_str());
+  std::printf("\nall batch results bit-identical to the classify() loop: "
+              "%s\n", all_identical ? "yes" : "NO — BUG");
+  std::printf("expected shape: the whole per-image pipeline is "
+              "embarrassingly parallel once the remainder is re-entrant, "
+              "so the fanned path approaches linear scaling; the serial-"
+              "remainder path saturates at the dependable stage's share.\n");
+  const std::string json_path =
+      util::results_path(bench::results_dir(), "BENCH_batch_inference.json");
+  write_json(json_path, rows, count, size, all_identical);
+  std::printf("CSV written to %s\nJSON written to %s\n", csv.path().c_str(),
+              json_path.c_str());
   return all_identical ? 0 : 1;
 }

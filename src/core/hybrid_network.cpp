@@ -50,8 +50,7 @@ HybridNetwork::HybridNetwork(std::unique_ptr<nn::Sequential> cnn,
 }
 
 reliable::ReliableConv2d HybridNetwork::make_reliable_conv1() const {
-  const auto& conv1 = const_cast<nn::Sequential&>(*cnn_).layer_as<nn::Conv2d>(
-      conv1_index_);
+  const auto& conv1 = cnn_->layer_as<nn::Conv2d>(conv1_index_);
   return {conv1.weights(), conv1.bias(),
           reliable::ConvSpec{conv1.stride(), conv1.pad()}, config_.policy};
 }
@@ -120,19 +119,21 @@ HybridNetwork::DependableStage HybridNetwork::dependable_stage(
   return stage;
 }
 
-HybridClassification HybridNetwork::finish_classification(
-    DependableStage&& stage) {
+HybridClassification HybridNetwork::run_remainder(
+    DependableStage&& stage, runtime::Workspace& ws) const {
   HybridClassification result;
   result.conv1_report = std::move(stage.report);
   result.qualifier = std::move(stage.qualifier);
 
   // --- Non-reliable remainder of the CNN (bifurcation branch 1). -----
+  // Const re-entrant inference over the shared model: no layer state is
+  // touched, so any number of images may be in this stage concurrently.
   tensor::Tensor conv1_out = std::move(stage.conv1_out);
   const tensor::Shape map_shape = conv1_out.shape();
   conv1_out.reshape(
       tensor::Shape{1, map_shape[0], map_shape[1], map_shape[2]});
   const tensor::Tensor logits =
-      cnn_->forward_from(conv1_index_ + 1, conv1_out);
+      cnn_->infer_from(conv1_index_ + 1, conv1_out, ws);
   if (logits.shape().rank() != 2 || logits.shape()[0] != 1) {
     throw std::logic_error("HybridNetwork: CNN must yield [1, classes]");
   }
@@ -164,12 +165,13 @@ HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
     throw std::invalid_argument("HybridNetwork::classify: expected CHW");
   }
   const reliable::ReliableConv2d rconv = make_reliable_conv1();
-  return finish_classification(
-      dependable_stage(rconv, image, next_fault_seed_++));
+  return run_remainder(dependable_stage(rconv, image, next_fault_seed_++),
+                       runtime::ComputeContext::global().workspace());
 }
 
 std::vector<HybridClassification> HybridNetwork::classify_indexed(
-    std::size_t count, const tensor::Tensor* const* images) {
+    std::size_t count, const tensor::Tensor* const* images,
+    RemainderMode mode) {
   for (std::size_t i = 0; i < count; ++i) {
     if (images[i]->shape().rank() != 3) {
       throw std::invalid_argument(
@@ -184,40 +186,48 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
   const std::uint64_t seed_base = next_fault_seed_;
   next_fault_seed_ += count;
 
-  // Phase 1 (parallel): per-image reliable DCNN + qualifier. Images are
-  // independent and each chunk writes only its own stage slot, so the
-  // outputs are bit-identical at every thread count. Nested parallel
-  // regions inside the reliable/vision code serialise inline.
-  std::vector<DependableStage> stages(count);
   auto& ctx = runtime::ComputeContext::global();
-  ctx.pool().parallel_for(0, count, [&](std::size_t i) {
-    stages[i] = dependable_stage(rconv, *images[i], seed_base + i);
-  });
-
-  // Phase 2 (serial): the non-reliable CNN remainder mutates layer
-  // forward caches, so images run through it one at a time — exactly the
-  // single-image path; GEMM parallelism inside the layers still uses the
-  // pool.
-  std::vector<HybridClassification> results;
-  results.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    results.push_back(finish_classification(std::move(stages[i])));
+  std::vector<HybridClassification> results(count);
+  if (mode == RemainderMode::kFanned) {
+    // The whole per-image pipeline — reliable DCNN, qualifier and CNN
+    // remainder — is a pure function of (weights, image, seed) now that
+    // the remainder runs through the const inference path. One parallel
+    // region covers everything; each chunk writes only its own result
+    // slot, so outputs are bit-identical at every thread count. Nested
+    // parallel regions inside the reliable/vision/GEMM code serialise
+    // inline.
+    ctx.pool().parallel_for(0, count, [&](std::size_t i) {
+      results[i] =
+          run_remainder(dependable_stage(rconv, *images[i], seed_base + i),
+                        ctx.workspace());
+    });
+  } else {
+    // Historical two-phase shape (kept for the benches): dependable
+    // stages in parallel, remainder serially per image — the remainder's
+    // GEMMs then parallelise over tiles instead of images.
+    std::vector<DependableStage> stages(count);
+    ctx.pool().parallel_for(0, count, [&](std::size_t i) {
+      stages[i] = dependable_stage(rconv, *images[i], seed_base + i);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = run_remainder(std::move(stages[i]), ctx.workspace());
+    }
   }
   return results;
 }
 
 std::vector<HybridClassification> HybridNetwork::classify_batch(
-    const std::vector<tensor::Tensor>& images) {
+    const std::vector<tensor::Tensor>& images, RemainderMode mode) {
   std::vector<const tensor::Tensor*> ptrs;
   ptrs.reserve(images.size());
   for (const tensor::Tensor& img : images) ptrs.push_back(&img);
-  return classify_indexed(ptrs.size(), ptrs.data());
+  return classify_indexed(ptrs.size(), ptrs.data(), mode);
 }
 
 std::vector<HybridClassification> HybridNetwork::classify_repeat(
     const tensor::Tensor& image, std::size_t runs) {
   std::vector<const tensor::Tensor*> ptrs(runs, &image);
-  return classify_indexed(ptrs.size(), ptrs.data());
+  return classify_indexed(ptrs.size(), ptrs.data(), RemainderMode::kFanned);
 }
 
 faultsim::CampaignSummary HybridNetwork::classify_campaign(
@@ -257,8 +267,8 @@ HybridNetwork::CostSplit HybridNetwork::cost_split(
   std::size_t w = input_shape[2];
   std::size_t features = 0;  // once flattened
   for (std::size_t i = 0; i < cnn_->size(); ++i) {
-    nn::Layer& l = const_cast<nn::Sequential&>(*cnn_).layer(i);
-    if (auto* conv = dynamic_cast<nn::Conv2d*>(&l)) {
+    const nn::Layer& l = cnn_->layer(i);
+    if (const auto* conv = dynamic_cast<const nn::Conv2d*>(&l)) {
       const std::size_t oh = conv->out_size(h);
       const std::size_t ow = conv->out_size(w);
       split.total_macs += static_cast<std::uint64_t>(conv->out_channels()) *
@@ -267,10 +277,10 @@ HybridNetwork::CostSplit HybridNetwork::cost_split(
       c = conv->out_channels();
       h = oh;
       w = ow;
-    } else if (auto* pool = dynamic_cast<nn::MaxPool*>(&l)) {
+    } else if (const auto* pool = dynamic_cast<const nn::MaxPool*>(&l)) {
       h = pool->out_size(h);
       w = pool->out_size(w);
-    } else if (auto* fc = dynamic_cast<nn::Linear*>(&l)) {
+    } else if (const auto* fc = dynamic_cast<const nn::Linear*>(&l)) {
       split.total_macs +=
           static_cast<std::uint64_t>(fc->out_features()) * fc->in_features();
       features = fc->out_features();

@@ -59,6 +59,17 @@ struct HybridClassification {
   }
 };
 
+/// How classify_batch executes the non-reliable CNN remainder.
+enum class RemainderMode {
+  /// Whole per-image pipeline (reliable DCNN + qualifier + CNN remainder)
+  /// fans across the pool as one re-entrant const inference per image.
+  kFanned,
+  /// Historical two-phase shape: dependable stages in parallel, CNN
+  /// remainder serially per image afterwards. Kept for the throughput
+  /// benches; results are identical to kFanned.
+  kSerial,
+};
+
 /// The hybrid (reliable/non-reliable) network.
 class HybridNetwork {
  public:
@@ -72,18 +83,18 @@ class HybridNetwork {
   [[nodiscard]] HybridClassification classify(const tensor::Tensor& image);
 
   /// Batched classification: the reliable conv1 kernel is built once for
-  /// the whole batch and the per-image dependable stage (reliable DCNN +
-  /// qualifier, the dominant cost) fans out across the global
-  /// runtime::ThreadPool, each image drawing its vision/SAX scratch from
-  /// the executing slot's Workspace arena. Image i uses fault seed
+  /// the whole batch and the complete per-image pipeline — reliable DCNN,
+  /// qualifier AND the non-reliable CNN remainder, which is a const
+  /// re-entrant inference since the layer-cache refactor — fans out
+  /// across the global runtime::ThreadPool, each image drawing scratch
+  /// from the executing slot's Workspace arena. Image i uses fault seed
   /// `fault_seed + i` relative to the network's current stream position,
   /// exactly the seeds a loop of classify() calls would consume, so the
   /// returned results are bit-identical to looped single-image classify
-  /// at every thread count. The non-reliable CNN remainder then runs
-  /// serially per image (layers cache forward state and must not be
-  /// entered concurrently); it parallelises internally over GEMM tiles.
+  /// at every thread count.
   [[nodiscard]] std::vector<HybridClassification> classify_batch(
-      const std::vector<tensor::Tensor>& images);
+      const std::vector<tensor::Tensor>& images,
+      RemainderMode mode = RemainderMode::kFanned);
 
   /// Campaign form of classify_batch: `runs` classifications of the same
   /// image with consecutive fault seeds, without copying the image.
@@ -120,8 +131,8 @@ class HybridNetwork {
   [[nodiscard]] CostSplit cost_split(const tensor::Shape& input_shape) const;
 
  private:
-  /// Product of the parallel per-image phase: everything classify needs
-  /// before the (serial) non-reliable CNN remainder runs.
+  /// Product of the dependable phase: everything one classification
+  /// needs before the non-reliable CNN remainder runs.
   struct DependableStage {
     tensor::Tensor conv1_out;  ///< committed reliable output or fallback
     reliable::ExecutionReport report;
@@ -138,15 +149,17 @@ class HybridNetwork {
       const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
       std::uint64_t fault_seed) const;
 
-  /// Non-reliable CNN remainder + decision combination. Serial-only:
-  /// the wrapped layers cache forward state.
-  [[nodiscard]] HybridClassification finish_classification(
-      DependableStage&& stage);
+  /// Non-reliable CNN remainder (const re-entrant inference over the
+  /// shared model, calling-thread scratch from `ws`) + decision
+  /// combination. Safe to run concurrently from pool workers.
+  [[nodiscard]] HybridClassification run_remainder(
+      DependableStage&& stage, runtime::Workspace& ws) const;
 
   /// Shared core of classify_batch/classify_repeat over an index->image
   /// mapping (avoids copying a repeated campaign image `runs` times).
   [[nodiscard]] std::vector<HybridClassification> classify_indexed(
-      std::size_t count, const tensor::Tensor* const* images);
+      std::size_t count, const tensor::Tensor* const* images,
+      RemainderMode mode);
 
   std::unique_ptr<nn::Sequential> cnn_;
   std::size_t conv1_index_;

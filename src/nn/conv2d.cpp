@@ -94,7 +94,8 @@ void Conv2d::col2im_acc(const float* col, std::size_t in_h, std::size_t in_w,
   }
 }
 
-tensor::Tensor Conv2d::forward_impl(const tensor::Tensor& input) {
+tensor::Tensor Conv2d::infer(const tensor::Tensor& input,
+                             runtime::Workspace& ws) const {
   const auto& in = input.shape();
   if (in.rank() != 4 || in[1] != in_c_) {
     throw std::invalid_argument("Conv2d: expected [N, " +
@@ -114,13 +115,13 @@ tensor::Tensor Conv2d::forward_impl(const tensor::Tensor& input) {
   // Samples are independent: with enough of them, split the batch across
   // the pool, each slot drawing its im2col panel from its own workspace
   // arena. Small batches (fewer samples than slots) instead run the
-  // sample loop serially so the nested GEMM tile loop can use the whole
-  // pool — avoids the utilisation cliff at e.g. batch 2 on 8 slots.
+  // sample loop serially on the caller's arena so the nested GEMM tile
+  // loop can use the whole pool — avoids the utilisation cliff at e.g.
+  // batch 2 on 8 slots.
   auto& ctx = runtime::ComputeContext::global();
-  const auto sample = [&](std::size_t s) {
-    runtime::Workspace& ws = ctx.workspace();
-    runtime::Workspace::Scope scope(ws);
-    float* col = ws.alloc(ick2 * plane);
+  const auto sample = [&](std::size_t s, runtime::Workspace& arena) {
+    runtime::Workspace::Scope scope(arena);
+    float* col = arena.alloc(ick2 * plane);
 
     const float* src = input.data().data() + s * in_c_ * in_h * in_w;
     float* dst = output.data().data() + s * out_c_ * plane;
@@ -133,23 +134,28 @@ tensor::Tensor Conv2d::forward_impl(const tensor::Tensor& input) {
     }
   };
   if (n >= ctx.pool().slot_count()) {
-    ctx.pool().parallel_for(0, n, sample);
+    ctx.pool().parallel_for(
+        0, n, [&](std::size_t s) { sample(s, ctx.workspace()); });
   } else {
-    for (std::size_t s = 0; s < n; ++s) sample(s);
+    for (std::size_t s = 0; s < n; ++s) sample(s, ws);
   }
 
   return output;
 }
 
-tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
-  tensor::Tensor output = forward_impl(input);
-  if (training_) cached_input_ = input;
+tensor::Tensor Conv2d::forward_train(const tensor::Tensor& input,
+                                     LayerCache& cache) {
+  tensor::Tensor output =
+      infer(input, runtime::ComputeContext::global().workspace());
+  cache.input = input;
   return output;
 }
 
-tensor::Tensor Conv2d::forward(tensor::Tensor&& input) {
-  tensor::Tensor output = forward_impl(input);
-  if (training_) cached_input_ = std::move(input);
+tensor::Tensor Conv2d::forward_train(tensor::Tensor&& input,
+                                     LayerCache& cache) {
+  tensor::Tensor output =
+      infer(input, runtime::ComputeContext::global().workspace());
+  cache.input = std::move(input);
   return output;
 }
 
@@ -167,10 +173,12 @@ std::size_t grad_group_size(std::size_t n) noexcept {
 }
 }  // namespace
 
-tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
-  const auto& in = cached_input_.shape();
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output,
+                                LayerCache& cache) {
+  const tensor::Tensor& cached_input = cache.input;
+  const auto& in = cached_input.shape();
   if (in.rank() != 4) {
-    throw std::logic_error("Conv2d::backward before forward (training mode)");
+    throw std::logic_error("Conv2d::backward before forward_train");
   }
   const std::size_t n = in[0];
   const std::size_t in_h = in[2];
@@ -214,7 +222,7 @@ tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
     const std::size_t s_end = std::min(n, (g + 1) * group_size);
     for (std::size_t s = g * group_size; s < s_end; ++s) {
       const float* src =
-          cached_input_.data().data() + s * in_c_ * in_h * in_w;
+          cached_input.data().data() + s * in_c_ * in_h * in_w;
       const float* gout = grad_output.data().data() + s * out_c_ * plane;
       float* gin = grad_input.data().data() + s * in_c_ * in_h * in_w;
 

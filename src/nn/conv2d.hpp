@@ -16,6 +16,7 @@
 namespace hybridcnn::nn {
 
 /// Convolution over batched NCHW input with square kernels.
+/// Cache usage: `input` (the forward input, consumed by backward).
 class Conv2d final : public Layer {
  public:
   /// Creates the layer with zero weights; callers initialise via
@@ -23,9 +24,17 @@ class Conv2d final : public Layer {
   Conv2d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel, std::size_t stride, std::size_t pad);
 
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor forward(tensor::Tensor&& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  tensor::Tensor forward_train(tensor::Tensor&& input,
+                               LayerCache& cache) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
+  using Layer::forward;
+
   std::vector<Param> params() override;
   [[nodiscard]] std::string name() const override { return "conv2d"; }
 
@@ -62,7 +71,6 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::size_t out_size(std::size_t in) const;
 
  private:
-  tensor::Tensor forward_impl(const tensor::Tensor& input);
   void im2col(const float* src, std::size_t in_h, std::size_t in_w,
               std::size_t out_h, std::size_t out_w, float* col) const;
   void col2im_acc(const float* col, std::size_t in_h, std::size_t in_w,
@@ -80,8 +88,6 @@ class Conv2d final : public Layer {
   tensor::Tensor grad_weights_;
   tensor::Tensor grad_bias_;
   std::vector<std::uint8_t> frozen_;
-
-  tensor::Tensor cached_input_;  // for backward
 };
 
 }  // namespace hybridcnn::nn

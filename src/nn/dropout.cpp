@@ -1,39 +1,62 @@
 #include "nn/dropout.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace hybridcnn::nn {
 
-Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), seed_(seed) {
   if (p < 0.0f || p >= 1.0f) {
     throw std::invalid_argument("Dropout: p must be in [0, 1)");
   }
 }
 
-tensor::Tensor Dropout::forward(const tensor::Tensor& input) {
-  if (!training_ || p_ == 0.0f) {
-    mask_ = tensor::Tensor();  // identity; backward passes grads through
+tensor::Tensor Dropout::infer(const tensor::Tensor& input,
+                              runtime::Workspace& /*ws*/) const {
+  return input;  // inverted dropout: inference is the identity
+}
+
+tensor::Tensor Dropout::infer(tensor::Tensor&& input,
+                              runtime::Workspace& /*ws*/) const {
+  return std::move(input);  // identity without the copy
+}
+
+tensor::Tensor Dropout::forward_train(const tensor::Tensor& input,
+                                      LayerCache& cache) {
+  if (p_ == 0.0f) {
+    cache.aux = tensor::Tensor();  // identity; backward passes grads through
     return input;
   }
+  if (!cache.rng) {
+    // (layer seed, context stream): stream 0 — the serial trainer and the
+    // legacy wrappers — reproduces the historical layer-owned generator;
+    // micro-batch contexts get statistically independent streams.
+    cache.rng = std::make_unique<util::Rng>(seed_, cache.rng_stream);
+  }
   const float keep = 1.0f - p_;
-  mask_ = tensor::Tensor(input.shape());
+  cache.aux = tensor::Tensor(input.shape());
   tensor::Tensor out(input.shape());
   for (std::size_t i = 0; i < input.count(); ++i) {
-    const float m = rng_.bernoulli(p_) ? 0.0f : 1.0f / keep;
-    mask_[i] = m;
+    const float m = cache.rng->bernoulli(p_) ? 0.0f : 1.0f / keep;
+    cache.aux[i] = m;
     out[i] = input[i] * m;
   }
   return out;
 }
 
-tensor::Tensor Dropout::backward(const tensor::Tensor& grad_output) {
-  if (mask_.count() == 0) return grad_output;  // was identity
-  if (grad_output.shape() != mask_.shape()) {
+tensor::Tensor Dropout::backward(const tensor::Tensor& grad_output,
+                                 LayerCache& cache) {
+  // No recorded mask: the preceding forward was an identity (p == 0, or
+  // an inference-mode forward cleared the cache). Gradients pass through
+  // unscaled — deliberately not an error, because dropout's inference
+  // behaviour *is* the identity; this mirrors the historical layer.
+  if (cache.aux.count() == 0) return grad_output;
+  if (grad_output.shape() != cache.aux.shape()) {
     throw std::invalid_argument("Dropout::backward: shape mismatch");
   }
   tensor::Tensor grad(grad_output.shape());
   for (std::size_t i = 0; i < grad.count(); ++i) {
-    grad[i] = grad_output[i] * mask_[i];
+    grad[i] = grad_output[i] * cache.aux[i];
   }
   return grad;
 }

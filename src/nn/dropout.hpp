@@ -8,20 +8,35 @@ namespace hybridcnn::nn {
 
 /// Drops activations with probability p during training and rescales the
 /// survivors by 1/(1-p), so inference is the identity (inverted dropout).
+/// Cache usage: `aux` (the scale-factor mask applied in the last training
+/// forward), `rng` (the mask stream — owned by the cache context, created
+/// on first use from (layer seed, context rng_stream), so each concurrent
+/// micro-batch context draws an independent deterministic stream and
+/// stream 0 replays the historical layer-owned generator). A backward
+/// with no recorded mask passes gradients through unchanged — the
+/// identity, matching dropout's inference behaviour — rather than
+/// throwing like state-caching layers do.
 class Dropout final : public Layer {
  public:
-  /// p in [0, 1); throws std::invalid_argument otherwise. The mask stream
-  /// is owned by the layer and seeded deterministically.
+  /// p in [0, 1); throws std::invalid_argument otherwise.
   explicit Dropout(float p, std::uint64_t seed = 0xD20);
 
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  [[nodiscard]] tensor::Tensor infer(tensor::Tensor&& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  using Layer::forward_train;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
+
   [[nodiscard]] std::string name() const override { return "dropout"; }
 
  private:
   float p_;
-  util::Rng rng_;
-  tensor::Tensor mask_;  // scale factors applied in the last forward
+  std::uint64_t seed_;
 };
 
 }  // namespace hybridcnn::nn

@@ -4,24 +4,54 @@
 
 namespace hybridcnn::nn {
 
-tensor::Tensor Flatten::forward(const tensor::Tensor& input) {
+namespace {
+
+tensor::Tensor flatten_impl(const tensor::Tensor& input) {
   const auto& in = input.shape();
   if (in.rank() < 2) {
     throw std::invalid_argument("Flatten: expected rank >= 2, got " +
                                 in.str());
   }
-  cached_in_shape_ = in;
   tensor::Tensor out = input;
   out.reshape(tensor::Shape{in[0], input.count() / in[0]});
   return out;
 }
 
-tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output) {
-  if (grad_output.count() != cached_in_shape_.count()) {
+}  // namespace
+
+tensor::Tensor Flatten::infer(const tensor::Tensor& input,
+                              runtime::Workspace& /*ws*/) const {
+  return flatten_impl(input);
+}
+
+tensor::Tensor Flatten::infer(tensor::Tensor&& input,
+                              runtime::Workspace& /*ws*/) const {
+  const auto& in = input.shape();
+  if (in.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2, got " +
+                                in.str());
+  }
+  input.reshape(tensor::Shape{in[0], input.count() / in[0]});
+  return std::move(input);
+}
+
+tensor::Tensor Flatten::forward_train(const tensor::Tensor& input,
+                                      LayerCache& cache) {
+  tensor::Tensor out = flatten_impl(input);  // validates rank first
+  cache.in_shape = input.shape();
+  return out;
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_output,
+                                 LayerCache& cache) {
+  if (cache.in_shape.rank() < 2) {
+    throw std::logic_error("Flatten::backward before forward_train");
+  }
+  if (grad_output.count() != cache.in_shape.count()) {
     throw std::invalid_argument("Flatten::backward: count mismatch");
   }
   tensor::Tensor grad = grad_output;
-  grad.reshape(cached_in_shape_);
+  grad.reshape(cache.in_shape);
   return grad;
 }
 

@@ -6,14 +6,21 @@
 namespace hybridcnn::nn {
 
 /// Shape adapter between convolutional and dense stages.
+/// Cache usage: `in_shape` (restored onto the gradient by backward).
 class Flatten final : public Layer {
  public:
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
-  [[nodiscard]] std::string name() const override { return "flatten"; }
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  [[nodiscard]] tensor::Tensor infer(tensor::Tensor&& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  using Layer::forward_train;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
 
- private:
-  tensor::Shape cached_in_shape_;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
 };
 
 }  // namespace hybridcnn::nn

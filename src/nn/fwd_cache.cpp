@@ -1,0 +1,32 @@
+#include "nn/fwd_cache.hpp"
+
+namespace hybridcnn::nn {
+
+// Out of line: LayerCache holds a unique_ptr to the then-incomplete
+// FwdCache, so its special members must see the full definition.
+LayerCache::LayerCache() = default;
+LayerCache::~LayerCache() = default;
+LayerCache::LayerCache(LayerCache&&) noexcept = default;
+LayerCache& LayerCache::operator=(LayerCache&&) noexcept = default;
+
+void LayerCache::clear() {
+  input = tensor::Tensor();
+  aux = tensor::Tensor();
+  in_shape = tensor::Shape{};
+  argmax.clear();
+  if (nested) nested->clear();
+}
+
+LayerCache& FwdCache::slot(std::size_t i) {
+  while (i >= slots_.size()) {
+    LayerCache& s = slots_.emplace_back();
+    s.rng_stream = rng_stream_;
+  }
+  return slots_[i];
+}
+
+void FwdCache::clear() {
+  for (LayerCache& s : slots_) s.clear();
+}
+
+}  // namespace hybridcnn::nn

@@ -1,0 +1,93 @@
+// Explicit forward-cache contexts for the CNN engine.
+//
+// Layers used to stash their backward state (cached inputs, LRN
+// denominators, pooling argmax routes, dropout masks) in member fields,
+// which made every forward a mutation and ruled out running one shared
+// model from many threads. The state now lives in caller-owned cache
+// objects: a training forward writes into the LayerCache it is handed,
+// backward reads the same cache, and the const inference path touches no
+// caches at all. Whoever owns the cache owns the micro-batch — Trainer
+// keeps one FwdCache per micro-batch slot, the deprecated mutating
+// Layer::forward wrappers keep one legacy cache per layer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::nn {
+
+class FwdCache;
+
+/// Backward state one layer records during one training forward. A plain
+/// bag of fields rather than a per-layer hierarchy: every layer uses the
+/// subset it needs and documents the mapping in its header.
+struct LayerCache {
+  LayerCache();
+  ~LayerCache();
+  LayerCache(LayerCache&&) noexcept;
+  LayerCache& operator=(LayerCache&&) noexcept;
+  LayerCache(const LayerCache&) = delete;
+  LayerCache& operator=(const LayerCache&) = delete;
+
+  /// Input as seen by forward (Conv2d, Linear, ReLU, Lrn).
+  tensor::Tensor input;
+  /// Secondary tensor: Lrn denominators, Softmax output, Dropout mask.
+  tensor::Tensor aux;
+  /// Input shape for pure shape adapters (Flatten, MaxPool).
+  tensor::Shape in_shape{};
+  /// MaxPool argmax routing (flat input index per output element).
+  std::vector<std::size_t> argmax;
+  /// Dropout mask stream. Owned by the cache so concurrent micro-batch
+  /// contexts draw independent streams: the layer creates it lazily from
+  /// (layer seed, `rng_stream`) and it persists across steps, so the
+  /// default stream 0 replays the exact stream the old layer-owned
+  /// generator produced.
+  std::unique_ptr<util::Rng> rng;
+  /// RNG stream id stamped by the owning FwdCache (0 for the serial /
+  /// legacy context; Trainer numbers its micro-batch contexts).
+  std::uint64_t rng_stream = 0;
+  /// Child caches of a container layer (Sequential).
+  std::unique_ptr<FwdCache> nested;
+
+  /// Drops all recorded forward state (a later backward fails loudly).
+  /// The dropout rng stream is kept: clearing state must not replay
+  /// masks.
+  void clear();
+};
+
+/// One forward-cache context: a LayerCache per layer of a Sequential,
+/// indexed by layer position and grown on demand. One FwdCache serves one
+/// forward/backward pair at a time; concurrent micro-batches need one
+/// context each (they are cheap and reusable across steps).
+class FwdCache {
+ public:
+  FwdCache() = default;
+  /// Context with an explicit RNG stream id: every slot (and nested
+  /// child context) draws dropout masks from (layer seed, `rng_stream`),
+  /// so concurrently trained micro-batches get statistically
+  /// independent, deterministic streams.
+  explicit FwdCache(std::uint64_t rng_stream) : rng_stream_(rng_stream) {}
+
+  /// Cache slot of layer `i`, created on first use.
+  [[nodiscard]] LayerCache& slot(std::size_t i);
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] std::uint64_t rng_stream() const noexcept {
+    return rng_stream_;
+  }
+
+  /// Clears every slot (see LayerCache::clear).
+  void clear();
+
+ private:
+  std::vector<LayerCache> slots_;
+  std::uint64_t rng_stream_ = 0;
+};
+
+}  // namespace hybridcnn::nn

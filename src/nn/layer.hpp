@@ -6,12 +6,34 @@
 // experiments (Sobel pre-initialisation, filter freezing). Layers own
 // their parameters and gradients and expose them generically so the SGD
 // optimizer and the filter-surgery tools need no per-layer knowledge.
+//
+// Forward is split into two paths:
+//
+//   - infer(): const, re-entrant. Touches no layer state, draws any
+//     calling-thread scratch from the Workspace it is handed, and may be
+//     called on one shared model from any number of threads
+//     concurrently. Layers that parallelise internally draw per-slot
+//     arenas from the global ComputeContext inside their own parallel
+//     regions.
+//   - forward_train(): writes the state backward needs into the
+//     caller-owned LayerCache instead of member fields; backward() reads
+//     the same cache. One cache serves one forward/backward pair —
+//     concurrent micro-batches use one cache context each.
+//
+// The historical mutating forward()/backward() signatures remain as thin
+// deprecated wrappers over those paths (each layer keeps one legacy
+// cache), so call sites can migrate incrementally.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "nn/fwd_cache.hpp"
 #include "tensor/tensor.hpp"
+
+namespace hybridcnn::runtime {
+class Workspace;
+}  // namespace hybridcnn::runtime
 
 namespace hybridcnn::nn {
 
@@ -22,8 +44,7 @@ struct Param {
   std::string name;
 };
 
-/// Base class for all layers. Forward must be called before backward;
-/// layers cache whatever forward state backward needs.
+/// Base class for all layers.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -31,21 +52,59 @@ class Layer {
   Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
 
+  // ------------------------------------------------ const inference path
+
   /// Computes the layer output for a batched NCHW (or [N, features])
-  /// input. Throws std::invalid_argument on shape mismatch.
-  virtual tensor::Tensor forward(const tensor::Tensor& input) = 0;
+  /// input without touching any layer state. `ws` provides the calling
+  /// thread's scratch arena. Safe to call concurrently on one shared
+  /// layer. Throws std::invalid_argument on shape mismatch.
+  [[nodiscard]] virtual tensor::Tensor infer(const tensor::Tensor& input,
+                                             runtime::Workspace& ws) const = 0;
+
+  /// Rvalue overload: layers whose output can reuse the (dead) input
+  /// tensor — ReLU's in-place clamp, Dropout's identity, Flatten's
+  /// reshape — avoid one full-activation allocation per call, which a
+  /// chained inference (Sequential moving intermediates along) exploits.
+  /// Bit-identical to the lvalue path. Default delegates to it.
+  [[nodiscard]] virtual tensor::Tensor infer(tensor::Tensor&& input,
+                                             runtime::Workspace& ws) const {
+    return infer(static_cast<const tensor::Tensor&>(input), ws);
+  }
+
+  // ------------------------------------------- explicit-cache training
+
+  /// Training forward: computes the output and records whatever backward
+  /// needs into `cache` (never into members).
+  virtual tensor::Tensor forward_train(const tensor::Tensor& input,
+                                       LayerCache& cache) = 0;
 
   /// Rvalue overload: layers that cache their input for backward (conv,
   /// linear, lrn, relu) take ownership instead of deep-copying it, so a
   /// training step over a Sequential does no per-layer input copies.
   /// Default delegates to the const-lvalue overload.
-  virtual tensor::Tensor forward(tensor::Tensor&& input) {
-    return forward(static_cast<const tensor::Tensor&>(input));
+  virtual tensor::Tensor forward_train(tensor::Tensor&& input,
+                                       LayerCache& cache) {
+    return forward_train(static_cast<const tensor::Tensor&>(input), cache);
   }
 
-  /// Propagates the loss gradient; returns dL/dinput and accumulates
-  /// parameter gradients. Default: unsupported (inference-only layer).
-  virtual tensor::Tensor backward(const tensor::Tensor& grad_output);
+  /// Propagates the loss gradient using the state `cache` recorded;
+  /// returns dL/dinput and accumulates parameter gradients. Default:
+  /// unsupported (inference-only layer).
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output,
+                                  LayerCache& cache);
+
+  // ------------------------------------- deprecated mutating wrappers
+  // Thin shims over the paths above, kept while call sites migrate.
+  // Routed through one per-layer legacy cache: training-mode forward
+  // records into it, backward consumes it, inference-mode forward clears
+  // it (a stale backward must fail loudly, not silently reuse old
+  // state).
+
+  tensor::Tensor forward(const tensor::Tensor& input);
+  tensor::Tensor forward(tensor::Tensor&& input);
+  tensor::Tensor backward(const tensor::Tensor& grad_output);
+
+  // ----------------------------------------------------- parameters etc.
 
   /// Parameters with their gradients; empty for stateless layers.
   virtual std::vector<Param> params() { return {}; }
@@ -53,7 +112,8 @@ class Layer {
   /// Zeroes all parameter gradients.
   void zero_grad();
 
-  /// Toggles training behaviour (dropout masks, cache retention).
+  /// Toggles which path the deprecated forward() wrapper takes (and
+  /// dropout masking under it).
   virtual void set_training(bool training) { training_ = training; }
   [[nodiscard]] bool training() const noexcept { return training_; }
 
@@ -65,6 +125,13 @@ class Layer {
 
  protected:
   bool training_ = false;
+
+  /// Cache backing the deprecated wrappers — for derived-class wrappers
+  /// that chain partially (Sequential::forward_from/forward_until).
+  [[nodiscard]] LayerCache& legacy_cache() noexcept { return legacy_cache_; }
+
+ private:
+  LayerCache legacy_cache_;  // backing state of the deprecated wrappers
 };
 
 }  // namespace hybridcnn::nn

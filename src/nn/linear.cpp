@@ -21,19 +21,8 @@ void Linear::init_he(util::Rng& rng) {
   bias_.fill(0.0f);
 }
 
-tensor::Tensor Linear::forward(const tensor::Tensor& input) {
-  tensor::Tensor out = forward_impl(input);
-  if (training_) cached_input_ = input;
-  return out;
-}
-
-tensor::Tensor Linear::forward(tensor::Tensor&& input) {
-  tensor::Tensor out = forward_impl(input);
-  if (training_) cached_input_ = std::move(input);
-  return out;
-}
-
-tensor::Tensor Linear::forward_impl(const tensor::Tensor& input) {
+tensor::Tensor Linear::infer(const tensor::Tensor& input,
+                             runtime::Workspace& /*ws*/) const {
   const auto& in = input.shape();
   if (in.rank() != 2 || in[1] != in_) {
     throw std::invalid_argument("Linear: expected [N, " +
@@ -41,7 +30,8 @@ tensor::Tensor Linear::forward_impl(const tensor::Tensor& input) {
   }
   const std::size_t n = in[0];
   tensor::Tensor out(tensor::Shape{n, out_});
-  // out[n, out] += x[n, in] * W^T (W stored [out, in])
+  // out[n, out] += x[n, in] * W^T (W stored [out, in]); GEMM packing
+  // scratch comes from the global context's per-slot arenas.
   gemm_a_bt(n, in_, out_, input.data().data(), weights_.data().data(),
             out.data().data());
   for (std::size_t s = 0; s < n; ++s) {
@@ -50,10 +40,28 @@ tensor::Tensor Linear::forward_impl(const tensor::Tensor& input) {
   return out;
 }
 
-tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
-  const auto& in = cached_input_.shape();
+tensor::Tensor Linear::forward_train(const tensor::Tensor& input,
+                                     LayerCache& cache) {
+  tensor::Tensor out =
+      infer(input, runtime::ComputeContext::global().workspace());
+  cache.input = input;
+  return out;
+}
+
+tensor::Tensor Linear::forward_train(tensor::Tensor&& input,
+                                     LayerCache& cache) {
+  tensor::Tensor out =
+      infer(input, runtime::ComputeContext::global().workspace());
+  cache.input = std::move(input);
+  return out;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_output,
+                                LayerCache& cache) {
+  const tensor::Tensor& cached_input = cache.input;
+  const auto& in = cached_input.shape();
   if (in.rank() != 2) {
-    throw std::logic_error("Linear::backward before forward (training mode)");
+    throw std::logic_error("Linear::backward before forward_train");
   }
   const std::size_t n = in[0];
   if (grad_output.shape() != tensor::Shape{n, out_}) {
@@ -62,7 +70,7 @@ tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
 
   // dW[out, in] += dOut^T[out, n] * x[n, in]
   gemm_at_b(out_, n, in_, grad_output.data().data(),
-            cached_input_.data().data(), grad_weights_.data().data());
+            cached_input.data().data(), grad_weights_.data().data());
   for (std::size_t s = 0; s < n; ++s) {
     for (std::size_t o = 0; o < out_; ++o) {
       grad_bias_[o] += grad_output[s * out_ + o];

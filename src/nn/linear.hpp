@@ -7,13 +7,21 @@
 namespace hybridcnn::nn {
 
 /// y = x W^T + b over batched [N, in] input. Weights are [out, in].
+/// Cache usage: `input` (the forward input, consumed by backward).
 class Linear final : public Layer {
  public:
   Linear(std::size_t in_features, std::size_t out_features);
 
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor forward(tensor::Tensor&& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  tensor::Tensor forward_train(tensor::Tensor&& input,
+                               LayerCache& cache) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
+
   std::vector<Param> params() override;
   [[nodiscard]] std::string name() const override { return "linear"; }
 
@@ -30,15 +38,12 @@ class Linear final : public Layer {
   [[nodiscard]] tensor::Tensor& bias() noexcept { return bias_; }
 
  private:
-  tensor::Tensor forward_impl(const tensor::Tensor& input);
-
   std::size_t in_;
   std::size_t out_;
   tensor::Tensor weights_;  // [out, in]
   tensor::Tensor bias_;     // [out]
   tensor::Tensor grad_weights_;
   tensor::Tensor grad_bias_;
-  tensor::Tensor cached_input_;
 };
 
 }  // namespace hybridcnn::nn

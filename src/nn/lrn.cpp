@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "runtime/compute_context.hpp"
 
@@ -54,36 +55,31 @@ tensor::Tensor Lrn::forward_impl(const tensor::Tensor& input,
   return out;
 }
 
-tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
-  tensor::Tensor out =
-      forward_impl(input, training_ ? &cached_denom_ : nullptr);
-  if (training_) {
-    cached_input_ = input;
-  } else {
-    // Drop any previous training-mode cache so a later backward fails
-    // loudly instead of using stale state.
-    cached_input_ = tensor::Tensor();
-    cached_denom_ = tensor::Tensor();
-  }
+tensor::Tensor Lrn::infer(const tensor::Tensor& input,
+                          runtime::Workspace& /*ws*/) const {
+  return forward_impl(input, nullptr);
+}
+
+tensor::Tensor Lrn::forward_train(const tensor::Tensor& input,
+                                  LayerCache& cache) {
+  tensor::Tensor out = forward_impl(input, &cache.aux);
+  cache.input = input;
   return out;
 }
 
-tensor::Tensor Lrn::forward(tensor::Tensor&& input) {
-  tensor::Tensor out =
-      forward_impl(input, training_ ? &cached_denom_ : nullptr);
-  if (training_) {
-    cached_input_ = std::move(input);
-  } else {
-    cached_input_ = tensor::Tensor();
-    cached_denom_ = tensor::Tensor();
-  }
+tensor::Tensor Lrn::forward_train(tensor::Tensor&& input, LayerCache& cache) {
+  tensor::Tensor out = forward_impl(input, &cache.aux);
+  cache.input = std::move(input);
   return out;
 }
 
-tensor::Tensor Lrn::backward(const tensor::Tensor& grad_output) {
-  const auto& in = cached_input_.shape();
+tensor::Tensor Lrn::backward(const tensor::Tensor& grad_output,
+                             LayerCache& cache) {
+  const tensor::Tensor& cached_input = cache.input;
+  const tensor::Tensor& cached_denom = cache.aux;
+  const auto& in = cached_input.shape();
   if (in.rank() != 4) {
-    throw std::logic_error("Lrn::backward before forward (training mode)");
+    throw std::logic_error("Lrn::backward before forward_train");
   }
   if (grad_output.shape() != in) {
     throw std::invalid_argument("Lrn::backward: shape mismatch");
@@ -113,11 +109,11 @@ tensor::Tensor Lrn::backward(const tensor::Tensor& grad_output) {
           for (std::int64_t i = lo; i <= hi; ++i) {
             const std::size_t ii =
                 (s * c + static_cast<std::size_t>(i)) * plane + p;
-            cross += grad_output[ii] * cached_input_[ii] *
-                     std::pow(cached_denom_[ii], -beta_ - 1.0f);
+            cross += grad_output[ii] * cached_input[ii] *
+                     std::pow(cached_denom[ii], -beta_ - 1.0f);
           }
-          grad[m] = grad_output[m] * std::pow(cached_denom_[m], -beta_) -
-                    2.0f * scale * beta_ * cached_input_[m] * cross;
+          grad[m] = grad_output[m] * std::pow(cached_denom[m], -beta_) -
+                    2.0f * scale * beta_ * cached_input[m] * cross;
         }
       });
   return grad;

@@ -8,14 +8,22 @@
 namespace hybridcnn::nn {
 
 /// Cross-channel LRN with exact backward.
+/// Cache usage: `input`, `aux` (per-element denominators D_i).
 class Lrn final : public Layer {
  public:
   explicit Lrn(std::size_t size = 5, float k = 2.0f, float alpha = 1e-4f,
                float beta = 0.75f);
 
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor forward(tensor::Tensor&& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  tensor::Tensor forward_train(tensor::Tensor&& input,
+                               LayerCache& cache) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
+
   [[nodiscard]] std::string name() const override { return "lrn"; }
 
  private:
@@ -28,8 +36,6 @@ class Lrn final : public Layer {
   float k_;
   float alpha_;
   float beta_;
-  tensor::Tensor cached_input_;
-  tensor::Tensor cached_denom_;  // D_i = k + (alpha/n) * S_i per element
 };
 
 }  // namespace hybridcnn::nn

@@ -18,7 +18,8 @@ std::size_t MaxPool::out_size(std::size_t in) const {
   return (in - window_) / stride_ + 1;
 }
 
-tensor::Tensor MaxPool::forward(const tensor::Tensor& input) {
+tensor::Tensor MaxPool::forward_impl(const tensor::Tensor& input,
+                                     std::vector<std::size_t>* argmax) const {
   const auto& in = input.shape();
   if (in.rank() != 4) {
     throw std::invalid_argument("MaxPool: expected NCHW, got " + in.str());
@@ -31,8 +32,7 @@ tensor::Tensor MaxPool::forward(const tensor::Tensor& input) {
   const std::size_t out_w = out_size(in_w);
 
   tensor::Tensor out(tensor::Shape{n, c, out_h, out_w});
-  argmax_.assign(out.count(), 0);
-  cached_in_shape_ = in;
+  if (argmax != nullptr) argmax->assign(out.count(), 0);
 
   // Each (sample, channel) plane is independent; split across the pool.
   const std::size_t out_plane = out_h * out_w;
@@ -56,27 +56,43 @@ tensor::Tensor MaxPool::forward(const tensor::Tensor& input) {
               }
             }
             out[oi] = best;
-            argmax_[oi] = best_idx;
+            if (argmax != nullptr) (*argmax)[oi] = best_idx;
           }
         }
       });
   return out;
 }
 
-tensor::Tensor MaxPool::backward(const tensor::Tensor& grad_output) {
-  if (grad_output.count() != argmax_.size()) {
+tensor::Tensor MaxPool::infer(const tensor::Tensor& input,
+                              runtime::Workspace& /*ws*/) const {
+  return forward_impl(input, nullptr);
+}
+
+tensor::Tensor MaxPool::forward_train(const tensor::Tensor& input,
+                                      LayerCache& cache) {
+  tensor::Tensor out = forward_impl(input, &cache.argmax);
+  cache.in_shape = input.shape();
+  return out;
+}
+
+tensor::Tensor MaxPool::backward(const tensor::Tensor& grad_output,
+                                 LayerCache& cache) {
+  if (cache.argmax.empty() || cache.in_shape.rank() != 4) {
+    throw std::logic_error("MaxPool::backward before forward_train");
+  }
+  if (grad_output.count() != cache.argmax.size()) {
     throw std::invalid_argument("MaxPool::backward: shape mismatch");
   }
-  const auto& in = cached_in_shape_;
+  const auto& in = cache.in_shape;
   tensor::Tensor grad(in);
-  const std::size_t out_plane = argmax_.size() / (in[0] * in[1]);
+  const std::size_t out_plane = cache.argmax.size() / (in[0] * in[1]);
   // argmax indices of one (sample, channel) plane stay inside that
   // plane's input slots, so the scatter is race-free per plane.
   runtime::ComputeContext::global().pool().parallel_for(
       0, in[0] * in[1], [&](std::size_t sc) {
         const std::size_t lo = sc * out_plane;
         for (std::size_t i = lo; i < lo + out_plane; ++i) {
-          grad[argmax_[i]] += grad_output[i];
+          grad[cache.argmax[i]] += grad_output[i];
         }
       });
   return grad;

@@ -9,21 +9,32 @@ namespace hybridcnn::nn {
 
 /// Max pooling over batched NCHW input with a square window. AlexNet uses
 /// overlapping pooling (window 3, stride 2), which this supports.
+/// Cache usage: `in_shape`, `argmax` (flat input index per output
+/// element); the inference path recomputes maxima without recording them.
 class MaxPool final : public Layer {
  public:
   MaxPool(std::size_t window, std::size_t stride);
 
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  using Layer::forward_train;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
+
   [[nodiscard]] std::string name() const override { return "maxpool"; }
 
   [[nodiscard]] std::size_t out_size(std::size_t in) const;
 
  private:
+  /// Shared pooling loop; records argmax routes when `argmax` non-null.
+  tensor::Tensor forward_impl(const tensor::Tensor& input,
+                              std::vector<std::size_t>* argmax) const;
+
   std::size_t window_;
   std::size_t stride_;
-  tensor::Shape cached_in_shape_;
-  std::vector<std::size_t> argmax_;  // flat input index per output element
 };
 
 }  // namespace hybridcnn::nn

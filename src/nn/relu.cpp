@@ -1,12 +1,13 @@
 #include "nn/relu.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace hybridcnn::nn {
 
 namespace {
 
-tensor::Tensor relu_impl(const tensor::Tensor& input) {
+tensor::Tensor clamp_copy(const tensor::Tensor& input) {
   tensor::Tensor out(input.shape());
   for (std::size_t i = 0; i < input.count(); ++i) {
     out[i] = input[i] > 0.0f ? input[i] : 0.0f;
@@ -14,34 +15,52 @@ tensor::Tensor relu_impl(const tensor::Tensor& input) {
   return out;
 }
 
-}  // namespace
-
-tensor::Tensor ReLU::forward(const tensor::Tensor& input) {
-  tensor::Tensor out = relu_impl(input);
-  if (training_) cached_input_ = input;
-  return out;
+// Owning the input, clamp in place — the exact same select as
+// clamp_copy, so copy and in-place paths are bit-identical (incl.
+// NaN -> 0 and -0.0 -> +0.0).
+void clamp_in_place(tensor::Tensor& t) {
+  for (std::size_t i = 0; i < t.count(); ++i) {
+    t[i] = t[i] > 0.0f ? t[i] : 0.0f;
+  }
 }
 
-tensor::Tensor ReLU::forward(tensor::Tensor&& input) {
-  // Owning the input, clamp in place instead of allocating a fresh
-  // output — with the exact same select as the lvalue path so both
-  // overloads are bit-identical (incl. NaN -> 0 and -0.0 -> +0.0).
-  // Caching the clamped tensor keeps backward intact: x > 0 holds for
-  // exactly the same elements before and after the clamp.
-  for (std::size_t i = 0; i < input.count(); ++i) {
-    input[i] = input[i] > 0.0f ? input[i] : 0.0f;
-  }
-  if (training_) cached_input_ = input;
+}  // namespace
+
+tensor::Tensor ReLU::infer(const tensor::Tensor& input,
+                           runtime::Workspace& /*ws*/) const {
+  return clamp_copy(input);
+}
+
+tensor::Tensor ReLU::infer(tensor::Tensor&& input,
+                           runtime::Workspace& /*ws*/) const {
+  clamp_in_place(input);
   return std::move(input);
 }
 
-tensor::Tensor ReLU::backward(const tensor::Tensor& grad_output) {
-  if (grad_output.shape() != cached_input_.shape()) {
+tensor::Tensor ReLU::forward_train(const tensor::Tensor& input,
+                                   LayerCache& cache) {
+  tensor::Tensor out = clamp_copy(input);
+  cache.input = input;
+  return out;
+}
+
+tensor::Tensor ReLU::forward_train(tensor::Tensor&& input,
+                                   LayerCache& cache) {
+  // Caching the clamped tensor keeps backward intact: x > 0 holds for
+  // exactly the same elements before and after the clamp.
+  clamp_in_place(input);
+  cache.input = input;
+  return std::move(input);
+}
+
+tensor::Tensor ReLU::backward(const tensor::Tensor& grad_output,
+                              LayerCache& cache) {
+  if (grad_output.shape() != cache.input.shape()) {
     throw std::invalid_argument("ReLU::backward: shape mismatch");
   }
   tensor::Tensor grad(grad_output.shape());
   for (std::size_t i = 0; i < grad.count(); ++i) {
-    grad[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+    grad[i] = cache.input[i] > 0.0f ? grad_output[i] : 0.0f;
   }
   return grad;
 }

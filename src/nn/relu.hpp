@@ -6,15 +6,23 @@
 namespace hybridcnn::nn {
 
 /// Elementwise max(0, x). Shape-preserving, any rank.
+/// Cache usage: `input` (clamped input works too: x > 0 holds for exactly
+/// the same elements before and after the clamp).
 class ReLU final : public Layer {
  public:
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor forward(tensor::Tensor&& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
-  [[nodiscard]] std::string name() const override { return "relu"; }
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  [[nodiscard]] tensor::Tensor infer(tensor::Tensor&& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  tensor::Tensor forward_train(tensor::Tensor&& input,
+                               LayerCache& cache) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
 
- private:
-  tensor::Tensor cached_input_;
+  [[nodiscard]] std::string name() const override { return "relu"; }
 };
 
 }  // namespace hybridcnn::nn

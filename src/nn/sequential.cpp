@@ -1,6 +1,9 @@
 #include "nn/sequential.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "runtime/workspace.hpp"
 
 namespace hybridcnn::nn {
 
@@ -9,30 +12,119 @@ void Sequential::append(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
-tensor::Tensor Sequential::forward(const tensor::Tensor& input) {
-  return forward_from(0, input);
+// ------------------------------------------------- const inference path
+
+tensor::Tensor Sequential::infer(const tensor::Tensor& input,
+                                 runtime::Workspace& ws) const {
+  return infer_from(0, input, ws);
 }
 
-tensor::Tensor Sequential::forward(tensor::Tensor&& input) {
-  if (layers_.empty()) return std::move(input);
-  tensor::Tensor x = layers_[0]->forward(std::move(input));
-  for (std::size_t i = 1; i < layers_.size(); ++i) {
-    x = layers_[i]->forward(std::move(x));
+tensor::Tensor Sequential::infer_from(std::size_t start,
+                                      const tensor::Tensor& input,
+                                      runtime::Workspace& ws) const {
+  if (start > layers_.size()) {
+    throw std::out_of_range("Sequential::infer_from");
+  }
+  if (start == layers_.size()) return input;
+  // First layer reads the caller's tensor in place; dead intermediates
+  // are moved along so rvalue-aware layers (relu, dropout, flatten)
+  // reuse them instead of allocating.
+  tensor::Tensor x = layers_[start]->infer(input, ws);
+  for (std::size_t i = start + 1; i < layers_.size(); ++i) {
+    x = layers_[i]->infer(std::move(x), ws);
   }
   return x;
 }
+
+tensor::Tensor Sequential::infer_until(std::size_t stop,
+                                       const tensor::Tensor& input,
+                                       runtime::Workspace& ws) const {
+  if (stop > layers_.size()) {
+    throw std::out_of_range("Sequential::infer_until");
+  }
+  if (stop == 0) return input;
+  tensor::Tensor x = layers_[0]->infer(input, ws);
+  for (std::size_t i = 1; i < stop; ++i) {
+    x = layers_[i]->infer(std::move(x), ws);
+  }
+  return x;
+}
+
+// -------------------------------------------- explicit-cache training
+
+tensor::Tensor Sequential::forward_train(const tensor::Tensor& input,
+                                         FwdCache& ctx) {
+  if (layers_.empty()) return input;
+  // First layer reads the caller's tensor in place; intermediates are
+  // moved along the chain so caching layers keep them without copies.
+  tensor::Tensor x = layers_[0]->forward_train(input, ctx.slot(0));
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->forward_train(std::move(x), ctx.slot(i));
+  }
+  return x;
+}
+
+tensor::Tensor Sequential::forward_train(tensor::Tensor&& input,
+                                         FwdCache& ctx) {
+  if (layers_.empty()) return std::move(input);
+  tensor::Tensor x = layers_[0]->forward_train(std::move(input), ctx.slot(0));
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->forward_train(std::move(x), ctx.slot(i));
+  }
+  return x;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output,
+                                    FwdCache& ctx) {
+  tensor::Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g, ctx.slot(i));
+  }
+  return g;
+}
+
+FwdCache& Sequential::nested_ctx(LayerCache& cache) {
+  // The child context inherits the RNG stream so dropout layers inside a
+  // nested container still key off the owning micro-batch context.
+  if (!cache.nested) {
+    cache.nested = std::make_unique<FwdCache>(cache.rng_stream);
+  }
+  return *cache.nested;
+}
+
+tensor::Tensor Sequential::forward_train(const tensor::Tensor& input,
+                                         LayerCache& cache) {
+  return forward_train(input, nested_ctx(cache));
+}
+
+tensor::Tensor Sequential::forward_train(tensor::Tensor&& input,
+                                         LayerCache& cache) {
+  return forward_train(std::move(input), nested_ctx(cache));
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output,
+                                    LayerCache& cache) {
+  return backward(grad_output, nested_ctx(cache));
+}
+
+// -------------------------------------- deprecated mutating wrappers
 
 tensor::Tensor Sequential::forward_from(std::size_t start,
                                         const tensor::Tensor& input) {
   if (start > layers_.size()) {
     throw std::out_of_range("Sequential::forward_from");
   }
+  if (!training_) {
+    // Same contract as Layer::forward: an inference-mode forward drops
+    // the legacy training state so a stale backward fails loudly.
+    legacy_cache().clear();
+    return infer_from(start, input, runtime::thread_scratch());
+  }
   if (start == layers_.size()) return input;
-  // First layer reads the caller's tensor in place; intermediates are
-  // moved along the chain.
-  tensor::Tensor x = layers_[start]->forward(input);
+  FwdCache& ctx = nested_ctx(legacy_cache());
+  tensor::Tensor x = layers_[start]->forward_train(input, ctx.slot(start));
   for (std::size_t i = start + 1; i < layers_.size(); ++i) {
-    x = layers_[i]->forward(std::move(x));
+    x = layers_[i]->forward_train(std::move(x), ctx.slot(i));
   }
   return x;
 }
@@ -42,21 +134,20 @@ tensor::Tensor Sequential::forward_until(std::size_t stop,
   if (stop > layers_.size()) {
     throw std::out_of_range("Sequential::forward_until");
   }
+  if (!training_) {
+    legacy_cache().clear();
+    return infer_until(stop, input, runtime::thread_scratch());
+  }
   if (stop == 0) return input;
-  tensor::Tensor x = layers_[0]->forward(input);
+  FwdCache& ctx = nested_ctx(legacy_cache());
+  tensor::Tensor x = layers_[0]->forward_train(input, ctx.slot(0));
   for (std::size_t i = 1; i < stop; ++i) {
-    x = layers_[i]->forward(std::move(x));
+    x = layers_[i]->forward_train(std::move(x), ctx.slot(i));
   }
   return x;
 }
 
-tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
-  tensor::Tensor g = grad_output;
-  for (std::size_t i = layers_.size(); i-- > 0;) {
-    g = layers_[i]->backward(g);
-  }
-  return g;
-}
+// ------------------------------------------------------------ plumbing
 
 std::vector<Param> Sequential::params() {
   std::vector<Param> all;
@@ -72,6 +163,11 @@ void Sequential::set_training(bool training) {
 }
 
 Layer& Sequential::layer(std::size_t i) {
+  if (i >= layers_.size()) throw std::out_of_range("Sequential::layer");
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
   if (i >= layers_.size()) throw std::out_of_range("Sequential::layer");
   return *layers_[i];
 }

@@ -1,10 +1,15 @@
 // Sequential network container.
 //
 // Besides the usual forward/backward chaining, Sequential supports the
-// hybrid execution the paper's Figure 2 requires: forward_from() resumes
+// hybrid execution the paper's Figure 2 requires: infer_from() resumes
 // inference at an arbitrary layer index so the first convolution can be
 // executed externally by the reliable kernel and its (bifurcated) output
 // injected back into the non-reliable remainder of the CNN.
+//
+// The const infer*() chain is re-entrant: any number of threads may run
+// one shared Sequential concurrently, each with its own scratch arena.
+// Training forwards thread a caller-owned FwdCache through the layers
+// (slot i belongs to layer i); one FwdCache per concurrent micro-batch.
 #pragma once
 
 #include <memory>
@@ -31,20 +36,56 @@ class Sequential final : public Layer {
   /// Appends an already-built layer.
   void append(std::unique_ptr<Layer> layer);
 
-  tensor::Tensor forward(const tensor::Tensor& input) override;
+  // ------------------------------------------------ const inference path
+
+  /// Runs the whole chain without touching any state.
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+
+  /// Runs layers [start, size()) on `input` — the hybrid re-entry point.
+  [[nodiscard]] tensor::Tensor infer_from(std::size_t start,
+                                          const tensor::Tensor& input,
+                                          runtime::Workspace& ws) const;
+
+  /// Runs layers [0, stop) on `input` — e.g. just the reliable prefix.
+  [[nodiscard]] tensor::Tensor infer_until(std::size_t stop,
+                                           const tensor::Tensor& input,
+                                           runtime::Workspace& ws) const;
+
+  // ------------------------------------------- explicit-cache training
+
+  /// Training forward over a whole cache context (slot i = layer i).
+  tensor::Tensor forward_train(const tensor::Tensor& input, FwdCache& ctx);
 
   /// Rvalue chain: moves the input into the first layer and every
   /// intermediate activation into the next, so caching layers keep their
   /// backward state without deep copies.
-  tensor::Tensor forward(tensor::Tensor&& input) override;
+  tensor::Tensor forward_train(tensor::Tensor&& input, FwdCache& ctx);
 
-  /// Runs layers [start, size()) on `input` — the hybrid re-entry point.
+  /// Backward over the context the matching forward_train filled.
+  tensor::Tensor backward(const tensor::Tensor& grad_output, FwdCache& ctx);
+
+  // Layer interface (nested container use): the Sequential's own cache
+  // slot holds the child context.
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  tensor::Tensor forward_train(tensor::Tensor&& input,
+                               LayerCache& cache) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+
+  // ------------------------------------- deprecated mutating wrappers
+
+  using Layer::backward;
+  using Layer::forward;
+
+  /// Deprecated: forward_from/forward_until over the legacy cache (or the
+  /// re-entrant infer path when not in training mode).
   tensor::Tensor forward_from(std::size_t start, const tensor::Tensor& input);
-
-  /// Runs layers [0, stop) on `input` — e.g. just the reliable prefix.
   tensor::Tensor forward_until(std::size_t stop, const tensor::Tensor& input);
 
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  // ----------------------------------------------------------- plumbing
+
   std::vector<Param> params() override;
   void set_training(bool training) override;
   [[nodiscard]] std::string name() const override { return "sequential"; }
@@ -53,14 +94,22 @@ class Sequential final : public Layer {
 
   /// Layer access; throws std::out_of_range.
   [[nodiscard]] Layer& layer(std::size_t i);
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
 
   /// Typed layer access; throws std::bad_cast if the type does not match.
   template <typename L>
   [[nodiscard]] L& layer_as(std::size_t i) {
     return dynamic_cast<L&>(layer(i));
   }
+  template <typename L>
+  [[nodiscard]] const L& layer_as(std::size_t i) const {
+    return dynamic_cast<const L&>(layer(i));
+  }
 
  private:
+  /// Child context living in this container's own cache slot.
+  static FwdCache& nested_ctx(LayerCache& cache);
+
   std::vector<std::unique_ptr<Layer>> layers_;
 };
 

@@ -5,7 +5,9 @@
 
 namespace hybridcnn::nn {
 
-tensor::Tensor Softmax::forward(const tensor::Tensor& input) {
+namespace {
+
+tensor::Tensor softmax_rows(const tensor::Tensor& input) {
   const auto& in = input.shape();
   if (in.rank() != 2) {
     throw std::invalid_argument("Softmax: expected [N, C], got " + in.str());
@@ -26,12 +28,27 @@ tensor::Tensor Softmax::forward(const tensor::Tensor& input) {
     }
     for (std::size_t j = 0; j < c; ++j) out[s * c + j] /= denom;
   }
-  cached_output_ = out;
   return out;
 }
 
-tensor::Tensor Softmax::backward(const tensor::Tensor& grad_output) {
-  const auto& sh = cached_output_.shape();
+}  // namespace
+
+tensor::Tensor Softmax::infer(const tensor::Tensor& input,
+                              runtime::Workspace& /*ws*/) const {
+  return softmax_rows(input);
+}
+
+tensor::Tensor Softmax::forward_train(const tensor::Tensor& input,
+                                      LayerCache& cache) {
+  tensor::Tensor out = softmax_rows(input);
+  cache.aux = out;
+  return out;
+}
+
+tensor::Tensor Softmax::backward(const tensor::Tensor& grad_output,
+                                 LayerCache& cache) {
+  const tensor::Tensor& cached_output = cache.aux;
+  const auto& sh = cached_output.shape();
   if (grad_output.shape() != sh) {
     throw std::invalid_argument("Softmax::backward: shape mismatch");
   }
@@ -41,11 +58,11 @@ tensor::Tensor Softmax::backward(const tensor::Tensor& grad_output) {
   for (std::size_t s = 0; s < n; ++s) {
     float dot = 0.0f;
     for (std::size_t j = 0; j < c; ++j) {
-      dot += grad_output[s * c + j] * cached_output_[s * c + j];
+      dot += grad_output[s * c + j] * cached_output[s * c + j];
     }
     for (std::size_t j = 0; j < c; ++j) {
       grad[s * c + j] =
-          cached_output_[s * c + j] * (grad_output[s * c + j] - dot);
+          cached_output[s * c + j] * (grad_output[s * c + j] - dot);
     }
   }
   return grad;

@@ -7,14 +7,21 @@
 namespace hybridcnn::nn {
 
 /// Row-wise softmax over [N, C] logits (max-subtracted for stability).
+/// Cache usage: `aux` (the softmax output, consumed by backward). The
+/// inference path keeps no copy of the output — it used to deep-copy the
+/// result on every call, a pure cache tax on the classify hot path.
 class Softmax final : public Layer {
  public:
-  tensor::Tensor forward(const tensor::Tensor& input) override;
-  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
-  [[nodiscard]] std::string name() const override { return "softmax"; }
+  [[nodiscard]] tensor::Tensor infer(const tensor::Tensor& input,
+                                     runtime::Workspace& ws) const override;
+  tensor::Tensor forward_train(const tensor::Tensor& input,
+                               LayerCache& cache) override;
+  using Layer::forward_train;
+  tensor::Tensor backward(const tensor::Tensor& grad_output,
+                          LayerCache& cache) override;
+  using Layer::backward;
 
- private:
-  tensor::Tensor cached_output_;
+  [[nodiscard]] std::string name() const override { return "softmax"; }
 };
 
 }  // namespace hybridcnn::nn

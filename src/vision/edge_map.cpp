@@ -1,5 +1,6 @@
 #include "vision/edge_map.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -89,12 +90,17 @@ void mask_from_feature_map(std::span<const float> feature_map, std::size_t h,
   // A zero-padded edge convolution produces spurious strong responses
   // along the image frame; the frame is not shape evidence, so clear a
   // two-pixel band before any morphology can smear it inward.
-  const auto clear_band = [&](MaskView m, std::size_t width) {
-    for (std::size_t b = 0; b < width; ++b) {
+  // Band depth is clamped to the image so the mirrored index h-1-b can
+  // never underflow on degenerate sizes (also keeps GCC's object-size
+  // analysis happy under -O3).
+  const auto clear_band = [&](MaskView m, std::size_t band) {
+    for (std::size_t b = 0; b < std::min(band, h); ++b) {
       for (std::size_t x = 0; x < w; ++x) {
         m.set(b, x, false);
         m.set(h - 1 - b, x, false);
       }
+    }
+    for (std::size_t b = 0; b < std::min(band, w); ++b) {
       for (std::size_t y = 0; y < h; ++y) {
         m.set(y, b, false);
         m.set(y, w - 1 - b, false);

@@ -1,0 +1,244 @@
+// Re-entrancy of the const inference path: many OS threads hammering one
+// shared network must produce bit-identical results to a serial loop, at
+// every pool thread count, and inference must never disturb training
+// caches. Runs under the ASan/UBSan CI job, where any data race on layer
+// state or shared scratch shows up as a hard failure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/lrn.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "nn/sequential.hpp"
+#include "nn/softmax.hpp"
+#include "runtime/compute_context.hpp"
+#include "runtime/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+using runtime::ComputeContext;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Classifier covering every fixed-shape layer type, incl. dropout (an
+/// identity at inference) and a softmax head. 32x32 input.
+std::unique_ptr<nn::Sequential> make_classifier(std::uint64_t seed) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 8, 5, 1, 2);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool>(2, 2);  // 32 -> 16
+  net->emplace<nn::Conv2d>(8, 16, 3, 1, 1);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool>(2, 2);  // 16 -> 8
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(16 * 8 * 8, 32);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Dropout>(0.3f);
+  net->emplace<nn::Linear>(32, 5);
+  net->emplace<nn::Softmax>();
+  nn::init_network(*net, seed);
+  return net;
+}
+
+/// Fully convolutional trunk (conv/relu/lrn/maxpool): accepts any input
+/// size, which lets the hammer threads mix shapes on one shared model.
+std::unique_ptr<nn::Sequential> make_trunk(std::uint64_t seed) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 6, 3, 1, 1);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Lrn>();
+  net->emplace<nn::MaxPool>(2, 2);
+  nn::init_network(*net, seed);
+  return net;
+}
+
+Tensor random_image(const Shape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  util::Rng rng(seed);
+  t.fill_normal(rng, 0.0f, 1.0f);
+  return t;
+}
+
+class ConcurrentInferenceThreads
+    : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { ComputeContext::set_global_threads(GetParam()); }
+  void TearDown() override { ComputeContext::set_global_threads(1); }
+};
+
+TEST_P(ConcurrentInferenceThreads, SharedModelMatchesSerialLoopBitExactly) {
+  const auto classifier = make_classifier(5);
+  const auto trunk = make_trunk(7);
+
+  // Mixed work: single images, a batched input, and three trunk shapes.
+  struct Item {
+    const nn::Sequential* net;
+    Tensor input;
+  };
+  std::vector<Item> items;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    items.push_back({classifier.get(), random_image(Shape{1, 3, 32, 32},
+                                                    100 + s)});
+  }
+  items.push_back({classifier.get(), random_image(Shape{4, 3, 32, 32}, 200)});
+  for (const std::size_t side : {24u, 32u, 40u}) {
+    items.push_back(
+        {trunk.get(), random_image(Shape{2, 3, side, side}, 300 + side)});
+  }
+
+  // Serial golden pass.
+  std::vector<Tensor> golden;
+  golden.reserve(items.size());
+  for (const Item& item : items) {
+    golden.push_back(item.net->infer(item.input, runtime::thread_scratch()));
+  }
+
+  // Hammer: every thread re-infers every item several times against one
+  // shared model, each thread on its own scratch arena, and compares
+  // bit-for-bit. Interleave the traversal per thread so distinct layers
+  // of both nets run concurrently.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRepeats = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      runtime::Workspace scratch;
+      for (std::size_t r = 0; r < kRepeats; ++r) {
+        for (std::size_t j = 0; j < items.size(); ++j) {
+          const std::size_t i = (j + t) % items.size();
+          const Tensor out = items[i].net->infer(items[i].input, scratch);
+          if (!(out == golden[i])) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_P(ConcurrentInferenceThreads, InferenceDoesNotDisturbTrainingCaches) {
+  // Two identical nets: one runs forward_train -> backward directly, the
+  // other is hammered with concurrent inference between its forward_train
+  // and backward. Gradients must match bit-for-bit — inference shares the
+  // model but owns no cache.
+  auto reference = make_classifier(9);
+  auto hammered = make_classifier(9);
+  const Tensor batch = random_image(Shape{4, 3, 32, 32}, 11);
+  const std::vector<int> labels{0, 1, 2, 3};
+
+  const auto step = [&labels](nn::Sequential& net, const Tensor& input,
+                              nn::FwdCache& ctx) {
+    net.zero_grad();
+    const Tensor probs = net.forward_train(input, ctx);
+    // Drive backward with a simple deterministic gradient.
+    Tensor g(probs.shape());
+    const std::size_t classes = probs.shape()[1];
+    for (std::size_t s = 0; s < labels.size(); ++s) {
+      g[s * classes + static_cast<std::size_t>(labels[s])] = 1.0f;
+    }
+    return g;
+  };
+
+  nn::FwdCache ref_ctx;
+  const Tensor ref_grad = step(*reference, batch, ref_ctx);
+  reference->backward(ref_grad, ref_ctx);
+
+  nn::FwdCache ham_ctx;
+  const Tensor ham_grad = step(*hammered, batch, ham_ctx);
+  {
+    std::vector<std::thread> threads;
+    const Tensor probe = random_image(Shape{2, 3, 32, 32}, 13);
+    for (std::size_t t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        runtime::Workspace scratch;
+        for (int r = 0; r < 3; ++r) {
+          (void)hammered->infer(probe, scratch);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  hammered->backward(ham_grad, ham_ctx);
+
+  auto ref_params = reference->params();
+  auto ham_params = hammered->params();
+  ASSERT_EQ(ref_params.size(), ham_params.size());
+  for (std::size_t i = 0; i < ref_params.size(); ++i) {
+    EXPECT_EQ(*ref_params[i].grad, *ham_params[i].grad)
+        << ref_params[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ConcurrentInferenceThreads,
+                         ::testing::Values<std::size_t>(1, 2, 8));
+
+TEST(ConcurrentInference, LegacyEvalForwardMatchesInfer) {
+  // The deprecated wrapper in inference mode must route through the same
+  // const path, bit for bit.
+  auto net = make_classifier(21);
+  net->set_training(false);
+  const Tensor input = random_image(Shape{2, 3, 32, 32}, 23);
+  const Tensor via_wrapper = net->forward(input);
+  const Tensor via_infer = net->infer(input, runtime::thread_scratch());
+  EXPECT_EQ(via_wrapper, via_infer);
+}
+
+TEST(ConcurrentInference, BackwardAfterEvalForwardFailsLoudly) {
+  // An inference-mode forward clears the legacy cache: a stale backward
+  // must throw instead of silently reusing old training state.
+  nn::Linear fc(4, 2);
+  fc.set_training(true);
+  const Tensor x = random_image(Shape{3, 4}, 29);
+  (void)fc.forward(x);
+  fc.set_training(false);
+  (void)fc.forward(x);
+  EXPECT_THROW((void)fc.backward(random_image(Shape{3, 2}, 31)),
+               std::logic_error);
+}
+
+TEST(ConcurrentInference, TwoCacheContextsShareOneModel) {
+  // Two micro-batch contexts forward through one net; backwards in either
+  // order reproduce the gradients of two sequential classic steps.
+  auto net = make_trunk(33);
+  const Tensor a = random_image(Shape{1, 3, 16, 16}, 35);
+  const Tensor b = random_image(Shape{1, 3, 16, 16}, 37);
+
+  nn::FwdCache ctx_a;
+  nn::FwdCache ctx_b;
+  net->zero_grad();
+  const Tensor out_a = net->forward_train(a, ctx_a);
+  const Tensor out_b = net->forward_train(b, ctx_b);  // a's cache survives
+  (void)net->backward(out_a, ctx_a);
+  (void)net->backward(out_b, ctx_b);
+  std::vector<Tensor> got;
+  for (const auto& p : net->params()) got.push_back(*p.grad);
+
+  auto serial = make_trunk(33);
+  serial->zero_grad();
+  nn::FwdCache ctx;
+  const Tensor sa = serial->forward_train(a, ctx);
+  (void)serial->backward(sa, ctx);
+  const Tensor sb = serial->forward_train(b, ctx);
+  (void)serial->backward(sb, ctx);
+  auto serial_params = serial->params();
+  ASSERT_EQ(got.size(), serial_params.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], *serial_params[i].grad) << serial_params[i].name;
+  }
+}
+
+}  // namespace

@@ -205,6 +205,7 @@ TEST(Softmax, StableForLargeLogits) {
 
 TEST(Flatten, ReshapesAndRestores) {
   Flatten fl;
+  fl.set_training(true);  // backward needs the cached input shape
   Tensor in(Shape{2, 3, 4, 5});
   const Tensor out = fl.forward(in);
   EXPECT_EQ(out.shape(), (Shape{2, 60}));
@@ -235,6 +236,21 @@ TEST(Dropout, MasksAndRescalesInTraining) {
   }
   EXPECT_GT(zeros, 64);
   EXPECT_LT(zeros, 192);
+}
+
+TEST(Dropout, CacheContextsDrawIndependentStreams) {
+  // Micro-batch contexts with distinct rng streams must not replay each
+  // other's masks; equal streams must (determinism).
+  Dropout d(0.5f);
+  Tensor in(Shape{8, 8}, 1.0f);
+  FwdCache stream0a(0);
+  FwdCache stream0b(0);
+  FwdCache stream1(1);
+  const Tensor a = d.forward_train(in, stream0a.slot(0));
+  const Tensor b = d.forward_train(in, stream0b.slot(0));
+  const Tensor c = d.forward_train(in, stream1.slot(0));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
 }
 
 TEST(Dropout, RejectsInvalidP) {

@@ -24,6 +24,7 @@
 #include "nn/relu.hpp"
 #include "reliable/executor.hpp"
 #include "reliable/reliable_conv.hpp"
+#include "runtime/workspace.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -89,18 +90,22 @@ int main() {
   };
   const tensor::Tensor img = data::render_stop_sign(96, 5.0);
 
-  // plain
+  // plain — through the const re-entrant inference path with the calling
+  // thread's scratch arena (the deprecated mutating forward() is gone
+  // from every bench).
+  runtime::Workspace& ws = runtime::thread_scratch();
   auto plain_net = make_small();
   tensor::Tensor batched = img;
   batched.reshape(tensor::Shape{1, 3, 96, 96});
   util::Stopwatch sw;
-  plain_net->forward(batched);
+  static_cast<void>(plain_net->infer(batched, ws));
   const double t_plain = sw.seconds();
 
   // hybrid
   core::HybridNetwork small_hybrid(make_small(), 0, core::HybridConfig{});
+  core::FaultSeedStream seeds = small_hybrid.seed_stream();
   sw.reset();
-  static_cast<void>(small_hybrid.classify(img));
+  static_cast<void>(small_hybrid.classify(img, seeds));
   const double t_hybrid = sw.seconds();
 
   // hybrid, amortised: classify_repeat builds the reliable kernel once
@@ -108,7 +113,7 @@ int main() {
   // cost a batched deployment pays.
   constexpr std::size_t kAmortisedRuns = 4;
   sw.reset();
-  static_cast<void>(small_hybrid.classify_repeat(img, kAmortisedRuns));
+  static_cast<void>(small_hybrid.classify_repeat(img, kAmortisedRuns, seeds));
   const double t_hybrid_batch =
       sw.seconds() / static_cast<double>(kAmortisedRuns);
 
@@ -124,8 +129,8 @@ int main() {
     tensor::Tensor m1 = r1.forward(img, *exec).output;
     m1.reshape(tensor::Shape{1, m1.shape()[0], m1.shape()[1],
                              m1.shape()[2]});
-    tensor::Tensor pooled = full_net->layer(1).forward(m1);     // relu
-    pooled = full_net->layer(2).forward(pooled);                // maxpool
+    tensor::Tensor pooled = full_net->layer(1).infer(m1, ws);   // relu
+    pooled = full_net->layer(2).infer(pooled, ws);              // maxpool
     tensor::Tensor chw = pooled;
     chw.reshape(tensor::Shape{pooled.shape()[1], pooled.shape()[2],
                               pooled.shape()[3]});
@@ -135,14 +140,14 @@ int main() {
     tensor::Tensor m2 = r2.forward(chw, *exec).output;
     m2.reshape(tensor::Shape{1, m2.shape()[0], m2.shape()[1],
                              m2.shape()[2]});
-    (void)full_net->forward_from(4, m2);  // relu, flatten, dense head
+    (void)full_net->infer_from(4, m2, ws);  // relu, flatten, dense head
   }
   const double t_full = sw.seconds();
 
   // duplicated: two plain runs + output compare.
   sw.reset();
-  auto out_a = plain_net->forward(batched);
-  auto out_b = plain_net->forward(batched);
+  auto out_a = plain_net->infer(batched, ws);
+  auto out_b = plain_net->infer(batched, ws);
   volatile bool same = out_a == out_b;
   (void)same;
   const double t_dup = sw.seconds();

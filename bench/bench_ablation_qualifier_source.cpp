@@ -97,10 +97,11 @@ int main() {
 
       std::size_t stop_ok = 0;
       std::size_t impostor_ok = 0;
-      for (const auto& r : hybrid.classify_batch(stops)) {
+      core::FaultSeedStream seeds = hybrid.seed_stream();
+      for (const auto& r : hybrid.classify_batch(stops, seeds)) {
         if (r.qualifier.match) ++stop_ok;
       }
-      for (const auto& r : hybrid.classify_batch(impostors)) {
+      for (const auto& r : hybrid.classify_batch(impostors, seeds)) {
         if (!r.qualifier.match) ++impostor_ok;
       }
       const std::size_t fm = (size - 7) / 2 + 1;

@@ -1,7 +1,7 @@
-// BENCH-BATCH — batched hybrid inference throughput.
+// BENCH-BATCH — batched + served hybrid inference throughput.
 //
 // Measures end-to-end hybrid classification (reliable DCNN + qualifier +
-// CNN remainder) as images/sec at 1/2/8 threads for three execution
+// CNN remainder) as images/sec at 1/2/8 threads for four execution
 // shapes:
 //   loop         — single-image classify() per image (the baseline)
 //   batch-serial — PR 2's classify_batch: dependable stage fanned across
@@ -9,11 +9,19 @@
 //   batch-fanned — the re-entrant shape: the whole per-image pipeline,
 //                  remainder included, fans across the pool as const
 //                  inference over one shared model
-// All three are bit-identical (verified here before timing). Alongside
-// the stdout table the bench emits BENCH_batch_inference.json so the
-// perf trajectory can be tracked across PRs.
+//   service      — serve::InferenceService: 4 submitter OS threads with
+//                  one Session each push their slice through the bounded
+//                  queue; the dispatcher coalesces micro-batches onto
+//                  the same fanned path
+// All four are bit-identical (verified here before timing): submitter t
+// opens its session at seed base 1 + first-slice-index, so every image
+// consumes exactly the seed the classify() loop gives it. Alongside the
+// stdout table the bench emits BENCH_batch_inference.json so the perf
+// trajectory can be tracked across PRs.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -30,6 +38,7 @@
 #include "nn/maxpool.hpp"
 #include "nn/relu.hpp"
 #include "runtime/compute_context.hpp"
+#include "serve/inference_service.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -75,11 +84,56 @@ bool identical(const core::HybridClassification& a,
          a.conv1_report.ok == b.conv1_report.ok;
 }
 
+/// Pushes `images` through an InferenceService from `submitters` OS
+/// threads. Submitter t owns the contiguous slice starting at `t * per`
+/// and a session whose seed base is `fault_seed + slice start`, so image
+/// i consumes seed `fault_seed + i` — the classify() loop's stream.
+/// `*elapsed_s` covers submit-to-completion only: service construction
+/// (dispatcher spawn) and shutdown are one-time costs a deployment
+/// amortises, and including them would understate the queueing-path
+/// throughput this column tracks across PRs.
+std::vector<core::HybridClassification> run_service(
+    const std::shared_ptr<const core::HybridNetwork>& net,
+    const std::vector<tensor::Tensor>& images, std::size_t submitters,
+    double* elapsed_s) {
+  serve::ServiceConfig cfg;
+  cfg.queue_capacity = images.size() + 1;
+  cfg.max_batch = 8;
+  serve::InferenceService service(net, cfg);
+
+  const std::size_t count = images.size();
+  const std::size_t per = (count + submitters - 1) / submitters;
+  std::vector<std::future<core::HybridClassification>> futures(count);
+  std::vector<std::thread> threads;
+  util::Stopwatch sw;
+  for (std::size_t t = 0; t < submitters; ++t) {
+    const std::size_t begin = std::min(t * per, count);
+    const std::size_t end = std::min(begin + per, count);
+    if (begin == end) break;
+    threads.emplace_back([&, begin, end] {
+      auto session = service.open_session(
+          net->seed_stream().peek() + begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        futures[i] = session.submit(images[i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<core::HybridClassification> results;
+  results.reserve(count);
+  for (auto& f : futures) results.push_back(f.get());
+  *elapsed_s = sw.seconds();
+  service.shutdown();
+  return results;
+}
+
 struct Row {
   std::size_t threads = 0;
   double loop_ips = 0.0;
   double serial_ips = 0.0;
   double fanned_ips = 0.0;
+  double service_ips = 0.0;
 };
 
 void write_json(const std::string& path, const std::vector<Row>& rows,
@@ -103,10 +157,14 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         "    {\"threads\": %zu, \"loop_images_per_sec\": %.6g, "
         "\"batch_serial_remainder_images_per_sec\": %.6g, "
         "\"batch_fanned_remainder_images_per_sec\": %.6g, "
+        "\"service_images_per_sec\": %.6g, "
         "\"fanned_speedup_vs_loop\": %.6g, "
-        "\"fanned_speedup_vs_serial_remainder\": %.6g}%s\n",
-        r.threads, r.loop_ips, r.serial_ips, r.fanned_ips,
+        "\"fanned_speedup_vs_serial_remainder\": %.6g, "
+        "\"service_speedup_vs_loop\": %.6g, "
+        "\"service_speedup_vs_fanned\": %.6g}%s\n",
+        r.threads, r.loop_ips, r.serial_ips, r.fanned_ips, r.service_ips,
         r.fanned_ips / r.loop_ips, r.fanned_ips / r.serial_ips,
+        r.service_ips / r.loop_ips, r.service_ips / r.fanned_ips,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -117,7 +175,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 
 int main() {
   bench::banner("BENCH-BATCH",
-                "batched hybrid inference (images/sec, 1/2/8 threads)");
+                "batched + served hybrid inference (images/sec, 1/2/8 thr)");
 
   const std::size_t size = 96;
   const std::size_t count = bench::quick_mode() ? 8 : 24;
@@ -130,42 +188,56 @@ int main() {
               "time-slice one core and cannot speed up\n", cores);
 
   util::Table table(
-      "hybrid inference throughput: loop vs serial vs fanned remainder",
+      "hybrid inference throughput: loop vs serial vs fanned vs service",
       {"threads", "loop img/s", "serial-rem img/s", "fanned-rem img/s",
-       "fanned/loop", "fanned/serial"});
+       "service img/s", "fanned/loop", "service/fanned"});
   util::CsvWriter csv(
       util::results_path(bench::results_dir(), "batch_inference.csv"),
       {"threads", "loop_images_per_sec", "batch_serial_images_per_sec",
-       "batch_fanned_images_per_sec", "fanned_speedup_vs_loop"});
+       "batch_fanned_images_per_sec", "service_images_per_sec",
+       "fanned_speedup_vs_loop"});
 
   std::vector<Row> rows;
   bool all_identical = true;
   for (const std::size_t threads : {1u, 2u, 8u}) {
     runtime::ComputeContext::set_global_threads(threads);
 
-    core::HybridNetwork looped(make_net(size), 0, core::HybridConfig{});
+    const core::HybridNetwork looped(make_net(size), 0, core::HybridConfig{});
+    core::FaultSeedStream loop_seeds = looped.seed_stream();
     util::Stopwatch sw;
     std::vector<core::HybridClassification> loop_results;
     loop_results.reserve(count);
-    for (const auto& img : images) loop_results.push_back(looped.classify(img));
+    for (const auto& img : images) {
+      loop_results.push_back(looped.classify(img, loop_seeds));
+    }
     const double loop_s = sw.seconds();
 
-    core::HybridNetwork serial(make_net(size), 0, core::HybridConfig{});
+    const core::HybridNetwork batched(make_net(size), 0, core::HybridConfig{});
+    core::FaultSeedStream serial_seeds = batched.seed_stream();
     sw.reset();
     const std::vector<core::HybridClassification> serial_results =
-        serial.classify_batch(images, core::RemainderMode::kSerial);
+        batched.classify_batch(images, serial_seeds,
+                               {core::RemainderMode::kSerial});
     const double serial_s = sw.seconds();
 
-    core::HybridNetwork fanned(make_net(size), 0, core::HybridConfig{});
+    core::FaultSeedStream fanned_seeds = batched.seed_stream();
     sw.reset();
     const std::vector<core::HybridClassification> fanned_results =
-        fanned.classify_batch(images, core::RemainderMode::kFanned);
+        batched.classify_batch(images, fanned_seeds,
+                               {core::RemainderMode::kFanned});
     const double fanned_s = sw.seconds();
+
+    const auto shared_net = std::make_shared<const core::HybridNetwork>(
+        make_net(size), 0, core::HybridConfig{});
+    double service_s = 0.0;
+    const std::vector<core::HybridClassification> service_results =
+        run_service(shared_net, images, /*submitters=*/4, &service_s);
 
     for (std::size_t i = 0; i < count; ++i) {
       all_identical = all_identical &&
                       identical(loop_results[i], serial_results[i]) &&
-                      identical(loop_results[i], fanned_results[i]);
+                      identical(loop_results[i], fanned_results[i]) &&
+                      identical(loop_results[i], service_results[i]);
     }
 
     Row row;
@@ -173,24 +245,29 @@ int main() {
     row.loop_ips = static_cast<double>(count) / loop_s;
     row.serial_ips = static_cast<double>(count) / serial_s;
     row.fanned_ips = static_cast<double>(count) / fanned_s;
+    row.service_ips = static_cast<double>(count) / service_s;
     rows.push_back(row);
     table.row({std::to_string(threads), util::Table::fixed(row.loop_ips, 2),
                util::Table::fixed(row.serial_ips, 2),
                util::Table::fixed(row.fanned_ips, 2),
+               util::Table::fixed(row.service_ips, 2),
                util::Table::fixed(row.fanned_ips / row.loop_ips, 2),
-               util::Table::fixed(row.fanned_ips / row.serial_ips, 2)});
+               util::Table::fixed(row.service_ips / row.fanned_ips, 2)});
     csv.row({std::to_string(threads), util::CsvWriter::num(row.loop_ips),
              util::CsvWriter::num(row.serial_ips),
              util::CsvWriter::num(row.fanned_ips),
+             util::CsvWriter::num(row.service_ips),
              util::CsvWriter::num(row.fanned_ips / row.loop_ips)});
   }
   table.print();
 
-  std::printf("\nall batch results bit-identical to the classify() loop: "
+  std::printf("\nall results bit-identical to the classify() loop: "
               "%s\n", all_identical ? "yes" : "NO — BUG");
   std::printf("expected shape: the whole per-image pipeline is "
               "embarrassingly parallel once the remainder is re-entrant, "
-              "so the fanned path approaches linear scaling; the serial-"
+              "so the fanned path approaches linear scaling and the "
+              "service path matches it (same compute, plus queueing) "
+              "while absorbing 4 concurrent submitters; the serial-"
               "remainder path saturates at the dependable stage's share.\n");
   const std::string json_path =
       util::results_path(bench::results_dir(), "BENCH_batch_inference.json");

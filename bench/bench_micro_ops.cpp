@@ -91,7 +91,7 @@ void BM_NativeConvSmall(benchmark::State& state) {
   tensor::Tensor input(tensor::Shape{1, 3, 16, 16});
   input.fill_normal(rng, 0.0f, 1.0f);
   for (auto _ : state) {
-    const auto out = conv.forward(input);
+    const auto out = conv.infer(input, runtime::thread_scratch());
     benchmark::DoNotOptimize(out.data().data());
   }
 }
@@ -152,7 +152,7 @@ void BM_Conv2dForwardBatch(benchmark::State& state) {
   tensor::Tensor input(tensor::Shape{8, 3, 96, 96});
   input.fill_normal(rng, 0.0f, 1.0f);
   for (auto _ : state) {
-    const auto out = conv.forward(input);
+    const auto out = conv.infer(input, runtime::thread_scratch());
     benchmark::DoNotOptimize(out.data().data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);

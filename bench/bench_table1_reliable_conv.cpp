@@ -18,6 +18,7 @@
 #include "nn/conv2d.hpp"
 #include "reliable/executor.hpp"
 #include "reliable/reliable_conv.hpp"
+#include "runtime/workspace.hpp"
 #include "sax/shape_match.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -68,7 +69,8 @@ int main() {
   tensor::Tensor batched = image;
   batched.reshape(tensor::Shape{1, 3, 227, 227});
   util::Stopwatch sw;
-  const tensor::Tensor native_out = native.forward(batched);
+  const tensor::Tensor native_out =
+      native.infer(batched, runtime::thread_scratch());
   const double t_native = sw.seconds();
 
   // Algorithm 3 with Algorithm 1 / Algorithm 2 / TMR operators.

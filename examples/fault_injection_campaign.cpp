@@ -43,7 +43,8 @@ int main() {
 
   // Golden (fault-free) reference decision.
   core::HybridNetwork golden(make_net(), 0, core::HybridConfig{});
-  const auto g = golden.classify(image);
+  core::FaultSeedStream golden_seeds = golden.seed_stream();
+  const auto g = golden.classify(image, golden_seeds);
   std::printf("golden run: class=%d confidence=%.4f qualifier=%s\n",
               g.predicted_class, g.confidence,
               g.qualifier.match ? "octagon" : "-");
@@ -68,6 +69,7 @@ int main() {
     core::HybridNetwork hybrid(make_net(), 0, cfg);
 
     std::vector<std::uint64_t> detected_per_run(kRuns, 0);
+    core::FaultSeedStream seeds = hybrid.seed_stream();
     const faultsim::CampaignSummary summary = hybrid.classify_campaign(
         image, kRuns,
         [&](std::size_t run, const core::HybridClassification& r) {
@@ -80,7 +82,8 @@ int main() {
           detected_per_run[run] = r.conv1_report.detected_errors +
                                   r.qualifier.report.detected_errors;
           return faultsim::classify(faults, aborted, matches);
-        });
+        },
+        seeds);
     double detected = 0.0;
     for (const std::uint64_t d : detected_per_run) {
       detected += static_cast<double>(d);

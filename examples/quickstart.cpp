@@ -32,7 +32,10 @@ int main() {
 
   std::printf("classifying through the hybrid dataflow "
               "(reliable conv1: ~211M qualified operations)...\n");
-  const core::HybridClassification result = hybrid.classify(image);
+  // The classify API is const over a caller-owned seed stream: the
+  // caller decides which fault-seed block this request stream consumes.
+  core::FaultSeedStream seeds = hybrid.seed_stream();
+  const core::HybridClassification result = hybrid.classify(image, seeds);
 
   std::printf("\n--- Reliable Result ---------------------------------\n");
   std::printf("predicted class    : %d (confidence %.3f)\n",

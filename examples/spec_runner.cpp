@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
   p.cls = data::SignClass::kStop;
   p.size = 32;
   p.scale = 0.85;
-  const auto r = hybrid.classify(data::render_sign(p));
+  core::FaultSeedStream seeds = hybrid.seed_stream();
+  const auto r = hybrid.classify(data::render_sign(p), seeds);
   std::printf("\nclassified a stop render: predicted=%d confidence=%.3f "
               "decision=%s\n",
               r.predicted_class, r.confidence,

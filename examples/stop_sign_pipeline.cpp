@@ -64,6 +64,7 @@ int main() {
                      "decision"});
   std::size_t reliable_stop_positives = 0;
   std::size_t false_reliable_positives = 0;
+  core::FaultSeedStream seeds = hybrid.seed_stream();
 
   for (const SignClass cls : data::all_classes()) {
     for (int variant = 0; variant < 3; ++variant) {
@@ -73,7 +74,7 @@ int main() {
       p.rotation = (variant - 1) * 0.12;
       p.scale = 0.72 + 0.07 * variant;
       p.noise_seed = 7000 + static_cast<std::uint64_t>(variant);
-      const auto r = hybrid.classify(data::render_sign(p));
+      const auto r = hybrid.classify(data::render_sign(p), seeds);
 
       if (r.reliable_positive()) {
         if (cls == SignClass::kStop) {

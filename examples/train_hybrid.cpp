@@ -75,7 +75,8 @@ int main() {
   p.cls = data::SignClass::kStop;
   p.size = 32;
   p.scale = 0.85;
-  const auto result = hybrid.classify(data::render_sign(p));
+  core::FaultSeedStream seeds = hybrid.seed_stream();
+  const auto result = hybrid.classify(data::render_sign(p), seeds);
   std::printf("stop render: predicted=%d confidence=%.3f decision=%s\n",
               result.predicted_class, result.confidence,
               core::decision_name(result.decision).c_str());

@@ -1,0 +1,51 @@
+// FaultSeedStream: a value-semantic cursor over the per-run fault-seed
+// contract `seed_base + i`.
+//
+// Every reliable execution draws one seed for its fault-injector stream;
+// run i of any batched/looped/campaign shape uses seed `base + i`. The
+// stream makes that contract an explicit, copyable value the *caller*
+// owns: HybridNetwork::classify* advance the stream they are handed and
+// touch no hidden state, so one const network can serve any number of
+// concurrent request streams, each deterministic in isolation. Two
+// streams constructed from the same base always hand out the same seed
+// sequence — replaying a request stream serially is how the serving
+// tests prove bit-identity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hybridcnn::core {
+
+class FaultSeedStream {
+ public:
+  /// Stream positioned at `base`: the next classification consumes
+  /// `base`, the one after `base + 1`, and so on.
+  constexpr explicit FaultSeedStream(std::uint64_t base = 1) noexcept
+      : next_(base) {}
+
+  /// The seed the next classification will consume (without consuming).
+  [[nodiscard]] constexpr std::uint64_t peek() const noexcept {
+    return next_;
+  }
+
+  /// Consumes and returns one seed.
+  constexpr std::uint64_t take() noexcept { return next_++; }
+
+  /// Consumes a contiguous block of `count` seeds and returns its first
+  /// one — run i of the block uses `returned + i`. A zero-sized block
+  /// consumes nothing (an empty batch must not advance the stream).
+  constexpr std::uint64_t take_block(std::size_t count) noexcept {
+    const std::uint64_t base = next_;
+    next_ += count;
+    return base;
+  }
+
+  friend constexpr bool operator==(const FaultSeedStream&,
+                                   const FaultSeedStream&) noexcept = default;
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace hybridcnn::core

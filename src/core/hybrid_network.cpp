@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "faultsim/injector.hpp"
 #include "nn/conv2d.hpp"
@@ -19,7 +21,7 @@ HybridNetwork::HybridNetwork(std::unique_ptr<nn::Sequential> cnn,
       config_(std::move(config)),
       safety_(config_.critical_classes),
       qualifier_(config_.qualifier),
-      next_fault_seed_(config_.fault_seed) {
+      legacy_stream_(config_.fault_seed) {
   if (!cnn_) throw std::invalid_argument("HybridNetwork: null cnn");
   auto& conv1 = cnn_->layer_as<nn::Conv2d>(conv1_index_);
   const bool pair =
@@ -160,31 +162,44 @@ HybridClassification HybridNetwork::run_remainder(
   return result;
 }
 
-HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
+HybridClassification HybridNetwork::classify(const tensor::Tensor& image,
+                                             FaultSeedStream& seeds) const {
   if (image.shape().rank() != 3) {
     throw std::invalid_argument("HybridNetwork::classify: expected CHW");
   }
   const reliable::ReliableConv2d rconv = make_reliable_conv1();
-  return run_remainder(dependable_stage(rconv, image, next_fault_seed_++),
+  return run_remainder(dependable_stage(rconv, image, seeds.take()),
                        runtime::ComputeContext::global().workspace());
 }
 
-std::vector<HybridClassification> HybridNetwork::classify_indexed(
-    std::size_t count, const tensor::Tensor* const* images,
-    RemainderMode mode) {
+namespace {
+
+/// Rejects non-CHW images up front — before any seed is consumed, so a
+/// refused batch leaves the caller's stream untouched. Every public
+/// batched entry point validates here; classify_indexed trusts them.
+void validate_chw(std::size_t count, const tensor::Tensor* const* images,
+                  const char* entry_point) {
   for (std::size_t i = 0; i < count; ++i) {
     if (images[i]->shape().rank() != 3) {
-      throw std::invalid_argument(
-          "HybridNetwork::classify_batch: expected CHW images");
+      throw std::invalid_argument(std::string("HybridNetwork::") +
+                                  entry_point + ": expected CHW images");
     }
   }
+}
+
+}  // namespace
+
+std::vector<HybridClassification> HybridNetwork::classify_indexed(
+    std::size_t count, const tensor::Tensor* const* images,
+    std::uint64_t seed_base, const std::uint64_t* seeds,
+    RemainderMode mode) const {
   if (count == 0) return {};
 
-  // One reliable kernel (weight copy) for the whole batch, and the seed
-  // block a classify() loop would consume — image i gets seed base + i.
+  // One reliable kernel (weight copy) for the whole batch.
   const reliable::ReliableConv2d rconv = make_reliable_conv1();
-  const std::uint64_t seed_base = next_fault_seed_;
-  next_fault_seed_ += count;
+  const auto seed_of = [&](std::size_t i) {
+    return seeds != nullptr ? seeds[i] : seed_base + i;
+  };
 
   auto& ctx = runtime::ComputeContext::global();
   std::vector<HybridClassification> results(count);
@@ -198,7 +213,7 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
     // inline.
     ctx.pool().parallel_for(0, count, [&](std::size_t i) {
       results[i] =
-          run_remainder(dependable_stage(rconv, *images[i], seed_base + i),
+          run_remainder(dependable_stage(rconv, *images[i], seed_of(i)),
                         ctx.workspace());
     });
   } else {
@@ -207,7 +222,7 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
     // GEMMs then parallelise over tiles instead of images.
     std::vector<DependableStage> stages(count);
     ctx.pool().parallel_for(0, count, [&](std::size_t i) {
-      stages[i] = dependable_stage(rconv, *images[i], seed_base + i);
+      stages[i] = dependable_stage(rconv, *images[i], seed_of(i));
     });
     for (std::size_t i = 0; i < count; ++i) {
       results[i] = run_remainder(std::move(stages[i]), ctx.workspace());
@@ -217,30 +232,81 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
 }
 
 std::vector<HybridClassification> HybridNetwork::classify_batch(
-    const std::vector<tensor::Tensor>& images, RemainderMode mode) {
+    const std::vector<tensor::Tensor>& images, FaultSeedStream& seeds,
+    BatchOptions options) const {
   std::vector<const tensor::Tensor*> ptrs;
   ptrs.reserve(images.size());
   for (const tensor::Tensor& img : images) ptrs.push_back(&img);
-  return classify_indexed(ptrs.size(), ptrs.data(), mode);
+  // Validate before drawing seeds: a refused batch must not advance the
+  // caller's stream. The accepted block is then exactly what a
+  // classify() loop would consume — image i gets seeds.peek() + i — and
+  // an empty batch consumes nothing.
+  validate_chw(ptrs.size(), ptrs.data(), "classify_batch");
+  const std::uint64_t seed_base = seeds.take_block(ptrs.size());
+  return classify_indexed(ptrs.size(), ptrs.data(), seed_base, nullptr,
+                          options.remainder);
+}
+
+std::vector<HybridClassification> HybridNetwork::classify_repeat(
+    const tensor::Tensor& image, std::size_t runs, FaultSeedStream& seeds,
+    BatchOptions options) const {
+  const tensor::Tensor* one = &image;
+  validate_chw(1, &one, "classify_repeat");
+  std::vector<const tensor::Tensor*> ptrs(runs, &image);
+  const std::uint64_t seed_base = seeds.take_block(runs);
+  return classify_indexed(ptrs.size(), ptrs.data(), seed_base, nullptr,
+                          options.remainder);
+}
+
+faultsim::CampaignSummary HybridNetwork::classify_campaign(
+    const tensor::Tensor& image, std::size_t runs,
+    const std::function<faultsim::Outcome(
+        std::size_t, const HybridClassification&)>& judge,
+    FaultSeedStream& seeds, BatchOptions options) const {
+  const std::vector<HybridClassification> results =
+      classify_repeat(image, runs, seeds, options);
+  faultsim::CampaignSummary summary;
+  for (std::size_t run = 0; run < results.size(); ++run) {
+    summary.add(judge(run, results[run]));
+  }
+  return summary;
+}
+
+std::vector<HybridClassification> HybridNetwork::classify_seeded(
+    std::size_t count, const tensor::Tensor* const* images,
+    const std::uint64_t* seeds, BatchOptions options) const {
+  if (count != 0 && (images == nullptr || seeds == nullptr)) {
+    throw std::invalid_argument(
+        "HybridNetwork::classify_seeded: null images/seeds");
+  }
+  validate_chw(count, images, "classify_seeded");
+  return classify_indexed(count, images, /*seed_base=*/0, seeds,
+                          options.remainder);
+}
+
+// --- deprecated wrappers over the internal legacy stream. --------------
+
+HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
+  return std::as_const(*this).classify(image, legacy_stream_);
+}
+
+std::vector<HybridClassification> HybridNetwork::classify_batch(
+    const std::vector<tensor::Tensor>& images, RemainderMode mode) {
+  return std::as_const(*this).classify_batch(images, legacy_stream_,
+                                             BatchOptions{mode});
 }
 
 std::vector<HybridClassification> HybridNetwork::classify_repeat(
     const tensor::Tensor& image, std::size_t runs) {
-  std::vector<const tensor::Tensor*> ptrs(runs, &image);
-  return classify_indexed(ptrs.size(), ptrs.data(), RemainderMode::kFanned);
+  return std::as_const(*this).classify_repeat(image, runs, legacy_stream_);
 }
 
 faultsim::CampaignSummary HybridNetwork::classify_campaign(
     const tensor::Tensor& image, std::size_t runs,
     const std::function<faultsim::Outcome(
         std::size_t, const HybridClassification&)>& judge) {
-  const std::vector<HybridClassification> results =
-      classify_repeat(image, runs);
-  faultsim::CampaignSummary summary;
-  for (std::size_t run = 0; run < results.size(); ++run) {
-    summary.add(judge(run, results[run]));
-  }
-  return summary;
+  return std::as_const(*this).classify_campaign(image, runs, judge,
+                                                legacy_stream_);
 }
 
 HybridNetwork::CostSplit HybridNetwork::cost_split(

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fault_seed_stream.hpp"
 #include "core/policy.hpp"
 #include "core/shape_qualifier.hpp"
 #include "faultsim/campaign.hpp"
@@ -70,6 +71,12 @@ enum class RemainderMode {
   kSerial,
 };
 
+/// Execution knobs for the batched classify entry points. A struct so
+/// future knobs extend it without churning every signature again.
+struct BatchOptions {
+  RemainderMode remainder = RemainderMode::kFanned;
+};
+
 /// The hybrid (reliable/non-reliable) network.
 class HybridNetwork {
  public:
@@ -79,40 +86,102 @@ class HybridNetwork {
   HybridNetwork(std::unique_ptr<nn::Sequential> cnn, std::size_t conv1_index,
                 HybridConfig config = {});
 
-  /// Classifies one [3, H, W] image through the hybrid dataflow.
-  [[nodiscard]] HybridClassification classify(const tensor::Tensor& image);
+  // ------------------------------------------------- const classify API
+  //
+  // The network is logically immutable after construction: every entry
+  // point below is const and re-entrant, and the per-run fault-seed
+  // contract lives in the caller-owned FaultSeedStream instead of hidden
+  // network state. Any number of OS threads may classify through one
+  // shared const network concurrently, each advancing its own stream —
+  // the serving front-end (serve::InferenceService) is built on exactly
+  // this property. seed_stream() hands out a stream positioned at the
+  // configured base for callers that want the historical behaviour.
+
+  /// Classifies one [3, H, W] image through the hybrid dataflow,
+  /// consuming one seed from `seeds`.
+  [[nodiscard]] HybridClassification classify(const tensor::Tensor& image,
+                                              FaultSeedStream& seeds) const;
 
   /// Batched classification: the reliable conv1 kernel is built once for
   /// the whole batch and the complete per-image pipeline — reliable DCNN,
   /// qualifier AND the non-reliable CNN remainder, which is a const
   /// re-entrant inference since the layer-cache refactor — fans out
   /// across the global runtime::ThreadPool, each image drawing scratch
-  /// from the executing slot's Workspace arena. Image i uses fault seed
-  /// `fault_seed + i` relative to the network's current stream position,
-  /// exactly the seeds a loop of classify() calls would consume, so the
-  /// returned results are bit-identical to looped single-image classify
-  /// at every thread count.
+  /// from the executing slot's Workspace arena. Image i consumes seed
+  /// `seeds.peek() + i` — exactly the stream a loop of classify() calls
+  /// would consume — so the returned results are bit-identical to looped
+  /// single-image classify at every thread count. An empty batch does
+  /// not advance the stream.
   [[nodiscard]] std::vector<HybridClassification> classify_batch(
+      const std::vector<tensor::Tensor>& images, FaultSeedStream& seeds,
+      BatchOptions options = {}) const;
+
+  /// Campaign form of classify_batch: `runs` classifications of the same
+  /// image with consecutive seeds from `seeds`, without copying the
+  /// image.
+  [[nodiscard]] std::vector<HybridClassification> classify_repeat(
+      const tensor::Tensor& image, std::size_t runs, FaultSeedStream& seeds,
+      BatchOptions options = {}) const;
+
+  /// Fault-injection campaign over the full hybrid classify path:
+  /// classify_repeat(image, runs, seeds), then `judge(run, result)` maps
+  /// each classification to a dependability outcome, reduced in run
+  /// order. Construction (network, reliable kernel, qualifier templates)
+  /// is amortised across the whole campaign.
+  [[nodiscard]] faultsim::CampaignSummary classify_campaign(
+      const tensor::Tensor& image, std::size_t runs,
+      const std::function<faultsim::Outcome(
+          std::size_t, const HybridClassification&)>& judge,
+      FaultSeedStream& seeds, BatchOptions options = {}) const;
+
+  /// Explicit-seed batch: image i uses seeds[i], with no consecutiveness
+  /// requirement. This is the serving entry point — a dispatcher
+  /// coalescing requests from several sessions hands each image the seed
+  /// its session stream assigned at submit time, so per-session results
+  /// are independent of how requests were batched. `seeds` must have
+  /// `count` entries.
+  [[nodiscard]] std::vector<HybridClassification> classify_seeded(
+      std::size_t count, const tensor::Tensor* const* images,
+      const std::uint64_t* seeds, BatchOptions options = {}) const;
+
+  /// A fresh stream positioned at the configured `fault_seed` base — the
+  /// stream a newly constructed network's wrappers would consume.
+  [[nodiscard]] FaultSeedStream seed_stream() const noexcept {
+    return FaultSeedStream(config_.fault_seed);
+  }
+
+  // ------------------------------------- deprecated mutating wrappers
+  //
+  // The historical API serialised every caller behind one hidden seed
+  // cursor. Kept as thin wrappers over an internal legacy stream (same
+  // migration idiom as the nn layer wrappers) while call sites move to
+  // the const entry points above.
+
+  [[deprecated("pass a caller-owned core::FaultSeedStream: "
+               "classify(image, seeds)")]] [[nodiscard]]
+  HybridClassification classify(const tensor::Tensor& image);
+
+  [[deprecated("pass a caller-owned core::FaultSeedStream: "
+               "classify_batch(images, seeds, {mode})")]] [[nodiscard]]
+  std::vector<HybridClassification> classify_batch(
       const std::vector<tensor::Tensor>& images,
       RemainderMode mode = RemainderMode::kFanned);
 
-  /// Campaign form of classify_batch: `runs` classifications of the same
-  /// image with consecutive fault seeds, without copying the image.
-  [[nodiscard]] std::vector<HybridClassification> classify_repeat(
+  [[deprecated("pass a caller-owned core::FaultSeedStream: "
+               "classify_repeat(image, runs, seeds)")]] [[nodiscard]]
+  std::vector<HybridClassification> classify_repeat(
       const tensor::Tensor& image, std::size_t runs);
 
-  /// Fault-injection campaign over the full hybrid classify path:
-  /// classify_repeat(image, runs), then `judge(run, result)` maps each
-  /// classification to a dependability outcome, reduced in run order.
-  /// Construction (network, reliable kernel, qualifier templates) is
-  /// amortised across the whole campaign.
-  [[nodiscard]] faultsim::CampaignSummary classify_campaign(
+  [[deprecated("pass a caller-owned core::FaultSeedStream: "
+               "classify_campaign(image, runs, judge, seeds)")]] [[nodiscard]]
+  faultsim::CampaignSummary classify_campaign(
       const tensor::Tensor& image, std::size_t runs,
       const std::function<faultsim::Outcome(
           std::size_t, const HybridClassification&)>& judge);
 
   /// The wrapped CNN (e.g. for training or filter surgery).
   [[nodiscard]] nn::Sequential& cnn() noexcept { return *cnn_; }
+  [[nodiscard]] const nn::Sequential& cnn() const noexcept { return *cnn_; }
 
   [[nodiscard]] const HybridConfig& config() const noexcept {
     return config_;
@@ -155,18 +224,20 @@ class HybridNetwork {
   [[nodiscard]] HybridClassification run_remainder(
       DependableStage&& stage, runtime::Workspace& ws) const;
 
-  /// Shared core of classify_batch/classify_repeat over an index->image
-  /// mapping (avoids copying a repeated campaign image `runs` times).
+  /// Shared core of the batched entry points over an index->image mapping
+  /// (avoids copying a repeated campaign image `runs` times). Image i
+  /// uses `seeds ? seeds[i] : seed_base + i`.
   [[nodiscard]] std::vector<HybridClassification> classify_indexed(
       std::size_t count, const tensor::Tensor* const* images,
-      RemainderMode mode);
+      std::uint64_t seed_base, const std::uint64_t* seeds,
+      RemainderMode mode) const;
 
   std::unique_ptr<nn::Sequential> cnn_;
   std::size_t conv1_index_;
   HybridConfig config_;
   SafetyPolicy safety_;
   ShapeQualifier qualifier_;
-  std::uint64_t next_fault_seed_;
+  FaultSeedStream legacy_stream_;  ///< backing the deprecated wrappers
 };
 
 }  // namespace hybridcnn::core

@@ -1,0 +1,122 @@
+// BoundedQueue<T>: the condition-variable submit hook the serving
+// front-end builds its request admission on.
+//
+// A mutex/cv-guarded MPSC/MPMC FIFO with a hard capacity. Producers on
+// any OS thread either block until space frees (admission under
+// backpressure) or bail out immediately (reject policy); a consumer
+// drains items in arrival order, up to a batch limit per wake-up —
+// exactly the coalescing shape a micro-batching dispatcher wants.
+//
+// The push_with/try_push_with forms take a factory that runs *under the
+// queue lock, only once capacity is reserved*. That makes "admit the
+// request AND draw the next seed from its session stream" a single
+// atomic step: a request is accepted if and only if it consumed a seed,
+// and seeds are consumed in admission order — the property the
+// per-session determinism contract of serve::InferenceService rests on.
+//
+// close() wakes everyone: producers fail fast, the consumer drains what
+// was already admitted and then sees 0 — the graceful-shutdown path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hybridcnn::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Queue admitting at most `capacity` items at a time (min 1).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available (or the queue is closed), then
+  /// admits `make()`. The factory runs under the queue lock with
+  /// capacity reserved. Returns false — without invoking the factory —
+  /// if the queue was closed.
+  template <typename Make>
+  bool push_with(Make&& make) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::forward<Make>(make)());
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking form: admits `make()` only if space is available right
+  /// now and the queue is open; otherwise returns false without invoking
+  /// the factory.
+  template <typename Make>
+  bool try_push_with(Make&& make) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::forward<Make>(make)());
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Value convenience over push_with.
+  bool push(T value) {
+    return push_with([&]() -> T&& { return std::move(value); });
+  }
+
+  /// Blocks until at least one item is queued (or the queue is closed
+  /// and drained), then moves up to `max` items into `out` in FIFO
+  /// order. Returns the number popped; 0 means closed-and-drained.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    std::size_t popped = 0;
+    while (popped < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+    lk.unlock();
+    if (popped != 0) not_full_.notify_all();
+    return popped;
+  }
+
+  /// Stops admissions and wakes every waiter. Items already admitted
+  /// stay poppable; pop_batch returns them until the queue is empty.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hybridcnn::runtime

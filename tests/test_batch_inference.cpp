@@ -1,6 +1,6 @@
 // classify_batch: bit-identical to looped single-image classify at every
-// thread count, empty/single edges, seed-stream contract, and the
-// campaign/repeat conveniences built on it.
+// thread count, empty/single edges, the caller-owned FaultSeedStream
+// contract, and the campaign/repeat conveniences built on it.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -20,10 +20,13 @@
 namespace {
 
 using namespace hybridcnn;
+using core::BatchOptions;
+using core::FaultSeedStream;
 using core::HybridClassification;
 using core::HybridConfig;
 using core::HybridNetwork;
 using core::QualifierSource;
+using core::RemainderMode;
 using runtime::ComputeContext;
 using tensor::Tensor;
 
@@ -114,11 +117,17 @@ TEST_P(BatchInferenceThreads, BatchMatchesLoopedClassifyBitExactly) {
   HybridNetwork batched(make_testnet(11), 0,
                         faulty_config(QualifierSource::kFullResolution));
 
+  FaultSeedStream loop_seeds = looped.seed_stream();
   std::vector<HybridClassification> expect;
   expect.reserve(images.size());
-  for (const Tensor& img : images) expect.push_back(looped.classify(img));
+  for (const Tensor& img : images) {
+    expect.push_back(looped.classify(img, loop_seeds));
+  }
 
-  const std::vector<HybridClassification> got = batched.classify_batch(images);
+  FaultSeedStream batch_seeds = batched.seed_stream();
+  const std::vector<HybridClassification> got =
+      batched.classify_batch(images, batch_seeds);
+  EXPECT_EQ(batch_seeds, loop_seeds) << "batch must consume the loop's seeds";
   ASSERT_EQ(got.size(), expect.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
     expect_identical(got[i], expect[i], "full-resolution qualifier");
@@ -133,10 +142,14 @@ TEST_P(BatchInferenceThreads, BatchMatchesLoopForFeatureMapSources) {
     HybridNetwork looped(make_testnet(13), 0, faulty_config(source));
     HybridNetwork batched(make_testnet(13), 0, faulty_config(source));
 
+    FaultSeedStream loop_seeds = looped.seed_stream();
     std::vector<HybridClassification> expect;
-    for (const Tensor& img : images) expect.push_back(looped.classify(img));
+    for (const Tensor& img : images) {
+      expect.push_back(looped.classify(img, loop_seeds));
+    }
+    FaultSeedStream batch_seeds = batched.seed_stream();
     const std::vector<HybridClassification> got =
-        batched.classify_batch(images);
+        batched.classify_batch(images, batch_seeds);
     ASSERT_EQ(got.size(), expect.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
       expect_identical(got[i], expect[i], "feature-map qualifier");
@@ -152,16 +165,57 @@ TEST_P(BatchInferenceThreads, RepeatMatchesLoopedClassifyOnOneImage) {
                         faulty_config(QualifierSource::kFullResolution, 2e-5));
 
   constexpr std::size_t kRuns = 5;
+  FaultSeedStream loop_seeds = looped.seed_stream();
   std::vector<HybridClassification> expect;
   for (std::size_t r = 0; r < kRuns; ++r) {
-    expect.push_back(looped.classify(image));
+    expect.push_back(looped.classify(image, loop_seeds));
   }
+  FaultSeedStream batch_seeds = batched.seed_stream();
   const std::vector<HybridClassification> got =
-      batched.classify_repeat(image, kRuns);
+      batched.classify_repeat(image, kRuns, batch_seeds);
   ASSERT_EQ(got.size(), kRuns);
   for (std::size_t r = 0; r < kRuns; ++r) {
     expect_identical(got[r], expect[r], "classify_repeat");
   }
+}
+
+TEST_P(BatchInferenceThreads, RepeatAndCampaignHonourRemainderMode) {
+  // The remainder-mode knob rides in BatchOptions, so the repeat and
+  // campaign conveniences can choose the serial shape too — results must
+  // not depend on the choice.
+  const Tensor image = data::render_stop_sign(96, 4.0);
+  HybridNetwork net(make_testnet(41), 0,
+                    faulty_config(QualifierSource::kFullResolution, 2e-5));
+
+  constexpr std::size_t kRuns = 4;
+  FaultSeedStream fanned_seeds = net.seed_stream();
+  const std::vector<HybridClassification> fanned = net.classify_repeat(
+      image, kRuns, fanned_seeds, BatchOptions{RemainderMode::kFanned});
+  FaultSeedStream serial_seeds = net.seed_stream();
+  const std::vector<HybridClassification> serial = net.classify_repeat(
+      image, kRuns, serial_seeds, BatchOptions{RemainderMode::kSerial});
+  ASSERT_EQ(fanned.size(), serial.size());
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    expect_identical(fanned[r], serial[r], "repeat remainder mode");
+  }
+
+  // classify_campaign: same judge stream over both remainder shapes.
+  const auto judge = [](std::size_t, const HybridClassification& r) {
+    const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
+    const bool faults = aborted || r.conv1_report.detected_errors > 0;
+    return faultsim::classify(faults, aborted, !aborted);
+  };
+  FaultSeedStream a = net.seed_stream();
+  FaultSeedStream b = net.seed_stream();
+  const faultsim::CampaignSummary sa = net.classify_campaign(
+      image, kRuns, judge, a, BatchOptions{RemainderMode::kFanned});
+  const faultsim::CampaignSummary sb = net.classify_campaign(
+      image, kRuns, judge, b, BatchOptions{RemainderMode::kSerial});
+  EXPECT_EQ(sa.runs, sb.runs);
+  EXPECT_EQ(sa.correct, sb.correct);
+  EXPECT_EQ(sa.corrected, sb.corrected);
+  EXPECT_EQ(sa.detected_abort, sb.detected_abort);
+  EXPECT_EQ(sa.silent_corruption, sb.silent_corruption);
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, BatchInferenceThreads,
@@ -174,10 +228,14 @@ TEST(BatchInference, EmptyBatchReturnsNothingAndPreservesSeedStream) {
   HybridNetwork b(make_testnet(19), 0,
                   faulty_config(QualifierSource::kFullResolution, 2e-5));
 
-  EXPECT_TRUE(a.classify_batch({}).empty());
+  FaultSeedStream a_seeds = a.seed_stream();
+  EXPECT_TRUE(a.classify_batch({}, a_seeds).empty());
   // The empty batch must not consume fault seeds: the next classify on
-  // `a` sees the same injector stream as a fresh network's first.
-  expect_identical(a.classify(image), b.classify(image), "post-empty-batch");
+  // the stream sees the same injector seed as a fresh stream's first.
+  EXPECT_EQ(a_seeds, a.seed_stream());
+  FaultSeedStream b_seeds = b.seed_stream();
+  expect_identical(a.classify(image, a_seeds), b.classify(image, b_seeds),
+                   "post-empty-batch");
 }
 
 TEST(BatchInference, SingleImageBatchEqualsClassify) {
@@ -187,10 +245,13 @@ TEST(BatchInference, SingleImageBatchEqualsClassify) {
   HybridNetwork b(make_testnet(23), 0,
                   faulty_config(QualifierSource::kFullResolution));
 
+  FaultSeedStream a_seeds = a.seed_stream();
   const std::vector<HybridClassification> batch =
-      a.classify_batch({image});
+      a.classify_batch({image}, a_seeds);
   ASSERT_EQ(batch.size(), 1u);
-  expect_identical(batch[0], b.classify(image), "single-image batch");
+  FaultSeedStream b_seeds = b.seed_stream();
+  expect_identical(batch[0], b.classify(image, b_seeds),
+                   "single-image batch");
 }
 
 TEST(BatchInference, InterleavedClassifyAndBatchShareOneSeedStream) {
@@ -200,20 +261,76 @@ TEST(BatchInference, InterleavedClassifyAndBatchShareOneSeedStream) {
   HybridNetwork looped(make_testnet(29), 0,
                        faulty_config(QualifierSource::kFullResolution, 2e-5));
 
-  const HybridClassification first = mixed.classify(images[0]);
+  FaultSeedStream mixed_seeds = mixed.seed_stream();
+  const HybridClassification first = mixed.classify(images[0], mixed_seeds);
   const std::vector<HybridClassification> rest =
-      mixed.classify_batch({images[1], images[2]});
+      mixed.classify_batch({images[1], images[2]}, mixed_seeds);
 
-  expect_identical(first, looped.classify(images[0]), "interleaved[0]");
-  expect_identical(rest[0], looped.classify(images[1]), "interleaved[1]");
-  expect_identical(rest[1], looped.classify(images[2]), "interleaved[2]");
+  FaultSeedStream loop_seeds = looped.seed_stream();
+  expect_identical(first, looped.classify(images[0], loop_seeds),
+                   "interleaved[0]");
+  expect_identical(rest[0], looped.classify(images[1], loop_seeds),
+                   "interleaved[1]");
+  expect_identical(rest[1], looped.classify(images[2], loop_seeds),
+                   "interleaved[2]");
 }
 
-TEST(BatchInference, RejectsBatchedTensorInput) {
+TEST(BatchInference, ClassifySeededMatchesPerSeedClassify) {
+  // The serving entry point: explicit, non-consecutive seeds. Image i
+  // with seeds[i] must reproduce a single classify drawing that seed.
+  const std::vector<Tensor> images = make_images(4);
+  HybridNetwork net(make_testnet(43), 0,
+                    faulty_config(QualifierSource::kFullResolution, 2e-5));
+
+  const std::vector<std::uint64_t> seeds{17, 3, 9001, 3};  // dup on purpose
+  std::vector<const Tensor*> ptrs;
+  for (const Tensor& img : images) ptrs.push_back(&img);
+  const std::vector<HybridClassification> got =
+      net.classify_seeded(ptrs.size(), ptrs.data(), seeds.data());
+
+  ASSERT_EQ(got.size(), images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    FaultSeedStream one(seeds[i]);
+    expect_identical(got[i], net.classify(images[i], one),
+                     "classify_seeded element");
+  }
+}
+
+TEST(BatchInference, LegacyMutatingWrappersReplayTheConstStream) {
+  // The deprecated wrappers serialise behind an internal stream at the
+  // configured fault_seed — exactly what a caller-owned stream at the
+  // same base produces through the const entry points.
+  const std::vector<Tensor> images = make_images(3);
+  HybridNetwork legacy(make_testnet(47), 0,
+                       faulty_config(QualifierSource::kFullResolution, 2e-5));
+  HybridNetwork modern(make_testnet(47), 0,
+                       faulty_config(QualifierSource::kFullResolution, 2e-5));
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const HybridClassification first = legacy.classify(images[0]);
+  const std::vector<HybridClassification> rest =
+      legacy.classify_batch({images[1], images[2]});
+#pragma GCC diagnostic pop
+
+  FaultSeedStream seeds = modern.seed_stream();
+  expect_identical(first, modern.classify(images[0], seeds), "legacy[0]");
+  expect_identical(rest[0], modern.classify(images[1], seeds), "legacy[1]");
+  expect_identical(rest[1], modern.classify(images[2], seeds), "legacy[2]");
+}
+
+TEST(BatchInference, RejectsBatchedTensorInputWithoutConsumingSeeds) {
   HybridNetwork hybrid(make_testnet(31), 0, HybridConfig{});
-  const std::vector<Tensor> bad{Tensor(tensor::Shape{1, 3, 96, 96})};
-  EXPECT_THROW(static_cast<void>(hybrid.classify_batch(bad)),
+  const std::vector<Tensor> bad{data::render_stop_sign(96, 4.0),
+                                Tensor(tensor::Shape{1, 3, 96, 96})};
+  FaultSeedStream seeds = hybrid.seed_stream();
+  EXPECT_THROW(static_cast<void>(hybrid.classify_batch(bad, seeds)),
                std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(hybrid.classify_repeat(bad[1], 3, seeds)),
+               std::invalid_argument);
+  // A refused batch must leave the caller's stream untouched, so a
+  // corrected retry still replays the original seed contract.
+  EXPECT_EQ(seeds, hybrid.seed_stream());
 }
 
 TEST(BatchInference, CampaignSummaryMatchesPerRunConstructionAtAnyThreads) {
@@ -225,7 +342,8 @@ TEST(BatchInference, CampaignSummaryMatchesPerRunConstructionAtAnyThreads) {
   const auto cfg = faulty_config(QualifierSource::kFullResolution, 5e-5);
 
   HybridNetwork golden_net(make_testnet(37), 0, HybridConfig{});
-  const HybridClassification golden = golden_net.classify(image);
+  FaultSeedStream golden_seeds = golden_net.seed_stream();
+  const HybridClassification golden = golden_net.classify(image, golden_seeds);
 
   const auto judge = [&](const HybridClassification& r) {
     const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
@@ -243,7 +361,8 @@ TEST(BatchInference, CampaignSummaryMatchesPerRunConstructionAtAnyThreads) {
     auto run_cfg = cfg;
     run_cfg.fault_seed = 1 + run;
     HybridNetwork per_run(make_testnet(37), 0, run_cfg);
-    legacy.add(judge(per_run.classify(image)));
+    FaultSeedStream run_seeds = per_run.seed_stream();
+    legacy.add(judge(per_run.classify(image, run_seeds)));
   }
 
   for (const std::size_t threads : {1u, 2u, 8u}) {
@@ -251,9 +370,11 @@ TEST(BatchInference, CampaignSummaryMatchesPerRunConstructionAtAnyThreads) {
     auto batch_cfg = cfg;
     batch_cfg.fault_seed = 1;
     HybridNetwork amortised(make_testnet(37), 0, batch_cfg);
+    FaultSeedStream campaign_seeds = amortised.seed_stream();
     const faultsim::CampaignSummary summary = amortised.classify_campaign(
         image, kRuns,
-        [&](std::size_t, const HybridClassification& r) { return judge(r); });
+        [&](std::size_t, const HybridClassification& r) { return judge(r); },
+        campaign_seeds);
     EXPECT_EQ(summary.runs, legacy.runs) << threads;
     EXPECT_EQ(summary.correct, legacy.correct) << threads;
     EXPECT_EQ(summary.corrected, legacy.corrected) << threads;

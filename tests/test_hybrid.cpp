@@ -21,6 +21,7 @@ namespace {
 
 using namespace hybridcnn;
 using core::Decision;
+using core::FaultSeedStream;
 using core::HybridClassification;
 using core::HybridConfig;
 using core::HybridNetwork;
@@ -43,6 +44,14 @@ std::unique_ptr<nn::Sequential> make_testnet(std::uint64_t seed = 3) {
 }
 
 Tensor stop_image() { return data::render_stop_sign(128, 6.0); }
+
+/// One classification over a fresh caller-owned stream at the network's
+/// configured base — the serial idiom of the const classify API.
+HybridClassification classify_once(const HybridNetwork& net,
+                                   const Tensor& img) {
+  FaultSeedStream seeds = net.seed_stream();
+  return net.classify(img, seeds);
+}
 
 TEST(HybridNetwork, ConstructionInstallsAndFreezesSobelFilter) {
   HybridConfig cfg;
@@ -67,7 +76,7 @@ TEST(HybridNetwork, ConstructionValidation) {
 
 TEST(HybridNetwork, FaultFreeClassifyProducesQualifiedEvidence) {
   HybridNetwork hybrid(make_testnet(), 0, HybridConfig{});
-  const HybridClassification r = hybrid.classify(stop_image());
+  const HybridClassification r = classify_once(hybrid, stop_image());
 
   EXPECT_TRUE(r.conv1_report.ok);
   EXPECT_EQ(r.conv1_report.detected_errors, 0u);
@@ -91,12 +100,12 @@ TEST(HybridNetwork, DecisionFollowsPolicyForCriticalAndNonCritical) {
   HybridConfig probe_cfg;
   probe_cfg.critical_classes = {};
   HybridNetwork probe(make_testnet(7), 0, probe_cfg);
-  const int predicted = probe.classify(img).predicted_class;
+  const int predicted = classify_once(probe, img).predicted_class;
 
   HybridConfig critical_cfg;
   critical_cfg.critical_classes = {predicted};
   HybridNetwork critical(make_testnet(7), 0, critical_cfg);
-  const HybridClassification rc = critical.classify(img);
+  const HybridClassification rc = classify_once(critical, img);
   EXPECT_EQ(rc.predicted_class, predicted);
   EXPECT_TRUE(rc.safety_critical);
   EXPECT_EQ(rc.decision, Decision::kQualifiedReliable);
@@ -105,7 +114,7 @@ TEST(HybridNetwork, DecisionFollowsPolicyForCriticalAndNonCritical) {
   HybridConfig other_cfg;
   other_cfg.critical_classes = {predicted + 1};
   HybridNetwork other(make_testnet(7), 0, other_cfg);
-  const HybridClassification ro = other.classify(img);
+  const HybridClassification ro = classify_once(other, img);
   EXPECT_FALSE(ro.safety_critical);
   EXPECT_EQ(ro.decision, Decision::kNonCriticalPass);
   EXPECT_FALSE(ro.reliable_positive());
@@ -123,12 +132,12 @@ TEST(HybridNetwork, NonOctagonImageIsDemotedForCriticalClass) {
   HybridConfig probe_cfg;
   probe_cfg.critical_classes = {};
   HybridNetwork probe(make_testnet(11), 0, probe_cfg);
-  const int predicted = probe.classify(img).predicted_class;
+  const int predicted = classify_once(probe, img).predicted_class;
 
   HybridConfig cfg;
   cfg.critical_classes = {predicted};
   HybridNetwork hybrid(make_testnet(11), 0, cfg);
-  const HybridClassification r = hybrid.classify(img);
+  const HybridClassification r = classify_once(hybrid, img);
   EXPECT_FALSE(r.qualifier.match);
   EXPECT_EQ(r.decision, Decision::kDemotedUnqualified);
   EXPECT_FALSE(r.reliable_positive());
@@ -144,8 +153,8 @@ TEST(HybridNetwork, DmrCorrectsTransientFaultsDuringClassify) {
   HybridNetwork golden(make_testnet(13), 0, HybridConfig{});
 
   const Tensor img = stop_image();
-  const HybridClassification rf = faulty.classify(img);
-  const HybridClassification rg = golden.classify(img);
+  const HybridClassification rf = classify_once(faulty, img);
+  const HybridClassification rg = classify_once(golden, img);
 
   ASSERT_TRUE(rf.conv1_report.ok) << rf.conv1_report.summary();
   EXPECT_GT(rf.conv1_report.detected_errors, 0u) << "test vacuous";
@@ -157,7 +166,7 @@ TEST(HybridNetwork, PermanentFaultsYieldFailStopDecision) {
   const Tensor img = stop_image();
   HybridConfig probe_cfg;
   HybridNetwork probe(make_testnet(17), 0, probe_cfg);
-  const int predicted = probe.classify(img).predicted_class;
+  const int predicted = classify_once(probe, img).predicted_class;
 
   HybridConfig cfg;
   cfg.critical_classes = {predicted};
@@ -166,7 +175,7 @@ TEST(HybridNetwork, PermanentFaultsYieldFailStopDecision) {
   cfg.fault_config.num_pes = 16;
   cfg.fault_config.bit = -1;
   HybridNetwork hybrid(make_testnet(17), 0, cfg);
-  const HybridClassification r = hybrid.classify(img);
+  const HybridClassification r = classify_once(hybrid, img);
 
   EXPECT_FALSE(r.conv1_report.ok);
   EXPECT_TRUE(r.conv1_report.bucket_exhausted);
@@ -180,7 +189,7 @@ TEST(HybridNetwork, FeatureMapQualifierSourceRuns) {
   HybridConfig cfg;
   cfg.qualifier.source = QualifierSource::kDependableFeatureMap;
   HybridNetwork hybrid(make_testnet(19), 0, cfg);
-  const HybridClassification r = hybrid.classify(stop_image());
+  const HybridClassification r = classify_once(hybrid, stop_image());
   // The bifurcated 61x61 feature map is coarse; the decision machinery
   // must still run and report reliable execution.
   EXPECT_TRUE(r.qualifier.reliable);
@@ -206,8 +215,12 @@ TEST(HybridNetwork, CostSplitShowsHybridSavings) {
 
 TEST(HybridNetwork, ClassifyRejectsBatchedInput) {
   HybridNetwork hybrid(make_testnet(), 0, HybridConfig{});
-  EXPECT_THROW(static_cast<void>(hybrid.classify(Tensor(Shape{1, 3, 128, 128}))),
-               std::invalid_argument);
+  FaultSeedStream seeds = hybrid.seed_stream();
+  EXPECT_THROW(
+      static_cast<void>(hybrid.classify(Tensor(Shape{1, 3, 128, 128}), seeds)),
+      std::invalid_argument);
+  // A rejected classification must not consume a seed.
+  EXPECT_EQ(seeds, hybrid.seed_stream());
 }
 
 TEST(ShapeQualifier, FailedReportNeverQualifies) {

@@ -1,0 +1,301 @@
+// serve::InferenceService: per-session seed-stream determinism under
+// concurrent submission, backpressure policies, drain/shutdown
+// lifecycle and the stats snapshot.
+//
+// The load-bearing property: N OS threads submitting interleaved
+// requests through distinct Sessions must yield, per session, results
+// bit-identical to a serial classify(image, stream) loop over the same
+// seed stream — at 1, 2 and 8 pool threads. (This suite runs under the
+// ASan/UBSan and TSan CI jobs.)
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid_network.hpp"
+#include "data/renderer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "runtime/compute_context.hpp"
+#include "serve/inference_service.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+using core::FaultSeedStream;
+using core::HybridClassification;
+using core::HybridConfig;
+using core::HybridNetwork;
+using core::QualifierSource;
+using runtime::ComputeContext;
+using serve::InferenceService;
+using serve::ServiceConfig;
+using tensor::Tensor;
+
+std::shared_ptr<const HybridNetwork> make_shared_net(std::uint64_t seed = 3) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 8, 7, 2, 0);  // 96 -> 45
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool>(3, 2);  // 45 -> 22
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(8 * 22 * 22, 5);
+  nn::init_network(*net, seed);
+  // A fault rate high enough that the seed assignment is observable:
+  // a request classified with the wrong seed would (with overwhelming
+  // probability) carry different injector evidence.
+  HybridConfig cfg;
+  cfg.qualifier.source = QualifierSource::kFullResolution;
+  cfg.fault_config.kind = faultsim::FaultKind::kTransient;
+  cfg.fault_config.probability = 2e-5;
+  cfg.fault_config.bit = -1;
+  return std::make_shared<const HybridNetwork>(std::move(net), 0, cfg);
+}
+
+std::vector<Tensor> make_images(std::size_t n, std::uint64_t salt) {
+  std::vector<Tensor> images;
+  images.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data::RenderParams p;
+    p.cls = static_cast<data::SignClass>((i + salt) % data::kNumClasses);
+    p.size = 96;
+    p.rotation = 0.05 * static_cast<double>(i) - 0.1;
+    p.scale = 0.72 + 0.03 * static_cast<double>((i + salt) % 3);
+    p.noise_seed = 40 + salt * 100 + i;
+    images.push_back(data::render_sign(p));
+  }
+  return images;
+}
+
+void expect_identical(const HybridClassification& a,
+                      const HybridClassification& b, const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.predicted_class, b.predicted_class);
+  EXPECT_EQ(a.confidence, b.confidence);  // bit-identical double
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.qualifier.match, b.qualifier.match);
+  EXPECT_EQ(a.qualifier.shape.distance, b.qualifier.shape.distance);
+  EXPECT_EQ(a.qualifier.report.detected_errors,
+            b.qualifier.report.detected_errors);
+  EXPECT_EQ(a.conv1_report.ok, b.conv1_report.ok);
+  EXPECT_EQ(a.conv1_report.detected_errors, b.conv1_report.detected_errors);
+  EXPECT_EQ(a.conv1_report.retries, b.conv1_report.retries);
+}
+
+class InferenceServiceThreads
+    : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { ComputeContext::set_global_threads(GetParam()); }
+  void TearDown() override { ComputeContext::set_global_threads(1); }
+};
+
+TEST_P(InferenceServiceThreads, SingleSessionMatchesSerialClassifyLoop) {
+  const auto net = make_shared_net(11);
+  const std::vector<Tensor> images = make_images(6, 0);
+
+  InferenceService service(net);
+  std::vector<std::future<HybridClassification>> futures;
+  futures.reserve(images.size());
+  for (const Tensor& img : images) futures.push_back(service.submit(img));
+
+  // The default session starts at the network's fault_seed base: the
+  // serial replay is a plain classify loop over seed_stream().
+  FaultSeedStream seeds = net->seed_stream();
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    expect_identical(futures[i].get(), net->classify(images[i], seeds),
+                     "default session");
+  }
+}
+
+TEST_P(InferenceServiceThreads, ConcurrentSessionsAreDeterministicPerSession) {
+  // The acceptance property: N OS threads × distinct sessions, requests
+  // interleaving freely in the shared queue and coalescing into mixed
+  // micro-batches — yet each session's results replay serially.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 5;
+  const auto net = make_shared_net(13);
+
+  std::vector<std::vector<Tensor>> images;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    images.push_back(make_images(kPerThread, t));
+  }
+
+  ServiceConfig cfg;
+  cfg.max_batch = 3;  // force multi-request (and cross-session) batches
+  InferenceService service(net, cfg);
+
+  std::vector<std::vector<std::future<HybridClassification>>> futures(
+      kThreads);
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      auto session = service.open_session(1000 + 50 * t);
+      for (const Tensor& img : images[t]) {
+        futures[t].push_back(session.submit(img));
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  service.drain();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    FaultSeedStream seeds(1000 + 50 * t);
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      expect_identical(futures[t][i].get(),
+                       net->classify(images[t][i], seeds),
+                       "concurrent session replay");
+    }
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kPerThread);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, InferenceServiceThreads,
+                         ::testing::Values<std::size_t>(1, 2, 8));
+
+TEST(InferenceService, MixedSessionMicroBatchesKeepStreamsIndependent) {
+  // One submitter alternating between two sessions: the dispatcher sees
+  // interleaved seeds inside single micro-batches; each session must
+  // still replay against its own stream.
+  const auto net = make_shared_net(17);
+  const std::vector<Tensor> images = make_images(6, 2);
+
+  InferenceService service(net);
+  auto a = service.open_session(7);
+  auto b = service.open_session(7000);
+  std::vector<std::future<HybridClassification>> fa, fb;
+  for (const Tensor& img : images) {
+    fa.push_back(a.submit(img));
+    fb.push_back(b.submit(img));
+  }
+
+  FaultSeedStream sa(7), sb(7000);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    expect_identical(fa[i].get(), net->classify(images[i], sa), "session a");
+    expect_identical(fb[i].get(), net->classify(images[i], sb), "session b");
+  }
+}
+
+TEST(InferenceService, RejectPolicyShedsLoadAndPreservesAcceptedStream) {
+  const auto net = make_shared_net(19);
+  const std::vector<Tensor> images = make_images(4, 1);
+
+  ServiceConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.max_batch = 1;
+  cfg.overflow = serve::OverflowPolicy::kReject;
+  InferenceService service(net, cfg);
+  auto session = service.open_session(500);
+
+  // Burst far more submissions than the queue admits. Submission is
+  // microseconds, classification milliseconds — rejections must occur.
+  constexpr std::size_t kBurst = 64;
+  std::vector<const Tensor*> accepted_images;
+  std::vector<std::future<HybridClassification>> futures;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    const Tensor& img = images[i % images.size()];
+    try {
+      futures.push_back(session.submit(img));
+      accepted_images.push_back(&img);
+    } catch (const serve::QueueFullError&) {
+      ++rejected;
+    }
+  }
+  service.drain();
+
+  EXPECT_GT(rejected, 0u) << "burst never overflowed a 2-deep queue";
+  EXPECT_EQ(service.stats().rejected, rejected);
+  EXPECT_EQ(service.stats().completed, futures.size());
+
+  // Rejected submissions consumed no seed: the accepted subsequence
+  // replays against consecutive seeds from the session base.
+  FaultSeedStream seeds(500);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_identical(futures[i].get(),
+                     net->classify(*accepted_images[i], seeds),
+                     "accepted subsequence replay");
+  }
+}
+
+TEST(InferenceService, StatsAddUpAfterDrain) {
+  const auto net = make_shared_net(23);
+  const std::vector<Tensor> images = make_images(7, 3);
+
+  ServiceConfig cfg;
+  cfg.max_batch = 4;
+  InferenceService service(net, cfg);
+  std::vector<std::future<HybridClassification>> futures;
+  for (const Tensor& img : images) futures.push_back(service.submit(img));
+  service.drain();
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, images.size());
+  EXPECT_EQ(stats.completed + stats.failed, stats.accepted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+
+  ASSERT_EQ(stats.batch_size_histogram.size(), cfg.max_batch + 1);
+  std::uint64_t batches = 0, weighted = 0;
+  for (std::size_t s = 0; s < stats.batch_size_histogram.size(); ++s) {
+    batches += stats.batch_size_histogram[s];
+    weighted += s * stats.batch_size_histogram[s];
+  }
+  EXPECT_EQ(batches, stats.batches);
+  EXPECT_EQ(weighted, stats.completed + stats.failed);
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+  EXPECT_LE(stats.p50_latency_us, stats.p99_latency_us);
+  EXPECT_LE(stats.p99_latency_us, stats.max_latency_us);
+
+  for (auto& f : futures) EXPECT_NO_THROW(static_cast<void>(f.get()));
+}
+
+TEST(InferenceService, InvalidImageThrowsAtSubmitWithoutConsumingASeed) {
+  const auto net = make_shared_net(29);
+  InferenceService service(net);
+  auto session = service.open_session(42);
+
+  EXPECT_THROW(static_cast<void>(
+                   session.submit(Tensor(tensor::Shape{1, 3, 96, 96}))),
+               std::invalid_argument);
+
+  // The next valid request must get the session's *first* seed.
+  const Tensor img = data::render_stop_sign(96, 4.0);
+  auto future = session.submit(img);
+  FaultSeedStream seeds(42);
+  expect_identical(future.get(), net->classify(img, seeds),
+                   "seed untouched by invalid submit");
+}
+
+TEST(InferenceService, ShutdownCompletesAcceptedAndRefusesNew) {
+  const auto net = make_shared_net(31);
+  const std::vector<Tensor> images = make_images(3, 4);
+
+  auto service = std::make_unique<InferenceService>(net);
+  std::vector<std::future<HybridClassification>> futures;
+  for (const Tensor& img : images) futures.push_back(service->submit(img));
+  service->shutdown();
+
+  // Everything accepted before shutdown resolves...
+  FaultSeedStream seeds = net->seed_stream();
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    expect_identical(futures[i].get(), net->classify(images[i], seeds),
+                     "pre-shutdown tail");
+  }
+  // ...and later submissions fail fast. shutdown is idempotent and the
+  // destructor tolerates an already-stopped service.
+  EXPECT_THROW(static_cast<void>(service->submit(images[0])),
+               serve::ServiceStoppedError);
+  service->shutdown();
+  service.reset();
+}
+
+}  // namespace

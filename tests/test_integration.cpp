@@ -22,6 +22,7 @@ namespace {
 
 using namespace hybridcnn;
 using core::Decision;
+using core::FaultSeedStream;
 using core::HybridConfig;
 using core::HybridNetwork;
 using tensor::Shape;
@@ -40,6 +41,14 @@ std::unique_ptr<nn::Sequential> make_trainable_net(std::uint64_t seed) {
   net->emplace<nn::Linear>(16 * 11 * 11, 5);
   nn::init_network(*net, seed);
   return net;
+}
+
+/// One classification over a fresh caller-owned stream at the network's
+/// configured base.
+core::HybridClassification classify_once(const HybridNetwork& net,
+                                         const Tensor& img) {
+  FaultSeedStream seeds = net.seed_stream();
+  return net.classify(img, seeds);
 }
 
 data::DatasetConfig image96() {
@@ -64,8 +73,9 @@ TEST(Integration, TrainedHybridQualifiesTrueStopAndDemotesImpostors) {
   nn::train(hybrid.cnn(), train_data, tc);
 
   // A clean stop sign: prediction stop, qualified reliable.
+  FaultSeedStream seeds = hybrid.seed_stream();
   const Tensor stop = data::render_stop_sign(96, 5.0);
-  const auto r_stop = hybrid.classify(stop);
+  const auto r_stop = hybrid.classify(stop, seeds);
   ASSERT_EQ(r_stop.predicted_class, static_cast<int>(data::SignClass::kStop))
       << "training failed to learn the stop class";
   EXPECT_EQ(r_stop.decision, Decision::kQualifiedReliable);
@@ -78,7 +88,7 @@ TEST(Integration, TrainedHybridQualifiesTrueStopAndDemotesImpostors) {
     p.cls = cls;
     p.size = 96;
     p.scale = 0.8;
-    const auto r = hybrid.classify(data::render_sign(p));
+    const auto r = hybrid.classify(data::render_sign(p), seeds);
     EXPECT_FALSE(r.reliable_positive())
         << data::class_name(cls) << " produced a reliable stop positive";
   }
@@ -90,7 +100,7 @@ TEST(Integration, DecisionLevelCampaignHasNoSilentCorruption) {
   const Tensor img = data::render_stop_sign(96, 3.0);
 
   HybridNetwork golden(make_trainable_net(41), 0, HybridConfig{});
-  const auto g = golden.classify(img);
+  const auto g = classify_once(golden, img);
 
   faultsim::CampaignSummary summary;
   for (std::uint64_t seed = 1; seed <= 15; ++seed) {
@@ -100,7 +110,7 @@ TEST(Integration, DecisionLevelCampaignHasNoSilentCorruption) {
     cfg.fault_config.bit = -1;
     cfg.fault_seed = seed;
     HybridNetwork hybrid(make_trainable_net(41), 0, cfg);
-    const auto r = hybrid.classify(img);
+    const auto r = classify_once(hybrid, img);
 
     const bool faults = r.conv1_report.detected_errors > 0 ||
                         !r.conv1_report.ok || !r.qualifier.report.ok;
@@ -127,7 +137,7 @@ TEST(Integration, IntermittentBurstsTripFailStop) {
     cfg.fault_config.bit = -1;
     cfg.fault_seed = seed;
     HybridNetwork hybrid(make_trainable_net(51), 0, cfg);
-    if (!hybrid.classify(img).conv1_report.ok) ++fail_stops;
+    if (!classify_once(hybrid, img).conv1_report.ok) ++fail_stops;
   }
   EXPECT_GT(fail_stops, 0)
       << "long bursts must exhaust the leaky bucket at least once";
@@ -147,8 +157,8 @@ TEST(Integration, WeightMemoryCorruptionIsOutsideTheGuarantee) {
   HybridNetwork a(std::move(net_a), 0, HybridConfig{});
   HybridNetwork b(std::move(net_b), 0, HybridConfig{});
   const Tensor img = data::render_stop_sign(96, 0.0);
-  const auto ra = a.classify(img);
-  const auto rb = b.classify(img);
+  const auto ra = classify_once(a, img);
+  const auto rb = classify_once(b, img);
   EXPECT_TRUE(ra.conv1_report.ok);
   EXPECT_TRUE(rb.conv1_report.ok)
       << "execution itself is clean; corruption is in the data";
@@ -165,7 +175,7 @@ TEST(Integration, ReliableSchemesProduceIdenticalDecisions) {
     HybridConfig cfg;
     cfg.scheme = scheme;
     HybridNetwork hybrid(make_trainable_net(71), 0, cfg);
-    results.push_back(hybrid.classify(img));
+    results.push_back(classify_once(hybrid, img));
   }
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_EQ(results[i].predicted_class, results[0].predicted_class);

@@ -2,18 +2,21 @@
 // reuse/reset, and the compute-context bundle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "runtime/bounded_queue.hpp"
 #include "runtime/compute_context.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/workspace.hpp"
 
 namespace {
 
+using hybridcnn::runtime::BoundedQueue;
 using hybridcnn::runtime::ComputeContext;
 using hybridcnn::runtime::ThreadPool;
 using hybridcnn::runtime::Workspace;
@@ -166,6 +169,89 @@ TEST(ComputeContext, IndependentThreadsGetDistinctArenas) {
   b.join();
   EXPECT_NE(seen[0], nullptr);
   EXPECT_NE(seen[0], seen[1]);
+}
+
+TEST(BoundedQueue, FifoOrderAndBatchedPop) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 3), 3u);
+  EXPECT_EQ(q.pop_batch(out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFullWithoutRunningTheFactory) {
+  BoundedQueue<int> q(2);
+  bool ran = false;
+  EXPECT_TRUE(q.try_push_with([&] { ran = true; return 1; }));
+  EXPECT_TRUE(q.try_push_with([&] { return 2; }));
+  ran = false;
+  EXPECT_FALSE(q.try_push_with([&] { ran = true; return 3; }));
+  EXPECT_FALSE(ran) << "a refused admission must not draw a seed";
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  EXPECT_TRUE(q.try_push_with([&] { return 3; }));
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);  // waits for the producer
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, CloseDrainsTailThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+
+  EXPECT_FALSE(q.push(3)) << "admissions stop at close";
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8), 2u) << "the admitted tail stays poppable";
+  EXPECT_EQ(q.pop_batch(out, 8), 0u) << "0 = closed and drained";
+}
+
+TEST(BoundedQueue, ConcurrentProducersDeliverEverythingExactlyOnce) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 200;
+  BoundedQueue<std::size_t> q(3);  // tiny: force blocking
+
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(t * kPerProducer + i));
+      }
+    });
+  }
+
+  std::vector<std::size_t> got;
+  std::vector<std::size_t> batch;
+  while (got.size() < kProducers * kPerProducer) {
+    batch.clear();
+    ASSERT_GT(q.pop_batch(batch, 7), 0u);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  for (auto& p : producers) p.join();
+
+  std::sort(got.begin(), got.end());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i);
 }
 
 TEST(ComputeContext, PerSlotWorkspacesAreDistinct) {

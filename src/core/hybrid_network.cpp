@@ -21,7 +21,8 @@ HybridNetwork::HybridNetwork(std::unique_ptr<nn::Sequential> cnn,
       config_(std::move(config)),
       safety_(config_.critical_classes),
       qualifier_(config_.qualifier),
-      legacy_stream_(config_.fault_seed) {
+      legacy_stream_(config_.fault_seed),
+      scheme_id_(reliable::parse_scheme(config_.scheme)) {
   if (!cnn_) throw std::invalid_argument("HybridNetwork: null cnn");
   auto& conv1 = cnn_->layer_as<nn::Conv2d>(conv1_index_);
   const bool pair =
@@ -66,7 +67,7 @@ HybridNetwork::DependableStage HybridNetwork::dependable_stage(
   auto injector = std::make_shared<faultsim::FaultInjector>(
       config_.fault_config, fault_seed);
   const std::unique_ptr<reliable::Executor> exec =
-      reliable::make_executor(config_.scheme, injector);
+      reliable::make_executor(scheme_id_, injector);
 
   reliable::ReliableResult rel = rconv.forward(image, *exec);
   stage.report = rel.report;

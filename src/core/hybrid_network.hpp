@@ -238,6 +238,10 @@ class HybridNetwork {
   SafetyPolicy safety_;
   ShapeQualifier qualifier_;
   FaultSeedStream legacy_stream_;  ///< backing the deprecated wrappers
+  /// config_.scheme resolved once at construction (validating the name
+  /// early), so per-image executor construction dispatches on the enum
+  /// instead of re-parsing the scheme string on every classification.
+  reliable::Scheme scheme_id_;
 };
 
 }  // namespace hybridcnn::core

@@ -1,20 +1,6 @@
 #include "faultsim/bitflip.hpp"
 
-#include <cstring>
-
 namespace hybridcnn::faultsim {
-
-std::uint32_t float_bits(float v) noexcept {
-  std::uint32_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
-
-float bits_float(std::uint32_t bits) noexcept {
-  float v = 0.0f;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
 
 float flip_bit(float v, int bit) noexcept {
   const auto b = static_cast<std::uint32_t>(bit) & 31u;

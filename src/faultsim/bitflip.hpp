@@ -2,17 +2,27 @@
 // The paper's failure model is radiation-caused single event upsets acting
 // on processing elements or corrupting weights/input data (Sections I-II);
 // we realise an SEU as a bit flip in the 32-bit float representation.
+//
+// float_bits/bits_float are defined inline: the redundancy comparisons of
+// the DMR/TMR executors run them once per physical execution, inside the
+// statically dispatched qualified kernels (src/reliable), so they must
+// inline into the hot loop.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 namespace hybridcnn::faultsim {
 
 /// Reinterprets a float as its raw 32-bit pattern.
-std::uint32_t float_bits(float v) noexcept;
+inline std::uint32_t float_bits(float v) noexcept {
+  return std::bit_cast<std::uint32_t>(v);
+}
 
 /// Reinterprets a 32-bit pattern as a float.
-float bits_float(std::uint32_t bits) noexcept;
+inline float bits_float(std::uint32_t bits) noexcept {
+  return std::bit_cast<float>(bits);
+}
 
 /// Returns `v` with bit `bit` (0 = LSB of mantissa, 31 = sign) flipped.
 /// `bit` is taken modulo 32 so callers may pass raw random draws.

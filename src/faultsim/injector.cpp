@@ -1,6 +1,7 @@
 #include "faultsim/injector.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "faultsim/bitflip.hpp"
 
@@ -23,6 +24,14 @@ bool FaultInjector::next_is_faulty() const noexcept {
     return pe_permanently_faulty_[static_cast<std::size_t>(next_pe_)] != 0;
   }
   return false;  // stochastic kinds are not predictable
+}
+
+void FaultInjector::advance_clean(std::uint64_t n) noexcept {
+  assert(guaranteed_fault_free());
+  stats_.executions += n;
+  const auto pes = static_cast<std::uint64_t>(pe_permanently_faulty_.size());
+  next_pe_ = static_cast<int>(
+      (static_cast<std::uint64_t>(next_pe_) + n % pes) % pes);
 }
 
 int FaultInjector::permanent_faulty_pes() const noexcept {

@@ -41,6 +41,24 @@ class FaultInjector {
   /// meaningful for deterministic test scenarios (kPermanent).
   [[nodiscard]] bool next_is_faulty() const noexcept;
 
+  /// True iff this injector can never corrupt a value: FaultKind::kNone.
+  /// Hoistable: the answer is fixed at construction, so reliable kernels
+  /// query it once per forward and select a fault-free fast path that
+  /// skips filter() entirely, replaying the bookkeeping in bulk with
+  /// advance_clean(). Stochastic kinds return false even at probability 0
+  /// — they still consume RNG draws per call, which bulk replay cannot
+  /// reproduce.
+  [[nodiscard]] bool guaranteed_fault_free() const noexcept {
+    return config_.kind == FaultKind::kNone;
+  }
+
+  /// Replays `n` filter() calls in bulk for a guaranteed_fault_free()
+  /// injector: advances the execution count and the round-robin PE cursor
+  /// exactly as `n` individual kNone filter() calls would, leaving stats()
+  /// and next_pe() bit-identical to the per-op path. Precondition:
+  /// guaranteed_fault_free() (asserted in debug builds).
+  void advance_clean(std::uint64_t n) noexcept;
+
   [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
   [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = InjectorStats{}; }

@@ -2,153 +2,40 @@
 
 #include <stdexcept>
 
-#include "faultsim/bitflip.hpp"
-
 namespace hybridcnn::reliable {
 
 Executor::Executor(std::shared_ptr<faultsim::FaultInjector> injector)
     : injector_(std::move(injector)) {}
 
-float Executor::corrupt(float /*a*/, float /*b*/, float result) noexcept {
-  if (!injector_) return result;
-  return injector_->filter(result);
-}
-
-float Executor::raw_mul(float a, float b) noexcept {
-  ++stats_.executions;
-  float av = a;
-  float bv = b;
-  if (injector_) {
-    // Operand-targeted faults corrupt an input latch before the multiply;
-    // result-targeted faults corrupt the product.
-    switch (injector_->config().target) {
-      case faultsim::FaultTarget::kOperandA:
-        av = injector_->filter(av);
-        return av * bv;
-      case faultsim::FaultTarget::kOperandB:
-        bv = injector_->filter(bv);
-        return av * bv;
-      case faultsim::FaultTarget::kResult:
-        break;
-    }
-  }
-  return corrupt(a, b, av * bv);
-}
-
-float Executor::raw_add(float a, float b) noexcept {
-  ++stats_.executions;
-  float av = a;
-  float bv = b;
-  if (injector_) {
-    switch (injector_->config().target) {
-      case faultsim::FaultTarget::kOperandA:
-        av = injector_->filter(av);
-        return av + bv;
-      case faultsim::FaultTarget::kOperandB:
-        bv = injector_->filter(bv);
-        return av + bv;
-      case faultsim::FaultTarget::kResult:
-        break;
-    }
-  }
-  return corrupt(a, b, av + bv);
-}
-
-// ---------------------------------------------------------------- simplex
-
-Qualified<float> SimplexExecutor::mul(float a, float b) {
-  ++stats_.logical_ops;
-  // Algorithm 1: return the product and a predefined qualifier (true).
-  return {raw_mul(a, b), true};
-}
-
-Qualified<float> SimplexExecutor::add(float a, float b) {
-  ++stats_.logical_ops;
-  return {raw_add(a, b), true};
-}
-
-// -------------------------------------------------------------------- dmr
-
-namespace {
-
-/// Bit-identical comparison. Plain `==` would declare two NaNs unequal and
-/// +0 == -0 equal; redundancy checking compares what the hardware actually
-/// produced, so we compare representations.
-bool same_bits(float x, float y) noexcept {
-  return faultsim::float_bits(x) == faultsim::float_bits(y);
-}
-
-}  // namespace
-
-Qualified<float> DmrExecutor::mul(float a, float b) {
-  ++stats_.logical_ops;
-  // Algorithm 2: execute twice; qualifier true iff products agree.
-  const float p1 = raw_mul(a, b);
-  const float p2 = raw_mul(a, b);
-  const bool ok = same_bits(p1, p2);
-  if (!ok) ++stats_.disagreements;
-  return {p1, ok};
-}
-
-Qualified<float> DmrExecutor::add(float a, float b) {
-  ++stats_.logical_ops;
-  const float s1 = raw_add(a, b);
-  const float s2 = raw_add(a, b);
-  const bool ok = same_bits(s1, s2);
-  if (!ok) ++stats_.disagreements;
-  return {s1, ok};
-}
-
-// -------------------------------------------------------------------- tmr
-
-namespace {
-
-/// Majority vote over three results. Returns the agreed value and whether
-/// a majority exists.
-Qualified<float> vote(float r1, float r2, float r3) noexcept {
-  if (same_bits(r1, r2) || same_bits(r1, r3)) return {r1, true};
-  if (same_bits(r2, r3)) return {r2, true};
-  return {r1, false};
-}
-
-}  // namespace
-
-Qualified<float> TmrExecutor::mul(float a, float b) {
-  ++stats_.logical_ops;
-  const float r1 = raw_mul(a, b);
-  const float r2 = raw_mul(a, b);
-  const float r3 = raw_mul(a, b);
-  const Qualified<float> v = vote(r1, r2, r3);
-  if (!same_bits(r1, r2) || !same_bits(r2, r3)) ++stats_.disagreements;
-  return v;
-}
-
-Qualified<float> TmrExecutor::add(float a, float b) {
-  ++stats_.logical_ops;
-  const float r1 = raw_add(a, b);
-  const float r2 = raw_add(a, b);
-  const float r3 = raw_add(a, b);
-  const Qualified<float> v = vote(r1, r2, r3);
-  if (!same_bits(r1, r2) || !same_bits(r2, r3)) ++stats_.disagreements;
-  return v;
-}
-
 // ---------------------------------------------------------------- factory
+
+Scheme parse_scheme(const std::string& scheme) {
+  if (scheme == "simplex") return Scheme::kSimplex;
+  if (scheme == "dmr") return Scheme::kDmr;
+  if (scheme == "tmr") return Scheme::kTmr;
+  throw std::invalid_argument("parse_scheme: unknown scheme '" + scheme +
+                              "'");
+}
+
+std::unique_ptr<Executor> make_executor(
+    Scheme scheme, std::shared_ptr<faultsim::FaultInjector> injector) {
+  switch (scheme) {
+    case Scheme::kSimplex:
+      return std::make_unique<SimplexExecutor>(std::move(injector));
+    case Scheme::kDmr:
+      return std::make_unique<DmrExecutor>(std::move(injector));
+    case Scheme::kTmr:
+      return std::make_unique<TmrExecutor>(std::move(injector));
+    case Scheme::kCustom:
+      break;
+  }
+  throw std::invalid_argument("make_executor: no factory for custom schemes");
+}
 
 std::unique_ptr<Executor> make_executor(
     const std::string& scheme,
     std::shared_ptr<faultsim::FaultInjector> injector) {
-  if (scheme == "simplex") {
-    return std::make_unique<SimplexExecutor>(std::move(injector));
-  }
-  if (scheme == "dmr") {
-    return std::make_unique<DmrExecutor>(std::move(injector));
-  }
-  if (scheme == "tmr") {
-    return std::make_unique<TmrExecutor>(std::move(injector));
-  }
-  throw std::invalid_argument("make_executor: unknown scheme '" + scheme +
-                              "'");
+  return make_executor(parse_scheme(scheme), std::move(injector));
 }
 
 }  // namespace hybridcnn::reliable

@@ -9,14 +9,33 @@
 // execution through a faultsim::FaultInjector, which models the unreliable
 // compute unit; the executor itself is the architecture-independent
 // reliability wrapper the paper proposes.
+//
+// Two dispatch surfaces coexist (see src/reliable/README.md):
+//   * the virtual mul()/add() interface — the generic path, kept as the
+//     oracle the static-dispatch equivalence tests diff against, and the
+//     extension point for executor schemes this library does not know;
+//   * the non-virtual mul_inline()/add_inline() methods on the three
+//     concrete schemes — identical arithmetic and bookkeeping, defined
+//     inline so the statically dispatched qualified kernels
+//     (static_dispatch.hpp) fold them into the convolution inner loop
+//     with no virtual calls.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "faultsim/bitflip.hpp"
 #include "faultsim/injector.hpp"
 #include "reliable/qualified.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HYBRIDCNN_RELIABLE_ALWAYS_INLINE inline __attribute__((always_inline))
+#define HYBRIDCNN_RELIABLE_NOINLINE __attribute__((noinline))
+#else
+#define HYBRIDCNN_RELIABLE_ALWAYS_INLINE inline
+#define HYBRIDCNN_RELIABLE_NOINLINE
+#endif
 
 namespace hybridcnn::reliable {
 
@@ -26,6 +45,31 @@ struct ExecutorStats {
   std::uint64_t executions = 0;     ///< physical executions (incl. redundant)
   std::uint64_t disagreements = 0;  ///< redundant executions that disagreed
 };
+
+/// Identity of an executor's redundancy scheme, used by the reliable
+/// kernels to select a statically dispatched (devirtualized) inner loop
+/// once per forward. kCustom means "not one of the library's schemes" and
+/// routes to the generic virtual-dispatch path.
+enum class Scheme : std::uint8_t { kSimplex, kDmr, kTmr, kCustom };
+
+namespace detail {
+
+/// Bit-identical comparison. Plain `==` would declare two NaNs unequal and
+/// +0 == -0 equal; redundancy checking compares what the hardware actually
+/// produced, so we compare representations.
+inline bool same_bits(float x, float y) noexcept {
+  return faultsim::float_bits(x) == faultsim::float_bits(y);
+}
+
+/// Majority vote over three results. Returns the agreed value and whether
+/// a majority exists.
+inline Qualified<float> vote(float r1, float r2, float r3) noexcept {
+  if (same_bits(r1, r2) || same_bits(r1, r3)) return {r1, true};
+  if (same_bits(r2, r3)) return {r2, true};
+  return {r1, false};
+}
+
+}  // namespace detail
 
 /// Interface for qualified scalar arithmetic. Implementations differ in
 /// the redundancy scheme; all of them report through Qualified<float>.
@@ -51,6 +95,12 @@ class Executor {
   /// Physical executions per logical operation in the fault-free case.
   [[nodiscard]] virtual int redundancy() const = 0;
 
+  /// Scheme identity for static dispatch. The default (kCustom) keeps
+  /// out-of-library executor subclasses on the generic virtual path.
+  [[nodiscard]] virtual Scheme scheme_kind() const noexcept {
+    return Scheme::kCustom;
+  }
+
   [[nodiscard]] const ExecutorStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = ExecutorStats{}; }
 
@@ -58,18 +108,75 @@ class Executor {
     return injector_.get();
   }
 
+  /// True iff no physical execution through this executor can ever be
+  /// corrupted: no injector, or an injector whose fault kind is kNone.
+  /// Hoistable — reliable kernels query it once per forward to select the
+  /// fault-free fast path.
+  [[nodiscard]] bool guaranteed_fault_free() const noexcept {
+    return injector_ == nullptr || injector_->guaranteed_fault_free();
+  }
+
+  /// Bulk accounting on behalf of an inlined fault-free kernel that
+  /// computed `logical` qualified operations as raw arithmetic: credits
+  /// logical_ops and the scheme's physical executions, and replays the
+  /// elided filter() calls on the injector (execution count + PE cursor)
+  /// via advance_clean(). Leaves stats() and injector state bit-identical
+  /// to `logical` per-op mul/add calls on fault-free hardware.
+  /// Precondition: guaranteed_fault_free().
+  void credit_fault_free_ops(std::uint64_t logical) noexcept {
+    stats_.logical_ops += logical;
+    const std::uint64_t physical =
+        logical * static_cast<std::uint64_t>(redundancy());
+    stats_.executions += physical;
+    if (injector_) injector_->advance_clean(physical);
+  }
+
  protected:
   /// One physical multiply on the (possibly faulty) compute unit.
-  float raw_mul(float a, float b) noexcept;
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE float raw_mul(float a, float b) noexcept {
+    ++stats_.executions;
+    float av = a;
+    float bv = b;
+    if (injector_) {
+      // Operand-targeted faults corrupt an input latch before the
+      // multiply; result-targeted faults corrupt the product.
+      switch (injector_->config().target) {
+        case faultsim::FaultTarget::kOperandA:
+          av = injector_->filter(av);
+          return av * bv;
+        case faultsim::FaultTarget::kOperandB:
+          bv = injector_->filter(bv);
+          return av * bv;
+        case faultsim::FaultTarget::kResult:
+          return injector_->filter(av * bv);
+      }
+    }
+    return av * bv;
+  }
 
   /// One physical add on the (possibly faulty) compute unit.
-  float raw_add(float a, float b) noexcept;
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE float raw_add(float a, float b) noexcept {
+    ++stats_.executions;
+    float av = a;
+    float bv = b;
+    if (injector_) {
+      switch (injector_->config().target) {
+        case faultsim::FaultTarget::kOperandA:
+          av = injector_->filter(av);
+          return av + bv;
+        case faultsim::FaultTarget::kOperandB:
+          bv = injector_->filter(bv);
+          return av + bv;
+        case faultsim::FaultTarget::kResult:
+          return injector_->filter(av + bv);
+      }
+    }
+    return av + bv;
+  }
 
   ExecutorStats stats_;
 
  private:
-  float corrupt(float a, float b, float result) noexcept;
-
   std::shared_ptr<faultsim::FaultInjector> injector_;
 };
 
@@ -78,10 +185,25 @@ class Executor {
 class SimplexExecutor final : public Executor {
  public:
   using Executor::Executor;
-  Qualified<float> mul(float a, float b) override;
-  Qualified<float> add(float a, float b) override;
+  Qualified<float> mul(float a, float b) override { return mul_inline(a, b); }
+  Qualified<float> add(float a, float b) override { return add_inline(a, b); }
   [[nodiscard]] std::string name() const override { return "simplex"; }
   [[nodiscard]] int redundancy() const override { return 1; }
+  [[nodiscard]] Scheme scheme_kind() const noexcept override {
+    return Scheme::kSimplex;
+  }
+
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> mul_inline(float a,
+                                                               float b) {
+    ++stats_.logical_ops;
+    // Algorithm 1: return the product and a predefined qualifier (true).
+    return {raw_mul(a, b), true};
+  }
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> add_inline(float a,
+                                                               float b) {
+    ++stats_.logical_ops;
+    return {raw_add(a, b), true};
+  }
 };
 
 /// Algorithm 2: dual-modular-redundant execution. The operation is
@@ -90,10 +212,33 @@ class SimplexExecutor final : public Executor {
 class DmrExecutor final : public Executor {
  public:
   using Executor::Executor;
-  Qualified<float> mul(float a, float b) override;
-  Qualified<float> add(float a, float b) override;
+  Qualified<float> mul(float a, float b) override { return mul_inline(a, b); }
+  Qualified<float> add(float a, float b) override { return add_inline(a, b); }
   [[nodiscard]] std::string name() const override { return "dmr"; }
   [[nodiscard]] int redundancy() const override { return 2; }
+  [[nodiscard]] Scheme scheme_kind() const noexcept override {
+    return Scheme::kDmr;
+  }
+
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> mul_inline(float a,
+                                                               float b) {
+    ++stats_.logical_ops;
+    // Algorithm 2: execute twice; qualifier true iff products agree.
+    const float p1 = raw_mul(a, b);
+    const float p2 = raw_mul(a, b);
+    const bool ok = detail::same_bits(p1, p2);
+    if (!ok) ++stats_.disagreements;
+    return {p1, ok};
+  }
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> add_inline(float a,
+                                                               float b) {
+    ++stats_.logical_ops;
+    const float s1 = raw_add(a, b);
+    const float s2 = raw_add(a, b);
+    const bool ok = detail::same_bits(s1, s2);
+    if (!ok) ++stats_.disagreements;
+    return {s1, ok};
+  }
 };
 
 /// Triple-modular-redundant execution with majority voting: the value is
@@ -103,11 +248,50 @@ class DmrExecutor final : public Executor {
 class TmrExecutor final : public Executor {
  public:
   using Executor::Executor;
-  Qualified<float> mul(float a, float b) override;
-  Qualified<float> add(float a, float b) override;
+  Qualified<float> mul(float a, float b) override { return mul_inline(a, b); }
+  Qualified<float> add(float a, float b) override { return add_inline(a, b); }
   [[nodiscard]] std::string name() const override { return "tmr"; }
   [[nodiscard]] int redundancy() const override { return 3; }
+  [[nodiscard]] Scheme scheme_kind() const noexcept override {
+    return Scheme::kTmr;
+  }
+
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> mul_inline(float a,
+                                                               float b) {
+    ++stats_.logical_ops;
+    const float r1 = raw_mul(a, b);
+    const float r2 = raw_mul(a, b);
+    const float r3 = raw_mul(a, b);
+    const Qualified<float> v = detail::vote(r1, r2, r3);
+    if (!detail::same_bits(r1, r2) || !detail::same_bits(r2, r3)) {
+      ++stats_.disagreements;
+    }
+    return v;
+  }
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> add_inline(float a,
+                                                               float b) {
+    ++stats_.logical_ops;
+    const float r1 = raw_add(a, b);
+    const float r2 = raw_add(a, b);
+    const float r3 = raw_add(a, b);
+    const Qualified<float> v = detail::vote(r1, r2, r3);
+    if (!detail::same_bits(r1, r2) || !detail::same_bits(r2, r3)) {
+      ++stats_.disagreements;
+    }
+    return v;
+  }
 };
+
+/// Parses a scheme name ("simplex", "dmr", "tmr"); throws
+/// std::invalid_argument on unknown names. Callers that classify per
+/// image resolve the name once (e.g. at network construction) and use the
+/// Scheme overload of make_executor afterwards.
+[[nodiscard]] Scheme parse_scheme(const std::string& scheme);
+
+/// Executor factory over a resolved scheme id; throws
+/// std::invalid_argument for Scheme::kCustom.
+std::unique_ptr<Executor> make_executor(
+    Scheme scheme, std::shared_ptr<faultsim::FaultInjector> injector);
 
 /// Factory for the three schemes by name; throws std::invalid_argument on
 /// unknown names. Convenient for bench parameter sweeps.

@@ -2,10 +2,11 @@
 
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
-#include "faultsim/bitflip.hpp"
 #include "reliable/checkpoint.hpp"
 #include "reliable/kernel_campaign.hpp"
+#include "reliable/static_dispatch.hpp"
 
 namespace hybridcnn::reliable {
 
@@ -61,32 +62,57 @@ tensor::Shape ReliableConv2d::output_shape(const tensor::Shape& in) const {
 
 std::uint64_t ReliableConv2d::mac_count(const tensor::Shape& in) const {
   const tensor::Shape out = output_shape(in);
-  const std::size_t kh = weights_.shape()[2];
-  const std::size_t kw = weights_.shape()[3];
-  const std::size_t in_c = in[0];
-  std::uint64_t macs = 0;
-  for (std::size_t oy = 0; oy < out[1]; ++oy) {
-    for (std::size_t ox = 0; ox < out[2]; ++ox) {
-      std::uint64_t taps = 0;
-      for (std::size_t ky = 0; ky < kh; ++ky) {
-        const auto iy = static_cast<std::int64_t>(oy * spec_.stride + ky) -
-                        static_cast<std::int64_t>(spec_.pad);
-        if (iy < 0 || iy >= static_cast<std::int64_t>(in[1])) continue;
-        for (std::size_t kx = 0; kx < kw; ++kx) {
-          const auto ix = static_cast<std::int64_t>(ox * spec_.stride + kx) -
-                          static_cast<std::int64_t>(spec_.pad);
-          if (ix < 0 || ix >= static_cast<std::int64_t>(in[2])) continue;
-          ++taps;
-        }
-      }
-      macs += taps * in_c;
-    }
-  }
-  return macs * out[0];
+  // The valid-tap count of one output coordinate separates into
+  // rows(oy) * cols(ox), so the full sum is the product of the two
+  // per-axis totals — closed-form per-row arithmetic instead of walking
+  // every (oy, ox, ky, kx) tap.
+  const std::uint64_t row_taps = detail::total_valid_taps(
+      out[1], spec_.stride, spec_.pad, weights_.shape()[2], in[1]);
+  const std::uint64_t col_taps = detail::total_valid_taps(
+      out[2], spec_.stride, spec_.pad, weights_.shape()[3], in[2]);
+  return static_cast<std::uint64_t>(out[0]) * in[0] * row_taps * col_taps;
 }
 
 ReliableResult ReliableConv2d::forward(const tensor::Tensor& input,
                                        Executor& exec) const {
+  const Scheme scheme = exec.scheme_kind();
+  if (scheme == Scheme::kCustom) {
+    // Unknown executor subclass: only the virtual interface is available.
+    return forward_generic(input, exec);
+  }
+
+  const tensor::Shape out_shape = output_shape(input.shape());
+  const detail::ConvPlan plan(out_shape, input.shape(), weights_.shape(),
+                              spec_.stride, spec_.pad);
+  ReliableResult result{tensor::Tensor(out_shape), {}};
+  result.report.stage = "reliable_conv2d";
+  result.report.scheme = exec.name();
+
+  const float* in = input.data().data();
+  const float* wgt = weights_.data().data();
+  const float* b = bias_.data().data();
+
+  if (exec.guaranteed_fault_free()) {
+    // Golden fast path: no operation can fail, so the qualified schedule
+    // collapses to raw arithmetic in the identical order; the per-op
+    // bookkeeping is credited in closed form.
+    detail::conv_raw_compute(plan, in, wgt, b, result.output.data().data());
+    const std::uint64_t ops = 2 * plan.macs();  // mul + accumulate per MAC
+    result.report.logical_ops = ops;
+    result.report.commits = ops;
+    exec.credit_fault_free_ops(ops);
+    return result;
+  }
+
+  detail::with_concrete_executor(scheme, exec, [&](auto& concrete) {
+    detail::conv_forward_qualified(plan, in, wgt, b, policy_, concrete,
+                                   result);
+  });
+  return result;
+}
+
+ReliableResult ReliableConv2d::forward_generic(const tensor::Tensor& input,
+                                               Executor& exec) const {
   const tensor::Shape out_shape = output_shape(input.shape());
   ReliableResult result{tensor::Tensor(out_shape), {}};
   ExecutionReport& report = result.report;
@@ -221,44 +247,13 @@ faultsim::CampaignSummary ReliableConv2d::forward_campaign(
 tensor::Tensor ReliableConv2d::reference_forward(
     const tensor::Tensor& input) const {
   const tensor::Shape out_shape = output_shape(input.shape());
+  const detail::ConvPlan plan(out_shape, input.shape(), weights_.shape(),
+                              spec_.stride, spec_.pad);
   tensor::Tensor out(out_shape);
-  const std::size_t out_h = out_shape[1];
-  const std::size_t out_w = out_shape[2];
-  const std::size_t in_c = input.shape()[0];
-  const std::size_t in_h = input.shape()[1];
-  const std::size_t in_w = input.shape()[2];
-  const std::size_t kh = weights_.shape()[2];
-  const std::size_t kw = weights_.shape()[3];
-
-  for (std::size_t o = 0; o < out_shape[0]; ++o) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        // Same operation order as forward() so results are bit-identical.
-        float acc = bias_[o];
-        for (std::size_t c = 0; c < in_c; ++c) {
-          for (std::size_t ky = 0; ky < kh; ++ky) {
-            const auto iy =
-                static_cast<std::int64_t>(oy * spec_.stride + ky) -
-                static_cast<std::int64_t>(spec_.pad);
-            if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) continue;
-            for (std::size_t kx = 0; kx < kw; ++kx) {
-              const auto ix =
-                  static_cast<std::int64_t>(ox * spec_.stride + kx) -
-                  static_cast<std::int64_t>(spec_.pad);
-              if (ix < 0 || ix >= static_cast<std::int64_t>(in_w)) continue;
-              const float x = input[(c * in_h + static_cast<std::size_t>(iy)) *
-                                        in_w +
-                                    static_cast<std::size_t>(ix)];
-              const float w =
-                  weights_[((o * in_c + c) * kh + ky) * kw + kx];
-              acc = acc + x * w;
-            }
-          }
-        }
-        out[(o * out_h + oy) * out_w + ox] = acc;
-      }
-    }
-  }
+  // Same operation order as forward() so results are bit-identical.
+  detail::conv_raw_compute(plan, input.data().data(),
+                           weights_.data().data(), bias_.data().data(),
+                           out.data().data());
   return out;
 }
 
@@ -272,105 +267,156 @@ namespace {
 
 /// Runs the layer once through the executor's (possibly faulty) raw
 /// arithmetic with no per-op qualification — the execution style that
-/// layer-granular redundancy wraps.
-tensor::Tensor unqualified_forward(const ReliableConv2d& conv,
-                                   const tensor::Tensor& input,
-                                   Executor& exec,
-                                   ExecutionReport& report) {
-  const tensor::Shape out_shape = conv.output_shape(input.shape());
-  tensor::Tensor out(out_shape);
-  const auto& weights = conv.weights();
-  const auto& bias = conv.bias();
-  const auto& spec = conv.spec();
-  const std::size_t out_h = out_shape[1];
-  const std::size_t out_w = out_shape[2];
-  const std::size_t in_c = input.shape()[0];
-  const std::size_t in_h = input.shape()[1];
-  const std::size_t in_w = input.shape()[2];
-  const std::size_t kh = weights.shape()[2];
-  const std::size_t kw = weights.shape()[3];
-
-  for (std::size_t o = 0; o < out_shape[0]; ++o) {
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float acc = bias[o];
-        for (std::size_t c = 0; c < in_c; ++c) {
-          for (std::size_t ky = 0; ky < kh; ++ky) {
-            const auto iy = static_cast<std::int64_t>(oy * spec.stride + ky) -
-                            static_cast<std::int64_t>(spec.pad);
-            if (iy < 0 || iy >= static_cast<std::int64_t>(in_h)) continue;
-            for (std::size_t kx = 0; kx < kw; ++kx) {
-              const auto ix =
-                  static_cast<std::int64_t>(ox * spec.stride + kx) -
-                  static_cast<std::int64_t>(spec.pad);
-              if (ix < 0 || ix >= static_cast<std::int64_t>(in_w)) continue;
-              const float x = input[(c * in_h + static_cast<std::size_t>(iy)) *
-                                        in_w +
-                                    static_cast<std::size_t>(ix)];
-              const float w =
-                  weights[((o * in_c + c) * kh + ky) * kw + kx];
-              const float p = exec.mul(x, w).value;
+/// layer-granular redundancy wraps. Virtual-dispatch variant; writes into
+/// the caller's buffer so attempts reuse their allocations.
+void unqualified_forward_generic(const detail::ConvPlan& plan,
+                                 const float* input, const float* weights,
+                                 const float* bias, Executor& exec,
+                                 ExecutionReport& report, float* out) {
+  for (std::size_t o = 0; o < plan.out_c; ++o) {
+    const float b = bias[o];
+    for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
+      const detail::TapRange ry = plan.row_taps[oy];
+      for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
+        const detail::TapRange rx = plan.col_taps[ox];
+        float acc = b;
+        for (std::size_t c = 0; c < plan.in_c; ++c) {
+          for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
+            const std::size_t iy = oy * plan.stride + ky - plan.pad;
+            const std::size_t in_base = (c * plan.in_h + iy) * plan.in_w;
+            const float* w_row =
+                weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
+            for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
+              const std::size_t ix = ox * plan.stride + kx - plan.pad;
+              const float p = exec.mul(input[in_base + ix], w_row[kx]).value;
               acc = exec.add(acc, p).value;
               report.logical_ops += 2;
             }
           }
         }
-        out[(o * out_h + oy) * out_w + ox] = acc;
+        out[(o * plan.out_h + oy) * plan.out_w + ox] = acc;
       }
     }
   }
-  return out;
 }
 
-bool tensors_bit_identical(const tensor::Tensor& a, const tensor::Tensor& b) {
-  if (a.shape() != b.shape()) return false;
-  for (std::size_t i = 0; i < a.count(); ++i) {
-    if (faultsim::float_bits(a[i]) != faultsim::float_bits(b[i])) {
-      return false;
-    }
-  }
-  return true;
+/// One unqualified pass through the statically dispatched inline kernel
+/// for the three library schemes.
+void unqualified_forward_inline(const detail::ConvPlan& plan,
+                                const float* input, const float* weights,
+                                const float* bias, Executor& exec,
+                                Scheme scheme, ExecutionReport& report,
+                                float* out) {
+  detail::with_concrete_executor(scheme, exec, [&](auto& concrete) {
+    detail::conv_unqualified_inline(plan, input, weights, bias, concrete,
+                                    report, out);
+  });
 }
 
-}  // namespace
-
-ReliableResult LayerDmrConv2d::forward(const tensor::Tensor& input,
-                                       Executor& exec) const {
-  ReliableResult result{tensor::Tensor(inner_.output_shape(input.shape())),
-                        {}};
+/// Shared layer-DMR control loop: `pass(buffer, report)` executes one
+/// unqualified layer attempt into the buffer, accounting into the
+/// result's report. Attempt buffers are allocated once and reused; the
+/// agreeing (or best-effort) attempt is moved into the result.
+template <typename Pass>
+ReliableResult layer_dmr_loop(const ReliableConv2d& inner,
+                              const tensor::Shape& out_shape,
+                              const std::string& scheme_label,
+                              const Pass& pass) {
+  ReliableResult result{tensor::Tensor(), {}};
   ExecutionReport& report = result.report;
   report.stage = "layer_dmr_conv2d";
-  report.scheme = "layer-dmr(" + exec.name() + ")";
+  report.scheme = scheme_label;
 
-  LeakyBucket bucket(inner_.policy().bucket_factor,
-                     inner_.policy().bucket_ceiling);
+  LeakyBucket bucket(inner.policy().bucket_factor,
+                     inner.policy().bucket_ceiling);
 
+  tensor::Tensor first(out_shape);
+  tensor::Tensor second(out_shape);
   for (std::uint32_t attempt = 0;; ++attempt) {
-    const tensor::Tensor first =
-        unqualified_forward(inner_, input, exec, report);
-    const tensor::Tensor second =
-        unqualified_forward(inner_, input, exec, report);
-    if (tensors_bit_identical(first, second)) {
+    pass(first, report);
+    pass(second, report);
+    if (tensor::bit_identical(first, second)) {
       bucket.record_success();
       if (attempt > 0) ++report.corrected_errors;
       ++report.commits;
-      result.output = first;
+      result.output = std::move(first);
       report.bucket_peak = bucket.peak();
       return result;
     }
     ++report.detected_errors;
     ++report.rollbacks;  // rollback distance: the entire layer
     if (bucket.record_error() ||
-        attempt + 1 >= inner_.policy().max_retries_per_op) {
+        attempt + 1 >= inner.policy().max_retries_per_op) {
       report.ok = false;
       report.bucket_peak = bucket.peak();
       report.bucket_exhausted = bucket.exhausted();
       report.failed_op_index = 0;
-      result.output = first;  // best effort; marked failed
+      result.output = std::move(first);  // best effort; marked failed
       return result;
     }
     ++report.retries;
   }
+}
+
+}  // namespace
+
+ReliableResult LayerDmrConv2d::forward(const tensor::Tensor& input,
+                                       Executor& exec) const {
+  const Scheme scheme = exec.scheme_kind();
+  if (scheme == Scheme::kCustom) return forward_generic(input, exec);
+
+  const tensor::Shape out_shape = inner_.output_shape(input.shape());
+  const detail::ConvPlan plan(out_shape, input.shape(),
+                              inner_.weights().shape(), inner_.spec().stride,
+                              inner_.spec().pad);
+  const float* in = input.data().data();
+  const float* wgt = inner_.weights().data().data();
+  const float* b = inner_.bias().data().data();
+
+  if (exec.guaranteed_fault_free()) {
+    // Both attempts are raw arithmetic on fault-free hardware: they agree
+    // by construction, so one computation serves as the committed layer
+    // and the second pass's bookkeeping is credited in closed form.
+    ReliableResult result{tensor::Tensor(out_shape), {}};
+    ExecutionReport& report = result.report;
+    report.stage = "layer_dmr_conv2d";
+    report.scheme = "layer-dmr(" + exec.name() + ")";
+    LeakyBucket bucket(inner_.policy().bucket_factor,
+                       inner_.policy().bucket_ceiling);
+    detail::conv_raw_compute(plan, in, wgt, b, result.output.data().data());
+    const std::uint64_t ops = 2 * (2 * plan.macs());  // two layer passes
+    report.logical_ops = ops;
+    exec.credit_fault_free_ops(ops);
+    bucket.record_success();
+    ++report.commits;
+    report.bucket_peak = bucket.peak();
+    return result;
+  }
+
+  return layer_dmr_loop(
+      inner_, out_shape, "layer-dmr(" + exec.name() + ")",
+      [&](tensor::Tensor& buffer, ExecutionReport& report) {
+        unqualified_forward_inline(plan, in, wgt, b, exec, scheme, report,
+                                   buffer.data().data());
+      });
+}
+
+ReliableResult LayerDmrConv2d::forward_generic(const tensor::Tensor& input,
+                                               Executor& exec) const {
+  const tensor::Shape out_shape = inner_.output_shape(input.shape());
+  const detail::ConvPlan plan(out_shape, input.shape(),
+                              inner_.weights().shape(), inner_.spec().stride,
+                              inner_.spec().pad);
+  const float* in = input.data().data();
+  const float* wgt = inner_.weights().data().data();
+  const float* b = inner_.bias().data().data();
+
+  return layer_dmr_loop(
+      inner_, out_shape, "layer-dmr(" + exec.name() + ")",
+      [&](tensor::Tensor& buffer, ExecutionReport& report) {
+        unqualified_forward_generic(plan, in, wgt, b, exec, report,
+                                    buffer.data().data());
+      });
 }
 
 }  // namespace hybridcnn::reliable

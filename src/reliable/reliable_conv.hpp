@@ -64,8 +64,24 @@ class ReliableConv2d {
   /// On bucket exhaustion the report has ok == false and the output is
   /// whatever had been committed up to the failed operation (explicitly
   /// bounded error propagation).
+  ///
+  /// Dispatches once per call on the executor's scheme and injector
+  /// state: the three library schemes run a devirtualized inner kernel
+  /// (with a raw-arithmetic fast path when the executor is
+  /// guaranteed_fault_free()); custom executors fall back to
+  /// forward_generic(). Outputs, reports, executor stats and injector
+  /// state are bit-identical across the paths — the contract
+  /// tests/test_static_dispatch.cpp enforces.
   [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
                                        Executor& exec) const;
+
+  /// The retained virtual-dispatch qualified path: every mul/add goes
+  /// through Executor's virtual interface, per-op retry lambda and
+  /// per-tap boundary checks. Semantically identical to forward(); kept
+  /// as the oracle the specialized kernels are diffed against and as the
+  /// path for out-of-library executor schemes.
+  [[nodiscard]] ReliableResult forward_generic(const tensor::Tensor& input,
+                                               Executor& exec) const;
 
   /// Golden reference: plain non-instrumented convolution (fault-free
   /// scalar arithmetic, same loop order so results are bit-comparable).
@@ -119,8 +135,16 @@ class LayerDmrConv2d {
 
   /// `exec` supplies the faulty raw arithmetic via a SimplexExecutor-style
   /// single execution; redundancy is applied at layer granularity.
+  /// Scheme-dispatched like ReliableConv2d::forward; the two attempt
+  /// buffers are allocated once and reused across retries, and the
+  /// agreeing attempt is moved (not copied) into the result.
   [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
                                        Executor& exec) const;
+
+  /// Virtual-dispatch oracle path (same buffer-reuse shape, raw ops go
+  /// through Executor's virtual mul/add).
+  [[nodiscard]] ReliableResult forward_generic(const tensor::Tensor& input,
+                                               Executor& exec) const;
 
  private:
   ReliableConv2d inner_;

@@ -5,8 +5,20 @@
 
 #include "reliable/checkpoint.hpp"
 #include "reliable/kernel_campaign.hpp"
+#include "reliable/static_dispatch.hpp"
 
 namespace hybridcnn::reliable {
+
+namespace {
+
+void validate_linear_input(const tensor::Tensor& input, std::size_t in_n) {
+  if (input.shape().rank() != 1 || input.shape()[0] != in_n) {
+    throw std::invalid_argument("ReliableLinear: input must be [" +
+                                std::to_string(in_n) + "]");
+  }
+}
+
+}  // namespace
 
 ReliableLinear::ReliableLinear(tensor::Tensor weights, tensor::Tensor bias,
                                ReliabilityPolicy policy)
@@ -23,12 +35,43 @@ ReliableLinear::ReliableLinear(tensor::Tensor weights, tensor::Tensor bias,
 
 ReliableResult ReliableLinear::forward(const tensor::Tensor& input,
                                        Executor& exec) const {
+  const Scheme scheme = exec.scheme_kind();
+  if (scheme == Scheme::kCustom) return forward_generic(input, exec);
+
   const std::size_t out_n = weights_.shape()[0];
   const std::size_t in_n = weights_.shape()[1];
-  if (input.shape().rank() != 1 || input.shape()[0] != in_n) {
-    throw std::invalid_argument("ReliableLinear: input must be [" +
-                                std::to_string(in_n) + "]");
+  validate_linear_input(input, in_n);
+
+  ReliableResult result{tensor::Tensor(tensor::Shape{out_n}), {}};
+  result.report.stage = "reliable_linear";
+  result.report.scheme = exec.name();
+
+  const float* in = input.data().data();
+  const float* wgt = weights_.data().data();
+  const float* b = bias_.data().data();
+
+  if (exec.guaranteed_fault_free()) {
+    detail::linear_raw_compute(out_n, in_n, in, wgt, b,
+                               result.output.data().data());
+    const std::uint64_t ops = 2 * static_cast<std::uint64_t>(out_n) * in_n;
+    result.report.logical_ops = ops;
+    result.report.commits = ops;
+    exec.credit_fault_free_ops(ops);
+    return result;
   }
+
+  detail::with_concrete_executor(scheme, exec, [&](auto& concrete) {
+    detail::linear_forward_qualified(out_n, in_n, in, wgt, b, policy_,
+                                     concrete, result);
+  });
+  return result;
+}
+
+ReliableResult ReliableLinear::forward_generic(const tensor::Tensor& input,
+                                               Executor& exec) const {
+  const std::size_t out_n = weights_.shape()[0];
+  const std::size_t in_n = weights_.shape()[1];
+  validate_linear_input(input, in_n);
 
   ReliableResult result{tensor::Tensor(tensor::Shape{out_n}), {}};
   ExecutionReport& report = result.report;
@@ -112,18 +155,11 @@ tensor::Tensor ReliableLinear::reference_forward(
     const tensor::Tensor& input) const {
   const std::size_t out_n = weights_.shape()[0];
   const std::size_t in_n = weights_.shape()[1];
-  if (input.shape().rank() != 1 || input.shape()[0] != in_n) {
-    throw std::invalid_argument("ReliableLinear: input must be [" +
-                                std::to_string(in_n) + "]");
-  }
+  validate_linear_input(input, in_n);
   tensor::Tensor out(tensor::Shape{out_n});
-  for (std::size_t o = 0; o < out_n; ++o) {
-    float acc = bias_[o];
-    for (std::size_t i = 0; i < in_n; ++i) {
-      acc = acc + input[i] * weights_[o * in_n + i];
-    }
-    out[o] = acc;
-  }
+  detail::linear_raw_compute(out_n, in_n, input.data().data(),
+                             weights_.data().data(), bias_.data().data(),
+                             out.data().data());
   return out;
 }
 

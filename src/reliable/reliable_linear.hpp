@@ -24,9 +24,15 @@ class ReliableLinear {
                  ReliabilityPolicy policy = {});
 
   /// Input must be rank-1 of length `in`. Same contract as
-  /// ReliableConv2d::forward.
+  /// ReliableConv2d::forward, including the once-per-call scheme dispatch
+  /// onto devirtualized kernels and the guaranteed-fault-free fast path.
   [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
                                        Executor& exec) const;
+
+  /// Retained virtual-dispatch qualified path (oracle / custom-scheme
+  /// fallback); see ReliableConv2d::forward_generic.
+  [[nodiscard]] ReliableResult forward_generic(const tensor::Tensor& input,
+                                               Executor& exec) const;
 
   /// Golden reference with identical operation order.
   [[nodiscard]] tensor::Tensor reference_forward(

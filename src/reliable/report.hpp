@@ -29,6 +29,12 @@ struct ExecutionReport {
   bool bucket_exhausted = false;       ///< persistent-failure latch
   std::int64_t failed_op_index = -1;   ///< flat op index at abort, -1 if none
 
+  /// Field-wise equality — the bit-identity contract's report half; the
+  /// static-dispatch equivalence checks compare through this so a new
+  /// field can never silently escape coverage.
+  friend bool operator==(const ExecutionReport&,
+                         const ExecutionReport&) = default;
+
   /// Merges counters of a sub-kernel report (ok is AND-ed, peaks max-ed).
   void merge(const ExecutionReport& other);
 

@@ -1,0 +1,429 @@
+// Statically dispatched qualified kernels.
+//
+// The generic reliable kernels (ReliableConv2d::forward_generic, ...) pay
+// two virtual Executor calls, a generic retry lambda, and per-tap padding
+// branches per scalar MAC — C++ dispatch overhead the paper's Table-1
+// numbers should not include. This header provides the devirtualized
+// machinery the public forward() entry points select once per call:
+//
+//   * valid_taps/tap_ranges — per-output-coordinate valid kernel-tap
+//     intervals, hoisting the iy/ix boundary branches out of the inner
+//     loop. The set and order of executed taps is exactly that of the
+//     generic loop's `continue` filtering.
+//   * QualifiedOpRunner — Algorithm 3's per-operation retry machinery
+//     split into an always-inline success fast path and a cold noinline
+//     slow path (rollback / retry / leaky-bucket escalation). Counter
+//     updates replicate the generic retry loop step for step.
+//   * conv_forward_qualified / linear_forward_qualified /
+//     conv_unqualified_inline — inner kernels templated over the concrete
+//     executor type (Simplex/Dmr/Tmr are final), so mul/add fold into the
+//     loop with no virtual calls or per-op lambdas surviving to codegen.
+//   * conv_raw_compute / linear_raw_compute — the fault-free fast path:
+//     plain scalar arithmetic in the identical operation order, used when
+//     the executor is guaranteed_fault_free(); callers then credit the
+//     elided bookkeeping in closed form (credit_fault_free_ops).
+//
+// Bit-identity contract: for every (input, executor, injector-seed), a
+// specialized kernel must produce the same output bits, the same
+// ExecutionReport fields, the same ExecutorStats/InjectorStats, and the
+// same injector cursor as the generic path. tests/test_static_dispatch.cpp
+// enforces this across schemes, fault kinds and geometries.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "reliable/checkpoint.hpp"
+#include "reliable/executor.hpp"
+#include "reliable/leaky_bucket.hpp"
+#include "reliable/report.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hybridcnn::reliable::detail {
+
+/// Half-open interval of kernel-tap indices that land in-bounds.
+struct TapRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive; begin == end when no tap is valid
+  [[nodiscard]] std::size_t count() const noexcept { return end - begin; }
+};
+
+/// Valid taps for output coordinate `o`: the k in [0, k_size) with
+/// 0 <= o*stride + k - pad < n. The interval is contiguous, so the
+/// per-tap boundary test of the generic loop reduces to two bounds.
+inline TapRange valid_taps(std::size_t o, std::size_t stride,
+                           std::size_t pad, std::size_t k_size,
+                           std::size_t n) noexcept {
+  const auto base =
+      static_cast<std::int64_t>(o * stride) - static_cast<std::int64_t>(pad);
+  std::int64_t lo = base < 0 ? -base : 0;
+  std::int64_t hi = static_cast<std::int64_t>(n) - base;
+  if (hi > static_cast<std::int64_t>(k_size)) {
+    hi = static_cast<std::int64_t>(k_size);
+  }
+  if (hi < lo) hi = lo;
+  return {static_cast<std::size_t>(lo), static_cast<std::size_t>(hi)};
+}
+
+/// Valid-tap intervals for every output coordinate along one axis.
+inline std::vector<TapRange> tap_ranges(std::size_t out_n, std::size_t stride,
+                                        std::size_t pad, std::size_t k_size,
+                                        std::size_t in_n) {
+  std::vector<TapRange> ranges(out_n);
+  for (std::size_t o = 0; o < out_n; ++o) {
+    ranges[o] = valid_taps(o, stride, pad, k_size, in_n);
+  }
+  return ranges;
+}
+
+/// Sum of valid-tap counts along one axis — the closed-form per-row
+/// arithmetic mac_count() builds on (O(out_n) instead of out_n * k_size).
+inline std::uint64_t total_valid_taps(std::size_t out_n, std::size_t stride,
+                                      std::size_t pad, std::size_t k_size,
+                                      std::size_t in_n) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t o = 0; o < out_n; ++o) {
+    total += valid_taps(o, stride, pad, k_size, in_n).count();
+  }
+  return total;
+}
+
+/// Invokes `fn` with `exec` downcast to its concrete scheme type, so the
+/// callee instantiates against the final class and the compiler inlines
+/// mul_inline/add_inline. The single place that maps Scheme to a type —
+/// every forward() dispatch site routes through here. Precondition:
+/// scheme != Scheme::kCustom (the public entry points filter custom
+/// executors onto the generic path first).
+template <typename Fn>
+void with_concrete_executor(Scheme scheme, Executor& exec, Fn&& fn) {
+  switch (scheme) {
+    case Scheme::kSimplex:
+      fn(static_cast<SimplexExecutor&>(exec));
+      return;
+    case Scheme::kDmr:
+      fn(static_cast<DmrExecutor&>(exec));
+      return;
+    case Scheme::kTmr:
+      fn(static_cast<TmrExecutor&>(exec));
+      return;
+    case Scheme::kCustom:
+      break;
+  }
+  assert(false && "with_concrete_executor: custom scheme has no concrete type");
+}
+
+/// Algorithm 3's per-operation envelope, split so the fault-free common
+/// case stays on a straight-line inlined path. run() evaluates the op
+/// once; qualified success commits and returns immediately. The first
+/// failure drops to the cold slow path, which replicates the generic
+/// retry loop exactly: rollback, leaky-bucket escalation, per-op retry
+/// cap, re-execution.
+template <typename Exec>
+struct QualifiedOpRunner {
+  Exec& exec;
+  ExecutionReport& report;
+  LeakyBucket& bucket;
+  std::uint32_t max_retries_per_op;
+
+  template <typename Op>
+  HYBRIDCNN_RELIABLE_ALWAYS_INLINE std::optional<float> run(
+      Op op, ScalarCheckpoint& cp) {
+    ++report.logical_ops;
+    const Qualified<float> q = op(exec);
+    if (q.ok) [[likely]] {
+      bucket.record_success();
+      cp.commit(q.value);
+      ++report.commits;
+      return q.value;
+    }
+    return run_slow(op, cp);
+  }
+
+  /// Cold path; returns std::nullopt when the error is persistent (bucket
+  /// ceiling or retry cap), mirroring the generic run_qualified loop from
+  /// its first detected error onwards.
+  template <typename Op>
+  HYBRIDCNN_RELIABLE_NOINLINE std::optional<float> run_slow(
+      Op op, ScalarCheckpoint& cp) {
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      ++report.detected_errors;
+      (void)cp.rollback();  // discard the unqualified value
+      ++report.rollbacks;
+      if (bucket.record_error()) {
+        return std::nullopt;  // persistent: ceiling reached
+      }
+      if (attempt + 1 >= max_retries_per_op) {
+        return std::nullopt;  // persistent: retry cap
+      }
+      ++report.retries;  // rollback distance: exactly one operation
+      const Qualified<float> q = op(exec);
+      if (q.ok) {
+        bucket.record_success();
+        ++report.corrected_errors;  // recovered on a retry
+        cp.commit(q.value);
+        ++report.commits;
+        return q.value;
+      }
+    }
+  }
+};
+
+/// Flat dimensions of a CHW-in / OIHW-weights convolution, plus the
+/// hoisted valid-tap intervals.
+struct ConvPlan {
+  std::size_t out_c = 0, out_h = 0, out_w = 0;
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t kh = 0, kw = 0;
+  std::size_t stride = 0, pad = 0;
+  std::vector<TapRange> row_taps;  ///< valid ky per oy
+  std::vector<TapRange> col_taps;  ///< valid kx per ox
+
+  ConvPlan(const tensor::Shape& out_shape, const tensor::Shape& in_shape,
+           const tensor::Shape& w_shape, std::size_t stride_,
+           std::size_t pad_)
+      : out_c(out_shape[0]), out_h(out_shape[1]), out_w(out_shape[2]),
+        in_c(in_shape[0]), in_h(in_shape[1]), in_w(in_shape[2]),
+        kh(w_shape[2]), kw(w_shape[3]), stride(stride_), pad(pad_),
+        row_taps(tap_ranges(out_h, stride, pad, kh, in_h)),
+        col_taps(tap_ranges(out_w, stride, pad, kw, in_w)) {}
+
+  /// Logical MACs of one forward: separable closed form.
+  [[nodiscard]] std::uint64_t macs() const noexcept {
+    std::uint64_t row_total = 0;
+    for (const TapRange& r : row_taps) row_total += r.count();
+    std::uint64_t col_total = 0;
+    for (const TapRange& r : col_taps) col_total += r.count();
+    return static_cast<std::uint64_t>(out_c) * in_c * row_total * col_total;
+  }
+};
+
+/// Qualified convolution inner kernel over a concrete executor type.
+/// Loop nest order (o, oy, ox, c, ky, kx), committed outputs, op_index
+/// accounting and abort semantics are exactly those of the generic path.
+template <typename Exec>
+void conv_forward_qualified(const ConvPlan& plan, const float* input,
+                            const float* weights, const float* bias,
+                            const ReliabilityPolicy& policy, Exec& exec,
+                            ReliableResult& result) {
+  ExecutionReport& report = result.report;
+  LeakyBucket bucket(policy.bucket_factor, policy.bucket_ceiling);
+  QualifiedOpRunner<Exec> runner{exec, report, bucket,
+                                 policy.max_retries_per_op};
+  float* out = result.output.data().data();
+
+  std::int64_t op_index = 0;
+  const auto abort_with = [&](std::int64_t failed_at) {
+    report.ok = false;
+    report.failed_op_index = failed_at;
+    report.bucket_peak = bucket.peak();
+    report.bucket_exhausted = bucket.exhausted();
+  };
+
+  for (std::size_t o = 0; o < plan.out_c; ++o) {
+    const float b = bias[o];
+    for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
+      const TapRange ry = plan.row_taps[oy];
+      for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
+        const TapRange rx = plan.col_taps[ox];
+        // The accumulator starts from the bias, loaded from (assumed
+        // ECC-protected) parameter memory; all arithmetic on it is
+        // qualified.
+        ScalarCheckpoint acc(b);
+        bool aborted = false;
+        for (std::size_t c = 0; c < plan.in_c && !aborted; ++c) {
+          for (std::size_t ky = ry.begin; ky < ry.end && !aborted; ++ky) {
+            // iy/ix are non-negative by construction of the tap ranges:
+            // ky >= pad - oy*stride, so the unsigned arithmetic is safe.
+            const std::size_t iy = oy * plan.stride + ky - plan.pad;
+            const std::size_t in_base = (c * plan.in_h + iy) * plan.in_w;
+            const float* w_row =
+                weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
+            for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
+              const std::size_t ix = ox * plan.stride + kx - plan.pad;
+              const float x = input[in_base + ix];
+              const float w = w_row[kx];
+
+              // Qualified multiply, checkpointed into a product cell.
+              ScalarCheckpoint prod(0.0f);
+              const auto p = runner.run(
+                  [x, w](Exec& e) { return e.mul_inline(x, w); }, prod);
+              ++op_index;
+              if (!p) {
+                abort_with(op_index - 1);
+                aborted = true;
+                break;
+              }
+
+              // Qualified accumulate onto the committed accumulator.
+              const float before = acc.value();
+              const float pv = *p;
+              const auto s = runner.run(
+                  [before, pv](Exec& e) { return e.add_inline(before, pv); },
+                  acc);
+              ++op_index;
+              if (!s) {
+                abort_with(op_index - 1);
+                aborted = true;
+                break;
+              }
+            }
+          }
+        }
+        out[(o * plan.out_h + oy) * plan.out_w + ox] = acc.value();
+        if (aborted) {
+          // Error propagation stops here: committed prefix is returned,
+          // the failure is reported, nothing downstream consumes
+          // unqualified values.
+          return;
+        }
+      }
+    }
+  }
+
+  report.bucket_peak = bucket.peak();
+  report.bucket_exhausted = bucket.exhausted();
+}
+
+/// Fault-free convolution fast path: plain scalar arithmetic in the exact
+/// qualified operation order (mul then accumulate, same loop nest), no
+/// per-op bookkeeping. Callers credit the elided counters in closed form.
+inline void conv_raw_compute(const ConvPlan& plan, const float* input,
+                             const float* weights, const float* bias,
+                             float* out) noexcept {
+  for (std::size_t o = 0; o < plan.out_c; ++o) {
+    const float b = bias[o];
+    for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
+      const TapRange ry = plan.row_taps[oy];
+      for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
+        const TapRange rx = plan.col_taps[ox];
+        float acc = b;
+        for (std::size_t c = 0; c < plan.in_c; ++c) {
+          for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
+            const std::size_t iy = oy * plan.stride + ky - plan.pad;
+            const std::size_t in_base = (c * plan.in_h + iy) * plan.in_w;
+            const float* w_row =
+                weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
+            for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
+              const std::size_t ix = ox * plan.stride + kx - plan.pad;
+              acc = acc + input[in_base + ix] * w_row[kx];
+            }
+          }
+        }
+        out[(o * plan.out_h + oy) * plan.out_w + ox] = acc;
+      }
+    }
+  }
+}
+
+/// Unqualified (raw-arithmetic) convolution pass through a concrete
+/// executor — the execution style layer-granular redundancy wraps.
+/// Writes into a caller-owned output buffer so retry attempts reuse
+/// their two comparison buffers instead of reallocating.
+template <typename Exec>
+void conv_unqualified_inline(const ConvPlan& plan, const float* input,
+                             const float* weights, const float* bias,
+                             Exec& exec, ExecutionReport& report,
+                             float* out) {
+  for (std::size_t o = 0; o < plan.out_c; ++o) {
+    const float b = bias[o];
+    for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
+      const TapRange ry = plan.row_taps[oy];
+      for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
+        const TapRange rx = plan.col_taps[ox];
+        float acc = b;
+        for (std::size_t c = 0; c < plan.in_c; ++c) {
+          for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
+            const std::size_t iy = oy * plan.stride + ky - plan.pad;
+            const std::size_t in_base = (c * plan.in_h + iy) * plan.in_w;
+            const float* w_row =
+                weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
+            for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
+              const std::size_t ix = ox * plan.stride + kx - plan.pad;
+              const float p =
+                  exec.mul_inline(input[in_base + ix], w_row[kx]).value;
+              acc = exec.add_inline(acc, p).value;
+              report.logical_ops += 2;
+            }
+          }
+        }
+        out[(o * plan.out_h + oy) * plan.out_w + ox] = acc;
+      }
+    }
+  }
+}
+
+/// Qualified dense inner kernel over a concrete executor type; the linear
+/// analogue of conv_forward_qualified.
+template <typename Exec>
+void linear_forward_qualified(std::size_t out_n, std::size_t in_n,
+                              const float* input, const float* weights,
+                              const float* bias,
+                              const ReliabilityPolicy& policy, Exec& exec,
+                              ReliableResult& result) {
+  ExecutionReport& report = result.report;
+  LeakyBucket bucket(policy.bucket_factor, policy.bucket_ceiling);
+  QualifiedOpRunner<Exec> runner{exec, report, bucket,
+                                 policy.max_retries_per_op};
+  float* out = result.output.data().data();
+
+  std::int64_t op_index = 0;
+  const auto abort_with = [&](std::size_t o, std::int64_t failed_at,
+                              float committed) {
+    report.ok = false;
+    report.failed_op_index = failed_at;
+    report.bucket_peak = bucket.peak();
+    report.bucket_exhausted = bucket.exhausted();
+    out[o] = committed;
+  };
+
+  for (std::size_t o = 0; o < out_n; ++o) {
+    ScalarCheckpoint acc(bias[o]);
+    const float* w_row = weights + o * in_n;
+    for (std::size_t i = 0; i < in_n; ++i) {
+      const float x = input[i];
+      const float w = w_row[i];
+
+      ScalarCheckpoint prod(0.0f);
+      const auto p =
+          runner.run([x, w](Exec& e) { return e.mul_inline(x, w); }, prod);
+      ++op_index;
+      if (!p) {
+        abort_with(o, op_index - 1, acc.value());
+        return;
+      }
+
+      const float before = acc.value();
+      const float pv = *p;
+      const auto s = runner.run(
+          [before, pv](Exec& e) { return e.add_inline(before, pv); }, acc);
+      ++op_index;
+      if (!s) {
+        abort_with(o, op_index - 1, acc.value());
+        return;
+      }
+    }
+    out[o] = acc.value();
+  }
+
+  report.bucket_peak = bucket.peak();
+  report.bucket_exhausted = bucket.exhausted();
+}
+
+/// Fault-free dense fast path, same operation order as the qualified
+/// kernel.
+inline void linear_raw_compute(std::size_t out_n, std::size_t in_n,
+                               const float* input, const float* weights,
+                               const float* bias, float* out) noexcept {
+  for (std::size_t o = 0; o < out_n; ++o) {
+    float acc = bias[o];
+    const float* w_row = weights + o * in_n;
+    for (std::size_t i = 0; i < in_n; ++i) {
+      acc = acc + input[i] * w_row[i];
+    }
+    out[o] = acc;
+  }
+}
+
+}  // namespace hybridcnn::reliable::detail

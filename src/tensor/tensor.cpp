@@ -1,6 +1,9 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace hybridcnn::tensor {
@@ -113,6 +116,17 @@ float Tensor::max_abs_diff(const Tensor& other) const {
     worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
   }
   return worst;
+}
+
+bool bit_identical(const Tensor& a, const Tensor& b) noexcept {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) !=
+        std::bit_cast<std::uint32_t>(b[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace hybridcnn::tensor

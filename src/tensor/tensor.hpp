@@ -92,4 +92,11 @@ class Tensor {
   std::vector<float> data_;
 };
 
+/// True iff both tensors have the same shape and bitwise-identical
+/// elements. Unlike operator== this treats two NaNs with the same
+/// payload as equal and +0/-0 as different: the reliability layer's
+/// redundancy comparisons and the static-dispatch equivalence checks
+/// compare what the hardware actually produced, not float equality.
+[[nodiscard]] bool bit_identical(const Tensor& a, const Tensor& b) noexcept;
+
 }  // namespace hybridcnn::tensor

@@ -21,7 +21,6 @@ HybridNetwork::HybridNetwork(std::unique_ptr<nn::Sequential> cnn,
       config_(std::move(config)),
       safety_(config_.critical_classes),
       qualifier_(config_.qualifier),
-      legacy_stream_(config_.fault_seed),
       scheme_id_(reliable::parse_scheme(config_.scheme)) {
   if (!cnn_) throw std::invalid_argument("HybridNetwork: null cnn");
   auto& conv1 = cnn_->layer_as<nn::Conv2d>(conv1_index_);
@@ -60,7 +59,7 @@ reliable::ReliableConv2d HybridNetwork::make_reliable_conv1() const {
 
 HybridNetwork::DependableStage HybridNetwork::dependable_stage(
     const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
-    std::uint64_t fault_seed) const {
+    std::uint64_t fault_seed, reliable::ReportMode mode) const {
   DependableStage stage;
 
   // --- Reliable (DCNN) stage: conv1 through qualified operators. -----
@@ -69,7 +68,7 @@ HybridNetwork::DependableStage HybridNetwork::dependable_stage(
   const std::unique_ptr<reliable::Executor> exec =
       reliable::make_executor(scheme_id_, injector);
 
-  reliable::ReliableResult rel = rconv.forward(image, *exec);
+  reliable::ReliableResult rel = rconv.forward(image, *exec, mode);
   stage.report = rel.report;
   stage.reliable_ok = rel.report.ok;
 
@@ -193,7 +192,7 @@ void validate_chw(std::size_t count, const tensor::Tensor* const* images,
 std::vector<HybridClassification> HybridNetwork::classify_indexed(
     std::size_t count, const tensor::Tensor* const* images,
     std::uint64_t seed_base, const std::uint64_t* seeds,
-    RemainderMode mode) const {
+    BatchOptions options) const {
   if (count == 0) return {};
 
   // One reliable kernel (weight copy) for the whole batch.
@@ -204,7 +203,7 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
 
   auto& ctx = runtime::ComputeContext::global();
   std::vector<HybridClassification> results(count);
-  if (mode == RemainderMode::kFanned) {
+  if (options.remainder == RemainderMode::kFanned) {
     // The whole per-image pipeline — reliable DCNN, qualifier and CNN
     // remainder — is a pure function of (weights, image, seed) now that
     // the remainder runs through the const inference path. One parallel
@@ -213,9 +212,9 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
     // parallel regions inside the reliable/vision/GEMM code serialise
     // inline.
     ctx.pool().parallel_for(0, count, [&](std::size_t i) {
-      results[i] =
-          run_remainder(dependable_stage(rconv, *images[i], seed_of(i)),
-                        ctx.workspace());
+      results[i] = run_remainder(
+          dependable_stage(rconv, *images[i], seed_of(i), options.report),
+          ctx.workspace());
     });
   } else {
     // Historical two-phase shape (kept for the benches): dependable
@@ -223,7 +222,8 @@ std::vector<HybridClassification> HybridNetwork::classify_indexed(
     // GEMMs then parallelise over tiles instead of images.
     std::vector<DependableStage> stages(count);
     ctx.pool().parallel_for(0, count, [&](std::size_t i) {
-      stages[i] = dependable_stage(rconv, *images[i], seed_of(i));
+      stages[i] =
+          dependable_stage(rconv, *images[i], seed_of(i), options.report);
     });
     for (std::size_t i = 0; i < count; ++i) {
       results[i] = run_remainder(std::move(stages[i]), ctx.workspace());
@@ -245,7 +245,7 @@ std::vector<HybridClassification> HybridNetwork::classify_batch(
   validate_chw(ptrs.size(), ptrs.data(), "classify_batch");
   const std::uint64_t seed_base = seeds.take_block(ptrs.size());
   return classify_indexed(ptrs.size(), ptrs.data(), seed_base, nullptr,
-                          options.remainder);
+                          options);
 }
 
 std::vector<HybridClassification> HybridNetwork::classify_repeat(
@@ -256,7 +256,7 @@ std::vector<HybridClassification> HybridNetwork::classify_repeat(
   std::vector<const tensor::Tensor*> ptrs(runs, &image);
   const std::uint64_t seed_base = seeds.take_block(runs);
   return classify_indexed(ptrs.size(), ptrs.data(), seed_base, nullptr,
-                          options.remainder);
+                          options);
 }
 
 faultsim::CampaignSummary HybridNetwork::classify_campaign(
@@ -281,33 +281,7 @@ std::vector<HybridClassification> HybridNetwork::classify_seeded(
         "HybridNetwork::classify_seeded: null images/seeds");
   }
   validate_chw(count, images, "classify_seeded");
-  return classify_indexed(count, images, /*seed_base=*/0, seeds,
-                          options.remainder);
-}
-
-// --- deprecated wrappers over the internal legacy stream. --------------
-
-HybridClassification HybridNetwork::classify(const tensor::Tensor& image) {
-  return std::as_const(*this).classify(image, legacy_stream_);
-}
-
-std::vector<HybridClassification> HybridNetwork::classify_batch(
-    const std::vector<tensor::Tensor>& images, RemainderMode mode) {
-  return std::as_const(*this).classify_batch(images, legacy_stream_,
-                                             BatchOptions{mode});
-}
-
-std::vector<HybridClassification> HybridNetwork::classify_repeat(
-    const tensor::Tensor& image, std::size_t runs) {
-  return std::as_const(*this).classify_repeat(image, runs, legacy_stream_);
-}
-
-faultsim::CampaignSummary HybridNetwork::classify_campaign(
-    const tensor::Tensor& image, std::size_t runs,
-    const std::function<faultsim::Outcome(
-        std::size_t, const HybridClassification&)>& judge) {
-  return std::as_const(*this).classify_campaign(image, runs, judge,
-                                                legacy_stream_);
+  return classify_indexed(count, images, /*seed_base=*/0, seeds, options);
 }
 
 HybridNetwork::CostSplit HybridNetwork::cost_split(

@@ -75,6 +75,12 @@ enum class RemainderMode {
 /// future knobs extend it without churning every signature again.
 struct BatchOptions {
   RemainderMode remainder = RemainderMode::kFanned;
+  /// Report detail of the reliable conv1 kernel. kStatsOnly skips per-op
+  /// ExecutionReport assembly — campaign sweeps that only consume the
+  /// CampaignSummary (outcome counts) pay no report cost; predicted
+  /// class, decision, qualifier verdict and conv1_report.ok are
+  /// unaffected, while the conv1_report counters stay at their defaults.
+  reliable::ReportMode report = reliable::ReportMode::kFull;
 };
 
 /// The hybrid (reliable/non-reliable) network.
@@ -150,35 +156,6 @@ class HybridNetwork {
     return FaultSeedStream(config_.fault_seed);
   }
 
-  // ------------------------------------- deprecated mutating wrappers
-  //
-  // The historical API serialised every caller behind one hidden seed
-  // cursor. Kept as thin wrappers over an internal legacy stream (same
-  // migration idiom as the nn layer wrappers) while call sites move to
-  // the const entry points above.
-
-  [[deprecated("pass a caller-owned core::FaultSeedStream: "
-               "classify(image, seeds)")]] [[nodiscard]]
-  HybridClassification classify(const tensor::Tensor& image);
-
-  [[deprecated("pass a caller-owned core::FaultSeedStream: "
-               "classify_batch(images, seeds, {mode})")]] [[nodiscard]]
-  std::vector<HybridClassification> classify_batch(
-      const std::vector<tensor::Tensor>& images,
-      RemainderMode mode = RemainderMode::kFanned);
-
-  [[deprecated("pass a caller-owned core::FaultSeedStream: "
-               "classify_repeat(image, runs, seeds)")]] [[nodiscard]]
-  std::vector<HybridClassification> classify_repeat(
-      const tensor::Tensor& image, std::size_t runs);
-
-  [[deprecated("pass a caller-owned core::FaultSeedStream: "
-               "classify_campaign(image, runs, judge, seeds)")]] [[nodiscard]]
-  faultsim::CampaignSummary classify_campaign(
-      const tensor::Tensor& image, std::size_t runs,
-      const std::function<faultsim::Outcome(
-          std::size_t, const HybridClassification&)>& judge);
-
   /// The wrapped CNN (e.g. for training or filter surgery).
   [[nodiscard]] nn::Sequential& cnn() noexcept { return *cnn_; }
   [[nodiscard]] const nn::Sequential& cnn() const noexcept { return *cnn_; }
@@ -216,7 +193,8 @@ class HybridNetwork {
   /// pool workers; scratch comes from the calling slot's arena.
   [[nodiscard]] DependableStage dependable_stage(
       const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
-      std::uint64_t fault_seed) const;
+      std::uint64_t fault_seed,
+      reliable::ReportMode mode = reliable::ReportMode::kFull) const;
 
   /// Non-reliable CNN remainder (const re-entrant inference over the
   /// shared model, calling-thread scratch from `ws`) + decision
@@ -230,14 +208,13 @@ class HybridNetwork {
   [[nodiscard]] std::vector<HybridClassification> classify_indexed(
       std::size_t count, const tensor::Tensor* const* images,
       std::uint64_t seed_base, const std::uint64_t* seeds,
-      RemainderMode mode) const;
+      BatchOptions options) const;
 
   std::unique_ptr<nn::Sequential> cnn_;
   std::size_t conv1_index_;
   HybridConfig config_;
   SafetyPolicy safety_;
   ShapeQualifier qualifier_;
-  FaultSeedStream legacy_stream_;  ///< backing the deprecated wrappers
   /// config_.scheme resolved once at construction (validating the name
   /// early), so per-image executor construction dispatches on the enum
   /// instead of re-parsing the scheme string on every classification.

@@ -32,8 +32,6 @@ class Conv2d final : public Layer {
                                LayerCache& cache) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
-  using Layer::forward;
 
   std::vector<Param> params() override;
   [[nodiscard]] std::string name() const override { return "conv2d"; }

@@ -30,7 +30,6 @@ class Dropout final : public Layer {
   using Layer::forward_train;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
 
   [[nodiscard]] std::string name() const override { return "dropout"; }
 

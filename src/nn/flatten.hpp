@@ -18,7 +18,6 @@ class Flatten final : public Layer {
   using Layer::forward_train;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
 
   [[nodiscard]] std::string name() const override { return "flatten"; }
 };

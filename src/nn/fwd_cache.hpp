@@ -7,8 +7,7 @@
 // objects: a training forward writes into the LayerCache it is handed,
 // backward reads the same cache, and the const inference path touches no
 // caches at all. Whoever owns the cache owns the micro-batch — Trainer
-// keeps one FwdCache per micro-batch slot, the deprecated mutating
-// Layer::forward wrappers keep one legacy cache per layer.
+// keeps one FwdCache per micro-batch slot.
 #pragma once
 
 #include <cstddef>

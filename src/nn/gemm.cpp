@@ -4,35 +4,25 @@
 #include <cstring>
 
 #include "nn/gemm_ref.hpp"
+#include "runtime/isa.hpp"
 #include "runtime/workspace.hpp"
 
 namespace hybridcnn::nn {
 
 namespace {
 
-// Register tile of the micro-kernel, chosen per ISA so the accumulator
-// block fills (but does not spill) the vector register file. GCC/clang
-// vector extensions compile to plain SIMD without intrinsics; other
-// compilers get a correct scalar fallback. GCC's auto-vectoriser does
-// not handle this loop nest (tested: ~10x slower), hence the explicit
-// vectors.
-#if defined(__GNUC__) && defined(__AVX512F__)
-constexpr std::size_t kVec = 16;   // one zmm
-constexpr std::size_t kMr = 8;     // 16 zmm accumulators
-constexpr std::size_t kNrVec = 2;  // 32 columns per tile
-typedef float Vf __attribute__((vector_size(64)));
-#define HYBRIDCNN_GEMM_SIMD 1
-#elif defined(__GNUC__) && defined(__AVX__)
-constexpr std::size_t kVec = 8;    // one ymm
-constexpr std::size_t kMr = 6;     // 12 ymm accumulators
-constexpr std::size_t kNrVec = 2;  // 16 columns per tile
-typedef float Vf __attribute__((vector_size(32)));
-#define HYBRIDCNN_GEMM_SIMD 1
-#elif defined(__GNUC__)
-constexpr std::size_t kVec = 4;    // one xmm / NEON quad
-constexpr std::size_t kMr = 4;     // 8 accumulators
-constexpr std::size_t kNrVec = 2;  // 8 columns per tile
-typedef float Vf __attribute__((vector_size(16)));
+// Register tile of the micro-kernel, sized from the shared ISA ladder
+// (runtime/isa.hpp) so the accumulator block fills (but does not spill)
+// the vector register file: 16 zmm accumulators on AVX-512 (8x2 vectors),
+// 12 ymm on AVX (6x2), 8 on 128-bit targets (4x2). Other compilers get a
+// correct scalar fallback with the 128-bit tile shape. GCC's
+// auto-vectoriser does not handle this loop nest (tested: ~10x slower),
+// hence the explicit vectors.
+#ifdef HYBRIDCNN_ISA_SIMD
+using Vf = runtime::isa::VecF;
+constexpr std::size_t kVec = runtime::isa::kFloatLanes;
+constexpr std::size_t kMr = kVec == 16 ? 8 : kVec == 8 ? 6 : 4;
+constexpr std::size_t kNrVec = 2;
 #define HYBRIDCNN_GEMM_SIMD 1
 #else
 constexpr std::size_t kVec = 4;
@@ -48,17 +38,7 @@ constexpr std::size_t kKc = 256;
 constexpr std::size_t kSmallProblem = 48 * 48 * 48;
 
 #ifdef HYBRIDCNN_GEMM_SIMD
-inline Vf splat(float x) noexcept {
-  Vf v;
-  for (std::size_t l = 0; l < kVec; ++l) v[l] = x;
-  return v;
-}
-
-inline Vf load(const float* p) noexcept {
-  Vf v;
-  __builtin_memcpy(&v, p, sizeof(Vf));  // unaligned vector load
-  return v;
-}
+using runtime::isa::splat;
 #endif
 
 /// Element accessor for a logical [rows x cols] matrix that may be stored
@@ -106,7 +86,7 @@ void micro_kernel(const float* __restrict ap, const float* __restrict bp,
   for (std::size_t p = 0; p < kc; ++p) {
     Vf b[kNrVec];
     for (std::size_t q = 0; q < kNrVec; ++q) {
-      b[q] = load(bp + p * kNr + q * kVec);
+      b[q] = runtime::isa::loadu(bp + p * kNr + q * kVec);
     }
     for (std::size_t i = 0; i < kMr; ++i) {
       const Vf av = splat(ap[p * kMr + i]);
@@ -115,7 +95,7 @@ void micro_kernel(const float* __restrict ap, const float* __restrict bp,
   }
   for (std::size_t i = 0; i < kMr; ++i) {
     for (std::size_t q = 0; q < kNrVec; ++q) {
-      __builtin_memcpy(acc + i * kNr + q * kVec, &a[i][q], sizeof(Vf));
+      runtime::isa::storeu(acc + i * kNr + q * kVec, a[i][q]);
     }
   }
 }

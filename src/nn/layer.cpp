@@ -1,9 +1,6 @@
 #include "nn/layer.hpp"
 
 #include <stdexcept>
-#include <utility>
-
-#include "runtime/workspace.hpp"
 
 namespace hybridcnn::nn {
 
@@ -11,22 +8,6 @@ tensor::Tensor Layer::backward(const tensor::Tensor& /*grad_output*/,
                                LayerCache& /*cache*/) {
   throw std::logic_error("backward not implemented for layer '" + name() +
                          "'");
-}
-
-tensor::Tensor Layer::forward(const tensor::Tensor& input) {
-  if (training_) return forward_train(input, legacy_cache_);
-  legacy_cache_.clear();
-  return infer(input, runtime::thread_scratch());
-}
-
-tensor::Tensor Layer::forward(tensor::Tensor&& input) {
-  if (training_) return forward_train(std::move(input), legacy_cache_);
-  legacy_cache_.clear();
-  return infer(std::move(input), runtime::thread_scratch());
-}
-
-tensor::Tensor Layer::backward(const tensor::Tensor& grad_output) {
-  return backward(grad_output, legacy_cache_);
 }
 
 void Layer::zero_grad() {

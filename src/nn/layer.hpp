@@ -20,9 +20,8 @@
 //     the same cache. One cache serves one forward/backward pair —
 //     concurrent micro-batches use one cache context each.
 //
-// The historical mutating forward()/backward() signatures remain as thin
-// deprecated wrappers over those paths (each layer keeps one legacy
-// cache), so call sites can migrate incrementally.
+// These are the only two forward paths: the historical mutating
+// forward()/backward() wrappers (per-layer hidden cache) are gone.
 #pragma once
 
 #include <string>
@@ -93,17 +92,6 @@ class Layer {
   virtual tensor::Tensor backward(const tensor::Tensor& grad_output,
                                   LayerCache& cache);
 
-  // ------------------------------------- deprecated mutating wrappers
-  // Thin shims over the paths above, kept while call sites migrate.
-  // Routed through one per-layer legacy cache: training-mode forward
-  // records into it, backward consumes it, inference-mode forward clears
-  // it (a stale backward must fail loudly, not silently reuse old
-  // state).
-
-  tensor::Tensor forward(const tensor::Tensor& input);
-  tensor::Tensor forward(tensor::Tensor&& input);
-  tensor::Tensor backward(const tensor::Tensor& grad_output);
-
   // ----------------------------------------------------- parameters etc.
 
   /// Parameters with their gradients; empty for stateless layers.
@@ -112,8 +100,8 @@ class Layer {
   /// Zeroes all parameter gradients.
   void zero_grad();
 
-  /// Toggles which path the deprecated forward() wrapper takes (and
-  /// dropout masking under it).
+  /// Toggles training-mode behaviour (dropout masking under
+  /// forward_train).
   virtual void set_training(bool training) { training_ = training; }
   [[nodiscard]] bool training() const noexcept { return training_; }
 
@@ -125,13 +113,6 @@ class Layer {
 
  protected:
   bool training_ = false;
-
-  /// Cache backing the deprecated wrappers — for derived-class wrappers
-  /// that chain partially (Sequential::forward_from/forward_until).
-  [[nodiscard]] LayerCache& legacy_cache() noexcept { return legacy_cache_; }
-
- private:
-  LayerCache legacy_cache_;  // backing state of the deprecated wrappers
 };
 
 }  // namespace hybridcnn::nn

@@ -20,7 +20,6 @@ class Linear final : public Layer {
                                LayerCache& cache) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
 
   std::vector<Param> params() override;
   [[nodiscard]] std::string name() const override { return "linear"; }

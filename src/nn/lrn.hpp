@@ -22,7 +22,6 @@ class Lrn final : public Layer {
                                LayerCache& cache) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
 
   [[nodiscard]] std::string name() const override { return "lrn"; }
 

@@ -20,7 +20,6 @@ class ReLU final : public Layer {
                                LayerCache& cache) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
 
   [[nodiscard]] std::string name() const override { return "relu"; }
 };

@@ -3,8 +3,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "runtime/workspace.hpp"
-
 namespace hybridcnn::nn {
 
 void Sequential::append(std::unique_ptr<Layer> layer) {
@@ -105,46 +103,6 @@ tensor::Tensor Sequential::forward_train(tensor::Tensor&& input,
 tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output,
                                     LayerCache& cache) {
   return backward(grad_output, nested_ctx(cache));
-}
-
-// -------------------------------------- deprecated mutating wrappers
-
-tensor::Tensor Sequential::forward_from(std::size_t start,
-                                        const tensor::Tensor& input) {
-  if (start > layers_.size()) {
-    throw std::out_of_range("Sequential::forward_from");
-  }
-  if (!training_) {
-    // Same contract as Layer::forward: an inference-mode forward drops
-    // the legacy training state so a stale backward fails loudly.
-    legacy_cache().clear();
-    return infer_from(start, input, runtime::thread_scratch());
-  }
-  if (start == layers_.size()) return input;
-  FwdCache& ctx = nested_ctx(legacy_cache());
-  tensor::Tensor x = layers_[start]->forward_train(input, ctx.slot(start));
-  for (std::size_t i = start + 1; i < layers_.size(); ++i) {
-    x = layers_[i]->forward_train(std::move(x), ctx.slot(i));
-  }
-  return x;
-}
-
-tensor::Tensor Sequential::forward_until(std::size_t stop,
-                                         const tensor::Tensor& input) {
-  if (stop > layers_.size()) {
-    throw std::out_of_range("Sequential::forward_until");
-  }
-  if (!training_) {
-    legacy_cache().clear();
-    return infer_until(stop, input, runtime::thread_scratch());
-  }
-  if (stop == 0) return input;
-  FwdCache& ctx = nested_ctx(legacy_cache());
-  tensor::Tensor x = layers_[0]->forward_train(input, ctx.slot(0));
-  for (std::size_t i = 1; i < stop; ++i) {
-    x = layers_[i]->forward_train(std::move(x), ctx.slot(i));
-  }
-  return x;
 }
 
 // ------------------------------------------------------------ plumbing

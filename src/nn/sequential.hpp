@@ -74,16 +74,6 @@ class Sequential final : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
 
-  // ------------------------------------- deprecated mutating wrappers
-
-  using Layer::backward;
-  using Layer::forward;
-
-  /// Deprecated: forward_from/forward_until over the legacy cache (or the
-  /// re-entrant infer path when not in training mode).
-  tensor::Tensor forward_from(std::size_t start, const tensor::Tensor& input);
-  tensor::Tensor forward_until(std::size_t stop, const tensor::Tensor& input);
-
   // ----------------------------------------------------------- plumbing
 
   std::vector<Param> params() override;

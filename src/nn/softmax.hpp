@@ -19,7 +19,6 @@ class Softmax final : public Layer {
   using Layer::forward_train;
   tensor::Tensor backward(const tensor::Tensor& grad_output,
                           LayerCache& cache) override;
-  using Layer::backward;
 
   [[nodiscard]] std::string name() const override { return "softmax"; }
 };

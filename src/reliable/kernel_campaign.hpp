@@ -22,12 +22,12 @@ faultsim::CampaignSummary kernel_campaign(
     const std::function<std::unique_ptr<Executor>(std::size_t)>& make_exec,
     const std::function<faultsim::Outcome(std::size_t, const ReliableResult&,
                                           Executor&)>& classify,
-    runtime::ComputeContext& ctx) {
+    ReportMode mode, runtime::ComputeContext& ctx) {
   return faultsim::run_campaign(
       runs,
       [&](std::size_t run) {
         const auto exec = make_exec(run);
-        const ReliableResult result = kernel.forward(input, *exec);
+        const ReliableResult result = kernel.forward(input, *exec, mode);
         return classify(run, result, *exec);
       },
       ctx);

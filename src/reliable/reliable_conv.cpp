@@ -74,10 +74,12 @@ std::uint64_t ReliableConv2d::mac_count(const tensor::Shape& in) const {
 }
 
 ReliableResult ReliableConv2d::forward(const tensor::Tensor& input,
-                                       Executor& exec) const {
+                                       Executor& exec,
+                                       ReportMode mode) const {
   const Scheme scheme = exec.scheme_kind();
   if (scheme == Scheme::kCustom) {
-    // Unknown executor subclass: only the virtual interface is available.
+    // Unknown executor subclass: only the virtual interface is available
+    // (and only the full-report oracle path exists for it).
     return forward_generic(input, exec);
   }
 
@@ -94,19 +96,27 @@ ReliableResult ReliableConv2d::forward(const tensor::Tensor& input,
 
   if (exec.guaranteed_fault_free()) {
     // Golden fast path: no operation can fail, so the qualified schedule
-    // collapses to raw arithmetic in the identical order; the per-op
+    // collapses to raw arithmetic in the identical order (vectorized
+    // across output pixels where the target allows); the per-op
     // bookkeeping is credited in closed form.
     detail::conv_raw_compute(plan, in, wgt, b, result.output.data().data());
     const std::uint64_t ops = 2 * plan.macs();  // mul + accumulate per MAC
-    result.report.logical_ops = ops;
-    result.report.commits = ops;
+    if (mode == ReportMode::kFull) {
+      result.report.logical_ops = ops;
+      result.report.commits = ops;
+    }
     exec.credit_fault_free_ops(ops);
     return result;
   }
 
   detail::with_concrete_executor(scheme, exec, [&](auto& concrete) {
-    detail::conv_forward_qualified(plan, in, wgt, b, policy_, concrete,
-                                   result);
+    if (mode == ReportMode::kFull) {
+      detail::conv_forward_qualified<true>(plan, in, wgt, b, policy_,
+                                           concrete, result);
+    } else {
+      detail::conv_forward_qualified<false>(plan, in, wgt, b, policy_,
+                                            concrete, result);
+    }
   });
   return result;
 }
@@ -239,9 +249,9 @@ faultsim::CampaignSummary ReliableConv2d::forward_campaign(
     const std::function<std::unique_ptr<Executor>(std::size_t)>& make_exec,
     const std::function<faultsim::Outcome(std::size_t, const ReliableResult&,
                                           Executor&)>& classify,
-    runtime::ComputeContext& ctx) const {
+    ReportMode mode, runtime::ComputeContext& ctx) const {
   return detail::kernel_campaign(*this, input, runs, make_exec, classify,
-                                 ctx);
+                                 mode, ctx);
 }
 
 tensor::Tensor ReliableConv2d::reference_forward(

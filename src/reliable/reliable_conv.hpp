@@ -67,13 +67,22 @@ class ReliableConv2d {
   ///
   /// Dispatches once per call on the executor's scheme and injector
   /// state: the three library schemes run a devirtualized inner kernel
-  /// (with a raw-arithmetic fast path when the executor is
+  /// (with a raw-arithmetic fast path — SIMD pixel lanes where the
+  /// target supports them — when the executor is
   /// guaranteed_fault_free()); custom executors fall back to
   /// forward_generic(). Outputs, reports, executor stats and injector
   /// state are bit-identical across the paths — the contract
-  /// tests/test_static_dispatch.cpp enforces.
-  [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
-                                       Executor& exec) const;
+  /// tests/test_static_dispatch.cpp and tests/test_simd_dispatch.cpp
+  /// enforce.
+  ///
+  /// `mode` selects the report detail (see reliable::ReportMode):
+  /// kStatsOnly skips the per-op report counters for campaign sweeps
+  /// that only consume the summary; output bits, report.ok and all
+  /// executor/injector statistics are unaffected. Custom executors
+  /// always produce a full report.
+  [[nodiscard]] ReliableResult forward(
+      const tensor::Tensor& input, Executor& exec,
+      ReportMode mode = ReportMode::kFull) const;
 
   /// The retained virtual-dispatch qualified path: every mul/add goes
   /// through Executor's virtual interface, per-op retry lambda and
@@ -94,12 +103,15 @@ class ReliableConv2d {
   /// from any worker, in any order); `classify(run, result, exec)` maps
   /// the finished run to a dependability outcome. Outcomes are reduced in
   /// run order, so the summary is bit-identical at every thread count.
+  /// `mode` is forwarded to every per-run forward(); kStatsOnly sweeps
+  /// produce the identical summary without per-op report assembly.
   [[nodiscard]] faultsim::CampaignSummary forward_campaign(
       const tensor::Tensor& input, std::size_t runs,
       const std::function<std::unique_ptr<Executor>(std::size_t)>& make_exec,
       const std::function<faultsim::Outcome(std::size_t,
                                             const ReliableResult&, Executor&)>&
           classify,
+      ReportMode mode = ReportMode::kFull,
       runtime::ComputeContext& ctx =
           runtime::ComputeContext::global()) const;
 

@@ -34,7 +34,8 @@ ReliableLinear::ReliableLinear(tensor::Tensor weights, tensor::Tensor bias,
 }
 
 ReliableResult ReliableLinear::forward(const tensor::Tensor& input,
-                                       Executor& exec) const {
+                                       Executor& exec,
+                                       ReportMode mode) const {
   const Scheme scheme = exec.scheme_kind();
   if (scheme == Scheme::kCustom) return forward_generic(input, exec);
 
@@ -54,15 +55,22 @@ ReliableResult ReliableLinear::forward(const tensor::Tensor& input,
     detail::linear_raw_compute(out_n, in_n, in, wgt, b,
                                result.output.data().data());
     const std::uint64_t ops = 2 * static_cast<std::uint64_t>(out_n) * in_n;
-    result.report.logical_ops = ops;
-    result.report.commits = ops;
+    if (mode == ReportMode::kFull) {
+      result.report.logical_ops = ops;
+      result.report.commits = ops;
+    }
     exec.credit_fault_free_ops(ops);
     return result;
   }
 
   detail::with_concrete_executor(scheme, exec, [&](auto& concrete) {
-    detail::linear_forward_qualified(out_n, in_n, in, wgt, b, policy_,
-                                     concrete, result);
+    if (mode == ReportMode::kFull) {
+      detail::linear_forward_qualified<true>(out_n, in_n, in, wgt, b,
+                                             policy_, concrete, result);
+    } else {
+      detail::linear_forward_qualified<false>(out_n, in_n, in, wgt, b,
+                                              policy_, concrete, result);
+    }
   });
   return result;
 }
@@ -146,9 +154,9 @@ faultsim::CampaignSummary ReliableLinear::forward_campaign(
     const std::function<std::unique_ptr<Executor>(std::size_t)>& make_exec,
     const std::function<faultsim::Outcome(std::size_t, const ReliableResult&,
                                           Executor&)>& classify,
-    runtime::ComputeContext& ctx) const {
+    ReportMode mode, runtime::ComputeContext& ctx) const {
   return detail::kernel_campaign(*this, input, runs, make_exec, classify,
-                                 ctx);
+                                 mode, ctx);
 }
 
 tensor::Tensor ReliableLinear::reference_forward(

@@ -25,9 +25,12 @@ class ReliableLinear {
 
   /// Input must be rank-1 of length `in`. Same contract as
   /// ReliableConv2d::forward, including the once-per-call scheme dispatch
-  /// onto devirtualized kernels and the guaranteed-fault-free fast path.
-  [[nodiscard]] ReliableResult forward(const tensor::Tensor& input,
-                                       Executor& exec) const;
+  /// onto devirtualized kernels, the guaranteed-fault-free fast path
+  /// (vectorized across output neurons where the target allows) and the
+  /// ReportMode::kStatsOnly variant.
+  [[nodiscard]] ReliableResult forward(
+      const tensor::Tensor& input, Executor& exec,
+      ReportMode mode = ReportMode::kFull) const;
 
   /// Retained virtual-dispatch qualified path (oracle / custom-scheme
   /// fallback); see ReliableConv2d::forward_generic.
@@ -46,6 +49,7 @@ class ReliableLinear {
       const std::function<faultsim::Outcome(std::size_t,
                                             const ReliableResult&, Executor&)>&
           classify,
+      ReportMode mode = ReportMode::kFull,
       runtime::ComputeContext& ctx =
           runtime::ComputeContext::global()) const;
 

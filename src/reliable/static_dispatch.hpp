@@ -19,15 +19,31 @@
 //     executor type (Simplex/Dmr/Tmr are final), so mul/add fold into the
 //     loop with no virtual calls or per-op lambdas surviving to codegen.
 //   * conv_raw_compute / linear_raw_compute — the fault-free fast path:
-//     plain scalar arithmetic in the identical operation order, used when
-//     the executor is guaranteed_fault_free(); callers then credit the
-//     elided bookkeeping in closed form (credit_fault_free_ops).
+//     raw arithmetic in the identical operation order, used when the
+//     executor is guaranteed_fault_free(); callers then credit the
+//     elided bookkeeping in closed form (credit_fault_free_ops). On
+//     SIMD-capable targets (runtime/isa.hpp) the fast path vectorizes
+//     across *independent output pixels* — kFloatLanes interior outputs
+//     per vector, each lane running the exact scalar reduction order
+//     over (c, ky, kx) — never across the reduction itself, so the
+//     vector kernel is bit-identical to the scalar loop by construction.
+//     Border pixels (partial tap ranges) and lane remainders stay on
+//     the scalar loop. The runtime kill-switch HYBRIDCNN_RELIABLE_SIMD=0
+//     (or set_reliable_simd_enabled(false)) forces the scalar fast path
+//     for debugging and A/B benching.
+//
+// The qualified kernels are additionally templated on a WithReport flag:
+// ReportMode::kStatsOnly instantiations skip every per-op
+// ExecutionReport counter update (campaign sweeps that only consume the
+// CampaignSummary pay no report-assembly cost) while preserving output
+// bits, abort behaviour, report.ok and all executor/injector statistics.
 //
 // Bit-identity contract: for every (input, executor, injector-seed), a
 // specialized kernel must produce the same output bits, the same
 // ExecutionReport fields, the same ExecutorStats/InjectorStats, and the
 // same injector cursor as the generic path. tests/test_static_dispatch.cpp
-// enforces this across schemes, fault kinds and geometries.
+// and tests/test_simd_dispatch.cpp enforce this across schemes, fault
+// kinds, geometries and report modes.
 #pragma once
 
 #include <cassert>
@@ -38,10 +54,20 @@
 #include "reliable/checkpoint.hpp"
 #include "reliable/executor.hpp"
 #include "reliable/leaky_bucket.hpp"
+#include "reliable/reliable_conv.hpp"
 #include "reliable/report.hpp"
+#include "runtime/isa.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hybridcnn::reliable::detail {
+
+/// Whether the fault-free fast path may use the vectorized kernels.
+/// Initialised once from the environment (HYBRIDCNN_RELIABLE_SIMD=0
+/// disables; anything else — including unset — enables); tests and
+/// benches flip it at runtime for A/B comparisons. On targets without
+/// HYBRIDCNN_ISA_SIMD the flag is ignored — only the scalar path exists.
+[[nodiscard]] bool reliable_simd_enabled() noexcept;
+void set_reliable_simd_enabled(bool enabled) noexcept;
 
 /// Half-open interval of kernel-tap indices that land in-bounds.
 struct TapRange {
@@ -120,7 +146,12 @@ void with_concrete_executor(Scheme scheme, Executor& exec, Fn&& fn) {
 /// failure drops to the cold slow path, which replicates the generic
 /// retry loop exactly: rollback, leaky-bucket escalation, per-op retry
 /// cap, re-execution.
-template <typename Exec>
+///
+/// WithReport=false (ReportMode::kStatsOnly) compiles out every report
+/// counter update; control flow, checkpoint traffic and executor calls
+/// are untouched, so outputs and executor/injector statistics stay
+/// bit-identical to the full-report instantiation.
+template <typename Exec, bool WithReport = true>
 struct QualifiedOpRunner {
   Exec& exec;
   ExecutionReport& report;
@@ -130,12 +161,12 @@ struct QualifiedOpRunner {
   template <typename Op>
   HYBRIDCNN_RELIABLE_ALWAYS_INLINE std::optional<float> run(
       Op op, ScalarCheckpoint& cp) {
-    ++report.logical_ops;
+    if constexpr (WithReport) ++report.logical_ops;
     const Qualified<float> q = op(exec);
     if (q.ok) [[likely]] {
       bucket.record_success();
       cp.commit(q.value);
-      ++report.commits;
+      if constexpr (WithReport) ++report.commits;
       return q.value;
     }
     return run_slow(op, cp);
@@ -148,22 +179,26 @@ struct QualifiedOpRunner {
   HYBRIDCNN_RELIABLE_NOINLINE std::optional<float> run_slow(
       Op op, ScalarCheckpoint& cp) {
     for (std::uint32_t attempt = 0;; ++attempt) {
-      ++report.detected_errors;
+      if constexpr (WithReport) ++report.detected_errors;
       (void)cp.rollback();  // discard the unqualified value
-      ++report.rollbacks;
+      if constexpr (WithReport) ++report.rollbacks;
       if (bucket.record_error()) {
         return std::nullopt;  // persistent: ceiling reached
       }
       if (attempt + 1 >= max_retries_per_op) {
         return std::nullopt;  // persistent: retry cap
       }
-      ++report.retries;  // rollback distance: exactly one operation
+      if constexpr (WithReport) {
+        ++report.retries;  // rollback distance: exactly one operation
+      }
       const Qualified<float> q = op(exec);
       if (q.ok) {
         bucket.record_success();
-        ++report.corrected_errors;  // recovered on a retry
+        if constexpr (WithReport) {
+          ++report.corrected_errors;  // recovered on a retry
+        }
         cp.commit(q.value);
-        ++report.commits;
+        if constexpr (WithReport) ++report.commits;
         return q.value;
       }
     }
@@ -179,6 +214,14 @@ struct ConvPlan {
   std::size_t stride = 0, pad = 0;
   std::vector<TapRange> row_taps;  ///< valid ky per oy
   std::vector<TapRange> col_taps;  ///< valid kx per ox
+  /// Interior ox span: the contiguous [interior_x_begin, interior_x_end)
+  /// where col_taps[ox] is the full [0, kw) — every kx tap of every lane
+  /// lands in-bounds, which is what lets the SIMD fast path run whole
+  /// kx rows without per-tap boundary tests. Empty (begin == end == 0)
+  /// when no ox has a full tap range. Rows need no such split: lanes
+  /// within one vector share oy, so any row tap range works.
+  std::size_t interior_x_begin = 0;
+  std::size_t interior_x_end = 0;
 
   ConvPlan(const tensor::Shape& out_shape, const tensor::Shape& in_shape,
            const tensor::Shape& w_shape, std::size_t stride_,
@@ -187,7 +230,22 @@ struct ConvPlan {
         in_c(in_shape[0]), in_h(in_shape[1]), in_w(in_shape[2]),
         kh(w_shape[2]), kw(w_shape[3]), stride(stride_), pad(pad_),
         row_taps(tap_ranges(out_h, stride, pad, kh, in_h)),
-        col_taps(tap_ranges(out_w, stride, pad, kw, in_w)) {}
+        col_taps(tap_ranges(out_w, stride, pad, kw, in_w)) {
+    // Full tap ranges form one contiguous run (begin hits 0 once ox*stride
+    // >= pad and stays there; end drops below kw only near the right
+    // border), so a single scan finds the interior.
+    while (interior_x_begin < out_w &&
+           !(col_taps[interior_x_begin].begin == 0 &&
+             col_taps[interior_x_begin].end == kw)) {
+      ++interior_x_begin;
+    }
+    interior_x_end = interior_x_begin;
+    while (interior_x_end < out_w && col_taps[interior_x_end].begin == 0 &&
+           col_taps[interior_x_end].end == kw) {
+      ++interior_x_end;
+    }
+    if (interior_x_begin == out_w) interior_x_begin = interior_x_end = 0;
+  }
 
   /// Logical MACs of one forward: separable closed form.
   [[nodiscard]] std::uint64_t macs() const noexcept {
@@ -202,23 +260,29 @@ struct ConvPlan {
 /// Qualified convolution inner kernel over a concrete executor type.
 /// Loop nest order (o, oy, ox, c, ky, kx), committed outputs, op_index
 /// accounting and abort semantics are exactly those of the generic path.
-template <typename Exec>
+/// WithReport=false elides all report counters (ok is still latched on
+/// abort); see QualifiedOpRunner.
+template <bool WithReport = true, typename Exec>
 void conv_forward_qualified(const ConvPlan& plan, const float* input,
                             const float* weights, const float* bias,
                             const ReliabilityPolicy& policy, Exec& exec,
                             ReliableResult& result) {
   ExecutionReport& report = result.report;
   LeakyBucket bucket(policy.bucket_factor, policy.bucket_ceiling);
-  QualifiedOpRunner<Exec> runner{exec, report, bucket,
-                                 policy.max_retries_per_op};
+  QualifiedOpRunner<Exec, WithReport> runner{exec, report, bucket,
+                                             policy.max_retries_per_op};
   float* out = result.output.data().data();
 
   std::int64_t op_index = 0;
   const auto abort_with = [&](std::int64_t failed_at) {
     report.ok = false;
-    report.failed_op_index = failed_at;
-    report.bucket_peak = bucket.peak();
-    report.bucket_exhausted = bucket.exhausted();
+    if constexpr (WithReport) {
+      report.failed_op_index = failed_at;
+      report.bucket_peak = bucket.peak();
+      report.bucket_exhausted = bucket.exhausted();
+    } else {
+      (void)failed_at;
+    }
   };
 
   for (std::size_t o = 0; o < plan.out_c; ++o) {
@@ -282,39 +346,336 @@ void conv_forward_qualified(const ConvPlan& plan, const float* input,
     }
   }
 
-  report.bucket_peak = bucket.peak();
-  report.bucket_exhausted = bucket.exhausted();
+  if constexpr (WithReport) {
+    report.bucket_peak = bucket.peak();
+    report.bucket_exhausted = bucket.exhausted();
+  }
 }
 
-/// Fault-free convolution fast path: plain scalar arithmetic in the exact
-/// qualified operation order (mul then accumulate, same loop nest), no
-/// per-op bookkeeping. Callers credit the elided counters in closed form.
-inline void conv_raw_compute(const ConvPlan& plan, const float* input,
-                             const float* weights, const float* bias,
-                             float* out) noexcept {
+/// One fault-free output pixel: the scalar reduction every path — scalar
+/// loop, SIMD lane, generic oracle — must reproduce bit for bit.
+HYBRIDCNN_RELIABLE_ALWAYS_INLINE float conv_raw_pixel(
+    const ConvPlan& plan, const float* input, const float* weights, float b,
+    std::size_t o, std::size_t oy, std::size_t ox,
+    const TapRange ry) noexcept {
+  const TapRange rx = plan.col_taps[ox];
+  float acc = b;
+  for (std::size_t c = 0; c < plan.in_c; ++c) {
+    for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
+      const std::size_t iy = oy * plan.stride + ky - plan.pad;
+      const std::size_t in_base = (c * plan.in_h + iy) * plan.in_w;
+      const float* w_row =
+          weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
+      for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
+        const std::size_t ix = ox * plan.stride + kx - plan.pad;
+        acc = acc + input[in_base + ix] * w_row[kx];
+      }
+    }
+  }
+  return acc;
+}
+
+/// Fault-free convolution fast path, scalar form: plain arithmetic in the
+/// exact qualified operation order (mul then accumulate, same loop nest),
+/// no per-op bookkeeping. Callers credit the elided counters in closed
+/// form. Kept callable directly for A/B tests and benches.
+inline void conv_raw_compute_scalar(const ConvPlan& plan, const float* input,
+                                    const float* weights, const float* bias,
+                                    float* out) noexcept {
   for (std::size_t o = 0; o < plan.out_c; ++o) {
     const float b = bias[o];
     for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
       const TapRange ry = plan.row_taps[oy];
+      float* out_row = out + (o * plan.out_h + oy) * plan.out_w;
       for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
-        const TapRange rx = plan.col_taps[ox];
-        float acc = b;
-        for (std::size_t c = 0; c < plan.in_c; ++c) {
-          for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
-            const std::size_t iy = oy * plan.stride + ky - plan.pad;
-            const std::size_t in_base = (c * plan.in_h + iy) * plan.in_w;
-            const float* w_row =
-                weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
-            for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
-              const std::size_t ix = ox * plan.stride + kx - plan.pad;
-              acc = acc + input[in_base + ix] * w_row[kx];
-            }
-          }
-        }
-        out[(o * plan.out_h + oy) * plan.out_w + ox] = acc;
+        out_row[ox] = conv_raw_pixel(plan, input, weights, b, o, oy, ox, ry);
       }
     }
   }
+}
+
+#ifdef HYBRIDCNN_ISA_SIMD
+
+/// Strided convs go through a row-deinterleave pack (see
+/// conv_simd_rows); the pack buffer lives on the stack, so cap the
+/// strides and kernel widths it serves. Anything wider stays scalar
+/// (no real CNN layer is near these bounds).
+inline constexpr std::size_t kMaxSimdStride = 8;
+inline constexpr std::size_t kMaxSimdKw = 32;
+
+/// Output rows with full vertical tap ranges are processed in groups of
+/// up to this many rows at once. Each row keeps its own accumulator (its
+/// own scalar-order chain — bit-identity is per lane per row), but the
+/// chains are independent, so interleaving them hides the vector-add
+/// latency a single chain is bound by, and the per-tap weight broadcast
+/// is shared across the group.
+inline constexpr std::size_t kSimdRowUnroll = 4;
+
+#if defined(__GNUC__) && !defined(__clang__)
+/// GCC's __builtin_shuffle takes a runtime integer-vector mask, which
+/// lets the strided-pack deinterleave stay lane-count generic. Clang
+/// only has the constant-index variant; it keeps the scalar pack.
+#define HYBRIDCNN_RELIABLE_VEC_SHUFFLE 1
+typedef std::int32_t VecShufI __attribute__((
+    vector_size(sizeof(std::int32_t) * runtime::isa::kFloatLanes)));
+#endif
+
+/// dst[i] = src[i * s] for i in [0, n): the strided-row deinterleave the
+/// SIMD conv kernel runs per (channel, kernel row). For the common conv
+/// strides 2 and 4 the gather is a register deinterleave: load the
+/// contiguous span and shuffle out every s-th lane. A full vector chunk
+/// reads s*lanes contiguous floats, which exceeds the strided extent
+/// (n-1)*s + 1 unless one more strided element follows the chunk, so
+/// chunks stop one element early (i + lanes < n) and the tail — and any
+/// other stride — goes element-wise. Shuffles only move values:
+/// bit-identity is untouched.
+HYBRIDCNN_RELIABLE_ALWAYS_INLINE void pack_strided(const float* src,
+                                                   float* dst, std::size_t n,
+                                                   std::size_t s) noexcept {
+  namespace isa = runtime::isa;
+  std::size_t i = 0;
+#ifdef HYBRIDCNN_RELIABLE_VEC_SHUFFLE
+  constexpr int kLc = static_cast<int>(isa::kFloatLanes);
+  if (s == 2) {
+    VecShufI m2;
+    for (int j = 0; j < kLc; ++j) m2[j] = 2 * j;
+    for (; i + isa::kFloatLanes < n; i += isa::kFloatLanes) {
+      const float* p = src + i * 2;
+      isa::storeu(dst + i,
+                  __builtin_shuffle(isa::loadu(p), isa::loadu(p + kLc), m2));
+    }
+  } else if (s == 4) {
+    // Two-stage stride-4 deinterleave: each pair of input vectors yields
+    // its every-4th lanes in its low half (mask indices wrap modulo the
+    // two-operand width, so the upper-half entries are don't-cares),
+    // then the halves concatenate.
+    VecShufI m4;
+    VecShufI mcat;
+    for (int j = 0; j < kLc; ++j) m4[j] = (4 * j) & (2 * kLc - 1);
+    for (int j = 0; j < kLc; ++j) {
+      mcat[j] = j < kLc / 2 ? j : kLc + (j - kLc / 2);
+    }
+    for (; i + isa::kFloatLanes < n; i += isa::kFloatLanes) {
+      const float* p = src + i * 4;
+      const isa::VecF a =
+          __builtin_shuffle(isa::loadu(p), isa::loadu(p + kLc), m4);
+      const isa::VecF b =
+          __builtin_shuffle(isa::loadu(p + 2 * kLc), isa::loadu(p + 3 * kLc),
+                            m4);
+      isa::storeu(dst + i, __builtin_shuffle(a, b, mcat));
+    }
+  }
+#endif
+  for (; i < n; ++i) dst[i] = src[i * s];
+}
+
+/// One lane-width block of interior output pixels for R adjacent output
+/// rows: lane l of acc[r] accumulates output pixel (oy0+r, ox0+l). The
+/// reduction runs in the scalar order — per (c, ky, kx) one weight
+/// broadcast and one per-lane mul-then-add — so every lane performs
+/// exactly the scalar pixel's operation sequence (vector mul/add are
+/// lane-wise IEEE ops and the reliable subsystem compiles with
+/// -ffp-contract=off, so no fusion can reassociate them). For R > 1 the
+/// caller guarantees all R rows share the full vertical tap range `ry`;
+/// R == 1 accepts any row's range.
+///
+/// kStride1 hoists the contiguous-load case: with stride 1 the lane
+/// inputs are adjacent and one unaligned vector load serves each tap.
+/// With stride s > 1 the lane inputs are s apart, but taps sharing a
+/// residue kx mod s read the same strided sequence shifted by whole
+/// lanes: tap kx = q*s + res needs in_row[base + res + (q+l)*s] for lane
+/// l. So each (c, ky) input row is deinterleaved once into s
+/// residue-packed buffers — buf_res[i] = in_row[base + res + i*s] — and
+/// every tap becomes one contiguous vector load at buf_res + q,
+/// replacing a per-tap per-lane gather with one pack amortized over the
+/// kw/s taps of each residue. Packing only moves values, and the kx loop
+/// still walks taps in scalar order, so bit-identity is untouched.
+template <bool kStride1, std::size_t R>
+HYBRIDCNN_RELIABLE_ALWAYS_INLINE void conv_simd_rows(
+    const ConvPlan& plan, const float* input, const float* weights, float b,
+    std::size_t o, std::size_t oy0, std::size_t ox0, const TapRange ry,
+    float* out) noexcept {
+  namespace isa = runtime::isa;
+  static_assert(R >= 1 && R <= kSimdRowUnroll);
+  isa::VecF acc[R];
+  for (std::size_t r = 0; r < R; ++r) acc[r] = isa::splat(b);
+  const std::size_t s = plan.stride;
+  // Interior ox: ox*stride >= pad (tap 0 valid), so the unsigned
+  // subtraction cannot wrap, and tap kw-1 lands in-bounds for every
+  // lane.
+  const std::size_t base = ox0 * s - plan.pad;
+  // Per-residue buffer length: residue 0 has the most taps,
+  // (kw-1)/s + 1, and the load at its last tap reads lanes up to
+  // (kw-1)/s + kFloatLanes - 1.
+  [[maybe_unused]] const std::size_t len =
+      kStride1 ? 0 : isa::kFloatLanes + (plan.kw - 1) / s;
+  [[maybe_unused]] float
+      buf[kSimdRowUnroll * kMaxSimdStride * (isa::kFloatLanes + kMaxSimdKw)];
+  for (std::size_t c = 0; c < plan.in_c; ++c) {
+    for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
+      const std::size_t iy0 = oy0 * s + ky - plan.pad;
+      const float* in_row = input + (c * plan.in_h + iy0) * plan.in_w;
+      // Adjacent output rows are `stride` input rows apart.
+      const std::size_t row_step = s * plan.in_w;
+      const float* w_row =
+          weights + ((o * plan.in_c + c) * plan.kh + ky) * plan.kw;
+      if constexpr (kStride1) {
+        for (std::size_t kx = 0; kx < plan.kw; ++kx) {
+          const isa::VecF wv = isa::splat(w_row[kx]);
+          for (std::size_t r = 0; r < R; ++r) {
+            acc[r] =
+                acc[r] + isa::loadu(in_row + r * row_step + base + kx) * wv;
+          }
+        }
+      } else {
+        for (std::size_t r = 0; r < R; ++r) {
+          for (std::size_t res = 0; res < s && res < plan.kw; ++res) {
+            // Last element packed for a residue is exactly the last
+            // lane's last tap of that residue — in bounds by the
+            // interior guarantee.
+            const std::size_t n =
+                (plan.kw - 1 - res) / s + isa::kFloatLanes;
+            pack_strided(in_row + r * row_step + base + res,
+                         buf + (r * s + res) * len, n, s);
+          }
+        }
+        // Taps still accumulate in kx order (bit-identity); walk the
+        // (residue, shift) pair incrementally instead of dividing.
+        std::size_t res = 0;
+        std::size_t q = 0;
+        for (std::size_t kx = 0; kx < plan.kw; ++kx) {
+          const isa::VecF wv = isa::splat(w_row[kx]);
+          for (std::size_t r = 0; r < R; ++r) {
+            acc[r] = acc[r] + isa::loadu(buf + (r * s + res) * len + q) * wv;
+          }
+          if (++res == s) {
+            res = 0;
+            ++q;
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    isa::storeu(out + (o * plan.out_h + oy0 + r) * plan.out_w + ox0, acc[r]);
+  }
+}
+
+/// R adjacent output rows end to end: scalar left border, vector blocks
+/// across the interior, scalar right border. The interior tail that does
+/// not fill a lane block is finished by one extra block anchored at
+/// interior_x_end - lanes: its leading lanes recompute pixels the
+/// previous block already produced, but recomputation is deterministic
+/// and bit-identical, so the overwrite is invisible — and the whole
+/// interior runs vectorized instead of dropping up to lanes-1 pixels per
+/// row to the scalar loop. (Fast-path op counters are credited in closed
+/// form from the plan's MAC count, so recomputed lanes do not skew
+/// reports.)
+template <bool kStride1, std::size_t R>
+inline void conv_simd_row_group(const ConvPlan& plan, const float* input,
+                                const float* weights, float b, std::size_t o,
+                                std::size_t oy0, const TapRange ry,
+                                float* out) noexcept {
+  namespace isa = runtime::isa;
+  for (std::size_t r = 0; r < R; ++r) {
+    float* out_row = out + (o * plan.out_h + oy0 + r) * plan.out_w;
+    for (std::size_t ox = 0; ox < plan.interior_x_begin; ++ox) {
+      out_row[ox] = conv_raw_pixel(plan, input, weights, b, o, oy0 + r, ox,
+                                   plan.row_taps[oy0 + r]);
+    }
+  }
+  std::size_t ox0 = plan.interior_x_begin;
+  for (; ox0 + isa::kFloatLanes <= plan.interior_x_end;
+       ox0 += isa::kFloatLanes) {
+    conv_simd_rows<kStride1, R>(plan, input, weights, b, o, oy0, ox0, ry,
+                                out);
+  }
+  if (ox0 < plan.interior_x_end &&
+      plan.interior_x_end - plan.interior_x_begin >= isa::kFloatLanes) {
+    conv_simd_rows<kStride1, R>(plan, input, weights, b, o, oy0,
+                                plan.interior_x_end - isa::kFloatLanes, ry,
+                                out);
+    ox0 = plan.interior_x_end;
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    float* out_row = out + (o * plan.out_h + oy0 + r) * plan.out_w;
+    for (std::size_t ox = ox0; ox < plan.out_w; ++ox) {
+      out_row[ox] = conv_raw_pixel(plan, input, weights, b, o, oy0 + r, ox,
+                                   plan.row_taps[oy0 + r]);
+    }
+  }
+}
+
+/// Vectorized fault-free convolution: interior pixels in lane-width
+/// blocks (interleaved across row groups, overlap-finished at the row
+/// tail), border pixels through the scalar pixel reduction.
+/// Bit-identical to conv_raw_compute_scalar by construction.
+inline void conv_raw_compute_simd(const ConvPlan& plan, const float* input,
+                                  const float* weights, const float* bias,
+                                  float* out) noexcept {
+  const bool stride1 = plan.stride == 1;
+  const TapRange full_ry{0, plan.kh};
+  const auto row_is_full = [&](std::size_t oy) noexcept {
+    const TapRange t = plan.row_taps[oy];
+    return t.begin == 0 && t.end == plan.kh;
+  };
+  for (std::size_t o = 0; o < plan.out_c; ++o) {
+    const float b = bias[o];
+    std::size_t oy = 0;
+    while (oy < plan.out_h) {
+      // Group kSimdRowUnroll rows sharing the full vertical tap range;
+      // border rows (and the group remainder) go one row at a time.
+      std::size_t run = 0;
+      if (row_is_full(oy)) {
+        run = 1;
+        while (run < kSimdRowUnroll && oy + run < plan.out_h &&
+               row_is_full(oy + run)) {
+          ++run;
+        }
+      }
+      if (run == kSimdRowUnroll) {
+        if (stride1) {
+          conv_simd_row_group<true, kSimdRowUnroll>(plan, input, weights, b,
+                                                    o, oy, full_ry, out);
+        } else {
+          conv_simd_row_group<false, kSimdRowUnroll>(plan, input, weights, b,
+                                                     o, oy, full_ry, out);
+        }
+        oy += kSimdRowUnroll;
+      } else {
+        const TapRange ry = plan.row_taps[oy];
+        if (stride1) {
+          conv_simd_row_group<true, 1>(plan, input, weights, b, o, oy, ry,
+                                       out);
+        } else {
+          conv_simd_row_group<false, 1>(plan, input, weights, b, o, oy, ry,
+                                        out);
+        }
+        ++oy;
+      }
+    }
+  }
+}
+
+#endif  // HYBRIDCNN_ISA_SIMD
+
+/// Fault-free convolution fast path: dispatches to the vectorized kernel
+/// when the target has vectors, the kill-switch is open and the interior
+/// spans at least one full lane block; scalar otherwise.
+inline void conv_raw_compute(const ConvPlan& plan, const float* input,
+                             const float* weights, const float* bias,
+                             float* out) noexcept {
+#ifdef HYBRIDCNN_ISA_SIMD
+  if (reliable_simd_enabled() &&
+      plan.interior_x_end - plan.interior_x_begin >=
+          runtime::isa::kFloatLanes &&
+      (plan.stride == 1 ||
+       (plan.stride <= kMaxSimdStride && plan.kw <= kMaxSimdKw))) {
+    conv_raw_compute_simd(plan, input, weights, bias, out);
+    return;
+  }
+#endif
+  conv_raw_compute_scalar(plan, input, weights, bias, out);
 }
 
 /// Unqualified (raw-arithmetic) convolution pass through a concrete
@@ -356,7 +717,7 @@ void conv_unqualified_inline(const ConvPlan& plan, const float* input,
 
 /// Qualified dense inner kernel over a concrete executor type; the linear
 /// analogue of conv_forward_qualified.
-template <typename Exec>
+template <bool WithReport = true, typename Exec>
 void linear_forward_qualified(std::size_t out_n, std::size_t in_n,
                               const float* input, const float* weights,
                               const float* bias,
@@ -364,17 +725,21 @@ void linear_forward_qualified(std::size_t out_n, std::size_t in_n,
                               ReliableResult& result) {
   ExecutionReport& report = result.report;
   LeakyBucket bucket(policy.bucket_factor, policy.bucket_ceiling);
-  QualifiedOpRunner<Exec> runner{exec, report, bucket,
-                                 policy.max_retries_per_op};
+  QualifiedOpRunner<Exec, WithReport> runner{exec, report, bucket,
+                                             policy.max_retries_per_op};
   float* out = result.output.data().data();
 
   std::int64_t op_index = 0;
   const auto abort_with = [&](std::size_t o, std::int64_t failed_at,
                               float committed) {
     report.ok = false;
-    report.failed_op_index = failed_at;
-    report.bucket_peak = bucket.peak();
-    report.bucket_exhausted = bucket.exhausted();
+    if constexpr (WithReport) {
+      report.failed_op_index = failed_at;
+      report.bucket_peak = bucket.peak();
+      report.bucket_exhausted = bucket.exhausted();
+    } else {
+      (void)failed_at;
+    }
     out[o] = committed;
   };
 
@@ -407,15 +772,18 @@ void linear_forward_qualified(std::size_t out_n, std::size_t in_n,
     out[o] = acc.value();
   }
 
-  report.bucket_peak = bucket.peak();
-  report.bucket_exhausted = bucket.exhausted();
+  if constexpr (WithReport) {
+    report.bucket_peak = bucket.peak();
+    report.bucket_exhausted = bucket.exhausted();
+  }
 }
 
-/// Fault-free dense fast path, same operation order as the qualified
-/// kernel.
-inline void linear_raw_compute(std::size_t out_n, std::size_t in_n,
-                               const float* input, const float* weights,
-                               const float* bias, float* out) noexcept {
+/// Fault-free dense fast path, scalar form: same operation order as the
+/// qualified kernel. Kept callable directly for A/B tests and benches.
+inline void linear_raw_compute_scalar(std::size_t out_n, std::size_t in_n,
+                                      const float* input,
+                                      const float* weights, const float* bias,
+                                      float* out) noexcept {
   for (std::size_t o = 0; o < out_n; ++o) {
     float acc = bias[o];
     const float* w_row = weights + o * in_n;
@@ -424,6 +792,52 @@ inline void linear_raw_compute(std::size_t out_n, std::size_t in_n,
     }
     out[o] = acc;
   }
+}
+
+#ifdef HYBRIDCNN_ISA_SIMD
+
+/// Vectorized fault-free dense fast path: lanes are independent output
+/// neurons (lane l accumulates neuron o0+l over the full input in index
+/// order — the dense analogue of the conv pixel lanes), with one input
+/// broadcast and a per-lane weight gather (weights are [out, in], so one
+/// input column is strided by in_n). The neuron remainder runs scalar.
+inline void linear_raw_compute_simd(std::size_t out_n, std::size_t in_n,
+                                    const float* input, const float* weights,
+                                    const float* bias, float* out) noexcept {
+  namespace isa = runtime::isa;
+  std::size_t o = 0;
+  for (; o + isa::kFloatLanes <= out_n; o += isa::kFloatLanes) {
+    isa::VecF acc = isa::loadu(bias + o);
+    const float* w0 = weights + o * in_n;
+    for (std::size_t i = 0; i < in_n; ++i) {
+      const isa::VecF xv = isa::splat(input[i]);
+      isa::VecF wv;
+      for (std::size_t l = 0; l < isa::kFloatLanes; ++l) {
+        wv[l] = w0[l * in_n + i];
+      }
+      acc = acc + xv * wv;
+    }
+    isa::storeu(out + o, acc);
+  }
+  linear_raw_compute_scalar(out_n - o, in_n, input, weights + o * in_n,
+                            bias + o, out + o);
+}
+
+#endif  // HYBRIDCNN_ISA_SIMD
+
+/// Fault-free dense fast path: vector kernel when available, enabled and
+/// at least one full lane block of output neurons exists; scalar
+/// otherwise.
+inline void linear_raw_compute(std::size_t out_n, std::size_t in_n,
+                               const float* input, const float* weights,
+                               const float* bias, float* out) noexcept {
+#ifdef HYBRIDCNN_ISA_SIMD
+  if (reliable_simd_enabled() && out_n >= runtime::isa::kFloatLanes) {
+    linear_raw_compute_simd(out_n, in_n, input, weights, bias, out);
+    return;
+  }
+#endif
+  linear_raw_compute_scalar(out_n, in_n, input, weights, bias, out);
 }
 
 }  // namespace hybridcnn::reliable::detail

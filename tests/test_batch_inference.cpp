@@ -221,6 +221,56 @@ TEST_P(BatchInferenceThreads, RepeatAndCampaignHonourRemainderMode) {
 INSTANTIATE_TEST_SUITE_P(Threads, BatchInferenceThreads,
                          ::testing::Values<std::size_t>(1, 2, 8));
 
+TEST(BatchInference, StatsOnlyReportModeKeepsDecisionsAndSummaries) {
+  // BatchOptions::report = kStatsOnly skips conv1 per-op report assembly;
+  // predictions, decisions, qualifier verdicts and conv1_report.ok must
+  // be unaffected while the conv1_report counters stay at their defaults.
+  const Tensor image = data::render_stop_sign(96, 4.0);
+  HybridNetwork net(make_testnet(43), 0,
+                    faulty_config(QualifierSource::kFullResolution, 2e-5));
+  constexpr std::size_t kRuns = 4;
+
+  BatchOptions lean_opts;
+  lean_opts.report = reliable::ReportMode::kStatsOnly;
+  FaultSeedStream full_seeds = net.seed_stream();
+  const std::vector<HybridClassification> full =
+      net.classify_repeat(image, kRuns, full_seeds);
+  FaultSeedStream lean_seeds = net.seed_stream();
+  const std::vector<HybridClassification> lean =
+      net.classify_repeat(image, kRuns, lean_seeds, lean_opts);
+
+  ASSERT_EQ(full.size(), lean.size());
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    SCOPED_TRACE(r);
+    EXPECT_EQ(full[r].predicted_class, lean[r].predicted_class);
+    EXPECT_EQ(full[r].confidence, lean[r].confidence);
+    EXPECT_EQ(full[r].decision, lean[r].decision);
+    EXPECT_EQ(full[r].qualifier.match, lean[r].qualifier.match);
+    EXPECT_EQ(full[r].conv1_report.ok, lean[r].conv1_report.ok);
+    EXPECT_EQ(lean[r].conv1_report.logical_ops, 0u);
+    EXPECT_EQ(lean[r].conv1_report.commits, 0u);
+    EXPECT_EQ(lean[r].conv1_report.detected_errors, 0u);
+    EXPECT_EQ(lean[r].conv1_report.failed_op_index, -1);
+  }
+
+  // A campaign judged only on report-free fields reduces identically.
+  const auto judge = [](std::size_t, const HybridClassification& r) {
+    const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
+    return faultsim::classify(aborted, aborted, !aborted);
+  };
+  FaultSeedStream a = net.seed_stream();
+  FaultSeedStream b = net.seed_stream();
+  const faultsim::CampaignSummary sa =
+      net.classify_campaign(image, kRuns, judge, a);
+  const faultsim::CampaignSummary sb =
+      net.classify_campaign(image, kRuns, judge, b, lean_opts);
+  EXPECT_EQ(sa.runs, sb.runs);
+  EXPECT_EQ(sa.correct, sb.correct);
+  EXPECT_EQ(sa.corrected, sb.corrected);
+  EXPECT_EQ(sa.detected_abort, sb.detected_abort);
+  EXPECT_EQ(sa.silent_corruption, sb.silent_corruption);
+}
+
 TEST(BatchInference, EmptyBatchReturnsNothingAndPreservesSeedStream) {
   const Tensor image = data::render_stop_sign(96, 4.0);
   HybridNetwork a(make_testnet(19), 0,
@@ -294,29 +344,6 @@ TEST(BatchInference, ClassifySeededMatchesPerSeedClassify) {
     expect_identical(got[i], net.classify(images[i], one),
                      "classify_seeded element");
   }
-}
-
-TEST(BatchInference, LegacyMutatingWrappersReplayTheConstStream) {
-  // The deprecated wrappers serialise behind an internal stream at the
-  // configured fault_seed — exactly what a caller-owned stream at the
-  // same base produces through the const entry points.
-  const std::vector<Tensor> images = make_images(3);
-  HybridNetwork legacy(make_testnet(47), 0,
-                       faulty_config(QualifierSource::kFullResolution, 2e-5));
-  HybridNetwork modern(make_testnet(47), 0,
-                       faulty_config(QualifierSource::kFullResolution, 2e-5));
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const HybridClassification first = legacy.classify(images[0]);
-  const std::vector<HybridClassification> rest =
-      legacy.classify_batch({images[1], images[2]});
-#pragma GCC diagnostic pop
-
-  FaultSeedStream seeds = modern.seed_stream();
-  expect_identical(first, modern.classify(images[0], seeds), "legacy[0]");
-  expect_identical(rest[0], modern.classify(images[1], seeds), "legacy[1]");
-  expect_identical(rest[1], modern.classify(images[2], seeds), "legacy[2]");
 }
 
 TEST(BatchInference, RejectsBatchedTensorInputWithoutConsumingSeeds) {

@@ -186,30 +186,6 @@ TEST_P(ConcurrentInferenceThreads, InferenceDoesNotDisturbTrainingCaches) {
 INSTANTIATE_TEST_SUITE_P(Threads, ConcurrentInferenceThreads,
                          ::testing::Values<std::size_t>(1, 2, 8));
 
-TEST(ConcurrentInference, LegacyEvalForwardMatchesInfer) {
-  // The deprecated wrapper in inference mode must route through the same
-  // const path, bit for bit.
-  auto net = make_classifier(21);
-  net->set_training(false);
-  const Tensor input = random_image(Shape{2, 3, 32, 32}, 23);
-  const Tensor via_wrapper = net->forward(input);
-  const Tensor via_infer = net->infer(input, runtime::thread_scratch());
-  EXPECT_EQ(via_wrapper, via_infer);
-}
-
-TEST(ConcurrentInference, BackwardAfterEvalForwardFailsLoudly) {
-  // An inference-mode forward clears the legacy cache: a stale backward
-  // must throw instead of silently reusing old training state.
-  nn::Linear fc(4, 2);
-  fc.set_training(true);
-  const Tensor x = random_image(Shape{3, 4}, 29);
-  (void)fc.forward(x);
-  fc.set_training(false);
-  (void)fc.forward(x);
-  EXPECT_THROW((void)fc.backward(random_image(Shape{3, 2}, 31)),
-               std::logic_error);
-}
-
 TEST(ConcurrentInference, TwoCacheContextsShareOneModel) {
   // Two micro-batch contexts forward through one net; backwards in either
   // order reproduce the gradients of two sequential classic steps.

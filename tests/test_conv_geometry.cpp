@@ -8,6 +8,7 @@
 
 #include "nn/conv2d.hpp"
 #include "reliable/executor.hpp"
+#include "runtime/workspace.hpp"
 #include "reliable/reliable_conv.hpp"
 #include "util/rng.hpp"
 
@@ -41,7 +42,7 @@ TEST_P(ConvGeometry, EnginesAgreeAndSchemesAreExact) {
   // 1. The two independent conv implementations agree numerically.
   Tensor batched = input;
   batched.reshape(Shape{1, in_c, n, n});
-  Tensor fast = engine.forward(batched);
+  Tensor fast = engine.infer(batched, runtime::thread_scratch());
   Tensor slow = reference.reference_forward(input);
   slow.reshape(fast.shape());
   EXPECT_LT(fast.max_abs_diff(slow), 1e-3f)

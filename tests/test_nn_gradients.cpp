@@ -65,16 +65,17 @@ double check_gradient(Tensor& value, const Tensor& analytic,
 
 TEST(Gradients, ReLUInput) {
   ReLU relu;
-  relu.set_training(true);
   Rng rng(1);
   Tensor input(Shape{2, 3, 4, 4});
   input.fill_normal(rng, 0.0f, 1.0f);
   const Probe probe(input.shape(), 2);
 
-  relu.forward(input);
-  const Tensor analytic = relu.backward(probe.weights);
-  const double err = check_gradient(
-      input, analytic, [&] { return probe.loss(relu.forward(input)); });
+  LayerCache cache;
+  relu.forward_train(input, cache);
+  const Tensor analytic = relu.backward(probe.weights, cache);
+  const double err = check_gradient(input, analytic, [&] {
+    return probe.loss(relu.forward_train(input, cache));
+  });
   EXPECT_LT(err, 2e-2);  // kinks at 0 dominate the tolerance
 }
 
@@ -82,21 +83,23 @@ TEST(Gradients, LinearInputAndParams) {
   Linear fc(6, 4);
   Rng rng(3);
   fc.init_he(rng);
-  fc.set_training(true);
   Tensor input(Shape{3, 6});
   input.fill_normal(rng, 0.0f, 1.0f);
   const Probe probe(Shape{3, 4}, 4);
 
-  fc.forward(input);
-  const Tensor grad_in = fc.backward(probe.weights);
+  LayerCache cache;
+  fc.forward_train(input, cache);
+  const Tensor grad_in = fc.backward(probe.weights, cache);
 
-  const auto loss_fn = [&] { return probe.loss(fc.forward(input)); };
+  const auto loss_fn = [&] {
+    return probe.loss(fc.forward_train(input, cache));
+  };
   EXPECT_LT(check_gradient(input, grad_in, loss_fn), 2e-3);
 
   // Parameter gradients.
   fc.zero_grad();
-  fc.forward(input);
-  fc.backward(probe.weights);
+  fc.forward_train(input, cache);
+  fc.backward(probe.weights, cache);
   const auto params = fc.params();
   for (const Param& p : params) {
     EXPECT_LT(check_gradient(*p.value, *p.grad, loss_fn), 2e-3)
@@ -108,20 +111,22 @@ TEST(Gradients, Conv2dInputAndParams) {
   Conv2d conv(2, 3, 3, 2, 1);
   Rng rng(5);
   conv.init_he(rng);
-  conv.set_training(true);
   Tensor input(Shape{2, 2, 7, 7});
   input.fill_normal(rng, 0.0f, 1.0f);
 
-  Tensor out = conv.forward(input);
+  LayerCache cache;
+  Tensor out = conv.forward_train(input, cache);
   const Probe probe(out.shape(), 6);
-  const Tensor grad_in = conv.backward(probe.weights);
+  const Tensor grad_in = conv.backward(probe.weights, cache);
 
-  const auto loss_fn = [&] { return probe.loss(conv.forward(input)); };
+  const auto loss_fn = [&] {
+    return probe.loss(conv.forward_train(input, cache));
+  };
   EXPECT_LT(check_gradient(input, grad_in, loss_fn), 5e-3);
 
   conv.zero_grad();
-  conv.forward(input);
-  conv.backward(probe.weights);
+  conv.forward_train(input, cache);
+  conv.backward(probe.weights, cache);
   for (const Param& p : conv.params()) {
     EXPECT_LT(check_gradient(*p.value, *p.grad, loss_fn), 5e-3)
         << "param " << p.name;
@@ -132,15 +137,15 @@ TEST(Gradients, Conv2dFrozenFilterHasZeroGrad) {
   Conv2d conv(1, 2, 3, 1, 1);
   Rng rng(7);
   conv.init_he(rng);
-  conv.set_training(true);
   conv.set_filter_frozen(1, true);
 
   Tensor input(Shape{1, 1, 5, 5});
   input.fill_normal(rng, 0.0f, 1.0f);
-  Tensor out = conv.forward(input);
+  LayerCache cache;
+  Tensor out = conv.forward_train(input, cache);
   const Probe probe(out.shape(), 8);
   conv.zero_grad();
-  conv.backward(probe.weights);
+  conv.backward(probe.weights, cache);
 
   const auto params = conv.params();
   const Tensor& gw = *params[0].grad;
@@ -159,47 +164,50 @@ TEST(Gradients, Conv2dFrozenFilterHasZeroGrad) {
 
 TEST(Gradients, MaxPoolInput) {
   MaxPool pool(2, 2);
-  pool.set_training(true);
   Rng rng(9);
   Tensor input(Shape{1, 2, 6, 6});
   input.fill_normal(rng, 0.0f, 1.0f);
 
-  Tensor out = pool.forward(input);
+  LayerCache cache;
+  Tensor out = pool.forward_train(input, cache);
   const Probe probe(out.shape(), 10);
-  const Tensor grad_in = pool.backward(probe.weights);
+  const Tensor grad_in = pool.backward(probe.weights, cache);
   const double err = check_gradient(
-      input, grad_in, [&] { return probe.loss(pool.forward(input)); },
+      input, grad_in,
+      [&] { return probe.loss(pool.forward_train(input, cache)); },
       1e-4f);  // small eps so argmax does not switch
   EXPECT_LT(err, 1e-2);
 }
 
 TEST(Gradients, LrnInput) {
   Lrn lrn(5, 2.0f, 0.5f, 0.75f);  // larger alpha exercises the cross term
-  lrn.set_training(true);
   Rng rng(11);
   Tensor input(Shape{1, 6, 3, 3});
   input.fill_normal(rng, 0.5f, 0.5f);
 
-  lrn.forward(input);
+  LayerCache cache;
+  lrn.forward_train(input, cache);
   const Probe probe(input.shape(), 12);
-  const Tensor grad_in = lrn.backward(probe.weights);
-  const double err = check_gradient(
-      input, grad_in, [&] { return probe.loss(lrn.forward(input)); });
+  const Tensor grad_in = lrn.backward(probe.weights, cache);
+  const double err = check_gradient(input, grad_in, [&] {
+    return probe.loss(lrn.forward_train(input, cache));
+  });
   EXPECT_LT(err, 5e-3);
 }
 
 TEST(Gradients, SoftmaxInput) {
   Softmax sm;
-  sm.set_training(true);
   Rng rng(13);
   Tensor input(Shape{3, 5});
   input.fill_normal(rng, 0.0f, 1.0f);
 
-  sm.forward(input);
+  LayerCache cache;
+  sm.forward_train(input, cache);
   const Probe probe(input.shape(), 14);
-  const Tensor grad_in = sm.backward(probe.weights);
-  const double err = check_gradient(
-      input, grad_in, [&] { return probe.loss(sm.forward(input)); });
+  const Tensor grad_in = sm.backward(probe.weights, cache);
+  const double err = check_gradient(input, grad_in, [&] {
+    return probe.loss(sm.forward_train(input, cache));
+  });
   EXPECT_LT(err, 2e-3);
 }
 

@@ -17,6 +17,7 @@
 #include "nn/sequential.hpp"
 #include "nn/softmax.hpp"
 #include "reliable/executor.hpp"
+#include "runtime/workspace.hpp"
 #include "reliable/reliable_conv.hpp"
 #include "util/rng.hpp"
 
@@ -24,6 +25,12 @@ namespace {
 
 using namespace hybridcnn::nn;
 using hybridcnn::tensor::Shape;
+
+/// Calling-thread scratch arena for the const infer() calls below.
+hybridcnn::runtime::Workspace& scratch() {
+  return hybridcnn::runtime::thread_scratch();
+}
+
 using hybridcnn::tensor::Tensor;
 using hybridcnn::util::Rng;
 
@@ -35,7 +42,7 @@ TEST(Conv2d, IdentityKernelPassesThrough) {
 
   Tensor input(Shape{1, 1, 4, 4});
   for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
-  const Tensor out = conv.forward(input);
+  const Tensor out = conv.infer(input, scratch());
   ASSERT_EQ(out.shape(), input.shape());
   for (std::size_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[i], input[i]);
 }
@@ -47,7 +54,7 @@ TEST(Conv2d, KnownValueWithStrideAndBias) {
   conv.bias()[0] = 0.5f;
 
   Tensor input(Shape{1, 1, 4, 4}, 1.0f);
-  const Tensor out = conv.forward(input);
+  const Tensor out = conv.infer(input, scratch());
   ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
   for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 4.5f);
 }
@@ -62,7 +69,7 @@ TEST(Conv2d, MatchesReliableReferenceConv) {
   Tensor input(Shape{1, 3, 17, 17});
   input.fill_normal(rng, 0.0f, 1.0f);
 
-  const Tensor a = conv.forward(input);
+  const Tensor a = conv.infer(input, scratch());
 
   Tensor input_chw = input;
   input_chw.reshape(Shape{3, 17, 17});
@@ -75,7 +82,7 @@ TEST(Conv2d, MatchesReliableReferenceConv) {
 
 TEST(Conv2d, RejectsWrongChannelCount) {
   Conv2d conv(3, 4, 3, 1, 1);
-  EXPECT_THROW(conv.forward(Tensor(Shape{1, 2, 8, 8})),
+  EXPECT_THROW(conv.infer(Tensor(Shape{1, 2, 8, 8}), scratch()),
                std::invalid_argument);
 }
 
@@ -102,7 +109,7 @@ TEST(Conv2d, FilterSurgeryValidation) {
 TEST(ReLU, ClampsNegatives) {
   ReLU relu;
   const Tensor in(Shape{4}, std::vector<float>{-1.0f, 0.0f, 2.0f, -0.5f});
-  const Tensor out = relu.forward(in);
+  const Tensor out = relu.infer(in, scratch());
   EXPECT_FLOAT_EQ(out[0], 0.0f);
   EXPECT_FLOAT_EQ(out[1], 0.0f);
   EXPECT_FLOAT_EQ(out[2], 2.0f);
@@ -117,9 +124,9 @@ TEST(ReLU, LvalueAndRvalueForwardsAreBitIdentical) {
                                      2.5f});
   ReLU by_copy;
   ReLU by_move;
-  const Tensor a = by_copy.forward(in);
+  const Tensor a = by_copy.infer(in, scratch());
   Tensor movable = in;
-  const Tensor b = by_move.forward(std::move(movable));
+  const Tensor b = by_move.infer(std::move(movable), scratch());
   ASSERT_EQ(a.shape(), b.shape());
   for (std::size_t i = 0; i < a.count(); ++i) {
     const float av = a[i];
@@ -136,7 +143,7 @@ TEST(MaxPool, SelectsWindowMaxima) {
   MaxPool pool(2, 2);
   Tensor input(Shape{1, 1, 4, 4});
   for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
-  const Tensor out = pool.forward(input);
+  const Tensor out = pool.infer(input, scratch());
   ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
   EXPECT_FLOAT_EQ(out[0], 5.0f);
   EXPECT_FLOAT_EQ(out[1], 7.0f);
@@ -155,7 +162,7 @@ TEST(Lrn, UnitInputKnownValue) {
   // Single channel, x = 1: y = 1 / (2 + 1e-4/5)^0.75.
   Lrn lrn;
   Tensor input(Shape{1, 1, 1, 1}, 1.0f);
-  const Tensor out = lrn.forward(input);
+  const Tensor out = lrn.infer(input, scratch());
   EXPECT_NEAR(out[0], std::pow(2.0f + 1e-4f / 5.0f, -0.75f), 1e-6);
 }
 
@@ -163,11 +170,11 @@ TEST(Lrn, SuppressionGrowsWithNeighbourActivity) {
   Lrn lrn;
   Tensor weak(Shape{1, 5, 1, 1}, 0.0f);
   weak[2] = 1.0f;
-  const float alone = lrn.forward(weak)[2];
+  const float alone = lrn.infer(weak, scratch())[2];
 
   Tensor strong(Shape{1, 5, 1, 1}, 3.0f);
   strong[2] = 1.0f;
-  const float crowded = lrn.forward(strong)[2];
+  const float crowded = lrn.infer(strong, scratch())[2];
   EXPECT_LT(crowded, alone);
 }
 
@@ -177,7 +184,7 @@ TEST(Linear, KnownValue) {
                                                         3.0f, 4.0f});
   fc.bias() = Tensor(Shape{2}, std::vector<float>{0.5f, -0.5f});
   const Tensor in(Shape{1, 2}, std::vector<float>{1.0f, 1.0f});
-  const Tensor out = fc.forward(in);
+  const Tensor out = fc.infer(in, scratch());
   EXPECT_FLOAT_EQ(out[0], 3.5f);
   EXPECT_FLOAT_EQ(out[1], 6.5f);
 }
@@ -186,7 +193,7 @@ TEST(Softmax, NormalisesRows) {
   Softmax sm;
   const Tensor in(Shape{2, 3}, std::vector<float>{1.0f, 2.0f, 3.0f,
                                                   10.0f, 10.0f, 10.0f});
-  const Tensor out = sm.forward(in);
+  const Tensor out = sm.infer(in, scratch());
   for (std::size_t s = 0; s < 2; ++s) {
     float sum = 0.0f;
     for (std::size_t j = 0; j < 3; ++j) sum += out[s * 3 + j];
@@ -199,33 +206,32 @@ TEST(Softmax, NormalisesRows) {
 TEST(Softmax, StableForLargeLogits) {
   Softmax sm;
   const Tensor in(Shape{1, 2}, std::vector<float>{1000.0f, 1000.0f});
-  const Tensor out = sm.forward(in);
+  const Tensor out = sm.infer(in, scratch());
   EXPECT_NEAR(out[0], 0.5f, 1e-6);
 }
 
 TEST(Flatten, ReshapesAndRestores) {
   Flatten fl;
-  fl.set_training(true);  // backward needs the cached input shape
+  LayerCache cache;  // backward needs the cached input shape
   Tensor in(Shape{2, 3, 4, 5});
-  const Tensor out = fl.forward(in);
+  const Tensor out = fl.forward_train(in, cache);
   EXPECT_EQ(out.shape(), (Shape{2, 60}));
-  const Tensor back = fl.backward(out);
+  const Tensor back = fl.backward(out, cache);
   EXPECT_EQ(back.shape(), in.shape());
 }
 
 TEST(Dropout, IdentityAtInference) {
   Dropout d(0.5f);
-  d.set_training(false);
   Tensor in(Shape{100}, 1.0f);
-  const Tensor out = d.forward(in);
+  const Tensor out = d.infer(in, scratch());
   EXPECT_EQ(out, in);
 }
 
 TEST(Dropout, MasksAndRescalesInTraining) {
   Dropout d(0.5f);
-  d.set_training(true);
+  LayerCache cache;
   Tensor in(Shape{4, 4, 4, 4}, 1.0f);
-  const Tensor out = d.forward(in);
+  const Tensor out = d.forward_train(in, cache);
   int zeros = 0;
   for (std::size_t i = 0; i < out.count(); ++i) {
     if (out[i] == 0.0f) {
@@ -258,15 +264,15 @@ TEST(Dropout, RejectsInvalidP) {
   EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
 }
 
-TEST(Sequential, ForwardUntilAndFromCompose) {
+TEST(Sequential, InferUntilAndFromCompose) {
   auto net = make_minicnn({});
   Tensor image(Shape{1, 3, 32, 32});
   Rng rng(8);
   image.fill_normal(rng, 0.5f, 0.2f);
 
-  const Tensor full = net->forward(image);
-  const Tensor mid = net->forward_until(3, image);
-  const Tensor rest = net->forward_from(3, mid);
+  const Tensor full = net->infer(image, scratch());
+  const Tensor mid = net->infer_until(3, image, scratch());
+  const Tensor rest = net->infer_from(3, mid, scratch());
   EXPECT_EQ(full, rest);
 }
 
@@ -283,7 +289,7 @@ TEST(AlexNet, GeometryEndToEnd) {
   Tensor image(Shape{1, 3, 227, 227});
   Rng rng(9);
   image.fill_uniform(rng, 0.0f, 1.0f);
-  const Tensor logits = net->forward(image);
+  const Tensor logits = net->infer(image, scratch());
   EXPECT_EQ(logits.shape(), (Shape{1, 43}));
 
   auto& conv1 = net->layer_as<Conv2d>(kAlexNetConv1);
@@ -297,18 +303,16 @@ TEST(MiniCnn, GeometryEndToEnd) {
   Tensor image(Shape{2, 3, 32, 32});
   Rng rng(10);
   image.fill_uniform(rng, 0.0f, 1.0f);
-  const Tensor logits = net->forward(image);
+  const Tensor logits = net->infer(image, scratch());
   EXPECT_EQ(logits.shape(), (Shape{2, 5}));
 }
 
-TEST(Layer, BackwardDefaultThrows) {
-  Softmax sm;  // has backward
-  ReLU relu;   // has backward
-  Lrn lrn;     // has backward
-  // A layer without forward state must reject backward.
-  EXPECT_THROW(relu.backward(Tensor(Shape{1})), std::invalid_argument);
-  (void)sm;
-  (void)lrn;
+TEST(Layer, BackwardRejectsEmptyCache) {
+  ReLU relu;
+  // A cache without recorded forward state must reject backward.
+  LayerCache cache;
+  EXPECT_THROW(relu.backward(Tensor(Shape{1}), cache),
+               std::invalid_argument);
 }
 
 }  // namespace

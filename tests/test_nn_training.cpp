@@ -142,13 +142,13 @@ TEST(Sgd, SingleStepMatchesManualUpdate) {
   Linear fc(2, 1);
   fc.weights() = Tensor(Shape{1, 2}, std::vector<float>{1.0f, -1.0f});
   fc.bias() = Tensor(Shape{1}, std::vector<float>{0.0f});
-  fc.set_training(true);
 
   const Tensor x(Shape{1, 2}, std::vector<float>{1.0f, 2.0f});
+  LayerCache cache;
   fc.zero_grad();
-  fc.forward(x);
+  fc.forward_train(x, cache);
   const Tensor gout(Shape{1, 1}, std::vector<float>{1.0f});
-  fc.backward(gout);
+  fc.backward(gout, cache);
 
   Sgd sgd(0.1f, 0.0f);
   sgd.step(fc);
@@ -162,21 +162,21 @@ TEST(Sgd, MomentumAccumulatesVelocity) {
   Linear fc(1, 1);
   fc.weights() = Tensor(Shape{1, 1}, std::vector<float>{0.0f});
   fc.bias() = Tensor(Shape{1}, std::vector<float>{0.0f});
-  fc.set_training(true);
   Sgd sgd(1.0f, 0.5f);
 
   const Tensor x(Shape{1, 1}, std::vector<float>{1.0f});
   const Tensor gout(Shape{1, 1}, std::vector<float>{1.0f});
+  LayerCache cache;
 
   fc.zero_grad();
-  fc.forward(x);
-  fc.backward(gout);
+  fc.forward_train(x, cache);
+  fc.backward(gout, cache);
   sgd.step(fc);
   EXPECT_FLOAT_EQ(fc.weights()[0], -1.0f);  // v = -1
 
   fc.zero_grad();
-  fc.forward(x);
-  fc.backward(gout);
+  fc.forward_train(x, cache);
+  fc.backward(gout, cache);
   sgd.step(fc);
   // v = 0.5 * (-1) - 1 = -1.5 ; w = -1 - 1.5 = -2.5
   EXPECT_FLOAT_EQ(fc.weights()[0], -2.5f);

@@ -10,6 +10,7 @@
 #include "nn/filters.hpp"
 #include "nn/linear.hpp"
 #include "nn/maxpool.hpp"
+#include "reliable/checkpoint.hpp"
 #include "runtime/compute_context.hpp"
 
 namespace hybridcnn::core {
@@ -123,10 +124,6 @@ HybridNetwork::DependableStage HybridNetwork::dependable_stage(
 
 HybridClassification HybridNetwork::run_remainder(
     DependableStage&& stage, runtime::Workspace& ws) const {
-  HybridClassification result;
-  result.conv1_report = std::move(stage.report);
-  result.qualifier = std::move(stage.qualifier);
-
   // --- Non-reliable remainder of the CNN (bifurcation branch 1). -----
   // Const re-entrant inference over the shared model: no layer state is
   // touched, so any number of images may be in this stage concurrently.
@@ -136,6 +133,15 @@ HybridClassification HybridNetwork::run_remainder(
       tensor::Shape{1, map_shape[0], map_shape[1], map_shape[2]});
   const tensor::Tensor logits =
       cnn_->infer_from(conv1_index_ + 1, conv1_out, ws);
+  return finalize_classification(std::move(stage), logits);
+}
+
+HybridClassification HybridNetwork::finalize_classification(
+    DependableStage&& stage, const tensor::Tensor& logits) const {
+  HybridClassification result;
+  result.conv1_report = std::move(stage.report);
+  result.qualifier = std::move(stage.qualifier);
+
   if (logits.shape().rank() != 2 || logits.shape()[0] != 1) {
     throw std::logic_error("HybridNetwork: CNN must yield [1, classes]");
   }
@@ -170,6 +176,78 @@ HybridClassification HybridNetwork::classify(const tensor::Tensor& image,
   const reliable::ReliableConv2d rconv = make_reliable_conv1();
   return run_remainder(dependable_stage(rconv, image, seeds.take()),
                        runtime::ComputeContext::global().workspace());
+}
+
+HybridClassification HybridNetwork::classify_with_conv1(
+    const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
+    std::uint64_t fault_seed, BatchOptions options) const {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument(
+        "HybridNetwork::classify_with_conv1: expected CHW");
+  }
+  auto& ctx = runtime::ComputeContext::global();
+  return run_remainder(
+      dependable_stage(rconv, image, fault_seed, options.report),
+      ctx.workspace());
+}
+
+HybridNetwork::IntermittentResult HybridNetwork::classify_intermittent(
+    const tensor::Tensor& image, FaultSeedStream& seeds,
+    const faultsim::PowerTrace& trace, BatchOptions options) const {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument(
+        "HybridNetwork::classify_intermittent: expected CHW");
+  }
+  const std::uint64_t seed = seeds.take();
+  const reliable::ReliableConv2d rconv = make_reliable_conv1();
+  runtime::Workspace& ws = runtime::ComputeContext::global().workspace();
+
+  // Step 0: the dependable stage (reliable conv1 + qualifier), committed
+  // as one unit — its injector stream restarts from `seed` on every
+  // re-execution, so a cut during step 0 replays the identical reliable
+  // execution. Steps 1..R: one CNN remainder layer each, a pure const
+  // inference of the committed activation.
+  const std::size_t total_steps = cnn_->size() - conv1_index_;
+  faultsim::PowerSchedule power(trace);
+  reliable::ProgressCheckpoint checkpoint;
+  // Committed non-tensor products of step 0 (report, qualifier verdict);
+  // committed alongside the checkpointed activation.
+  DependableStage committed_stage;
+
+  IntermittentResult result;
+  std::size_t next = 0;
+  while (next < total_steps) {
+    ++result.steps_executed;
+    if (next == 0) {
+      DependableStage stage =
+          dependable_stage(rconv, image, seed, options.report);
+      if (!power.step()) {  // power failed mid-step: work lost
+        next = checkpoint.rollback();
+        continue;
+      }
+      tensor::Tensor act = std::move(stage.conv1_out);
+      const tensor::Shape map_shape = act.shape();
+      act.reshape(
+          tensor::Shape{1, map_shape[0], map_shape[1], map_shape[2]});
+      committed_stage = std::move(stage);
+      checkpoint.commit(1, std::move(act));
+    } else {
+      tensor::Tensor act =
+          cnn_->layer(conv1_index_ + next).infer(checkpoint.state(), ws);
+      if (!power.step()) {
+        next = checkpoint.rollback();
+        continue;
+      }
+      checkpoint.commit(next + 1, std::move(act));
+    }
+    next = checkpoint.step();
+  }
+
+  result.power_cycles = power.cycles();
+  result.steps_committed = checkpoint.commits();
+  result.classification =
+      finalize_classification(std::move(committed_stage), checkpoint.state());
+  return result;
 }
 
 namespace {

@@ -20,6 +20,7 @@
 #include "core/shape_qualifier.hpp"
 #include "faultsim/campaign.hpp"
 #include "faultsim/fault_model.hpp"
+#include "faultsim/power.hpp"
 #include "nn/sequential.hpp"
 #include "reliable/executor.hpp"
 #include "reliable/reliable_conv.hpp"
@@ -150,10 +151,49 @@ class HybridNetwork {
       std::size_t count, const tensor::Tensor* const* images,
       const std::uint64_t* seeds, BatchOptions options = {}) const;
 
+  /// Classifies with an externally supplied reliable conv1 kernel in
+  /// place of the network's own — the memory-fault campaign entry point:
+  /// `rconv` carries corrupted (or ECC-scrubbed) parameters whose
+  /// geometry must match conv1's. The qualifier, CNN remainder and
+  /// decision combination are exactly the classify() dataflow, and the
+  /// call is const/re-entrant, so campaign workers may call it
+  /// concurrently with per-run kernels.
+  [[nodiscard]] HybridClassification classify_with_conv1(
+      const reliable::ReliableConv2d& rconv, const tensor::Tensor& image,
+      std::uint64_t fault_seed, BatchOptions options = {}) const;
+
+  /// Outcome of one intermittent (checkpointed) classification.
+  struct IntermittentResult {
+    HybridClassification classification;
+    std::size_t power_cycles = 0;     ///< power failures survived
+    std::size_t steps_committed = 0;  ///< checkpointed steps (progress)
+    std::size_t steps_executed = 0;   ///< attempts, incl. work lost to cuts
+  };
+
+  /// Intermittent-execution mode (Stateful-CNN style): the classification
+  /// runs as a sequence of checkpointed steps — step 0 is the dependable
+  /// stage (reliable conv1 + qualifier), each following step one CNN
+  /// remainder layer — committing (step, activation) progress after each
+  /// step. `trace` injects power failures: a step interrupted mid-flight
+  /// loses its work and re-executes from the committed checkpoint after
+  /// the reboot. Every step is a pure function of (weights, committed
+  /// state, seed), so the final classification is bit-identical to
+  /// classify() with the same seed for EVERY trace, and execution always
+  /// terminates once the trace is exhausted (power stable thereafter).
+  /// Consumes one seed from `seeds`, exactly like classify().
+  [[nodiscard]] IntermittentResult classify_intermittent(
+      const tensor::Tensor& image, FaultSeedStream& seeds,
+      const faultsim::PowerTrace& trace, BatchOptions options = {}) const;
+
   /// A fresh stream positioned at the configured `fault_seed` base — the
   /// stream a newly constructed network's wrappers would consume.
   [[nodiscard]] FaultSeedStream seed_stream() const noexcept {
     return FaultSeedStream(config_.fault_seed);
+  }
+
+  /// Index of the reliably executed conv1 layer inside cnn().
+  [[nodiscard]] std::size_t conv1_index() const noexcept {
+    return conv1_index_;
   }
 
   /// The wrapped CNN (e.g. for training or filter surgery).
@@ -201,6 +241,13 @@ class HybridNetwork {
   /// combination. Safe to run concurrently from pool workers.
   [[nodiscard]] HybridClassification run_remainder(
       DependableStage&& stage, runtime::Workspace& ws) const;
+
+  /// Decision combination only: argmax/softmax over `logits`
+  /// [1, classes] + the Figure-1 Reliable Result rule over the
+  /// dependable evidence. Shared by run_remainder and the intermittent
+  /// layer-stepping path.
+  [[nodiscard]] HybridClassification finalize_classification(
+      DependableStage&& stage, const tensor::Tensor& logits) const;
 
   /// Shared core of the batched entry points over an index->image mapping
   /// (avoids copying a repeated campaign image `runs` times). Image i

@@ -115,10 +115,10 @@ ScrubReport ProtectedTensor::scrub() {
         break;
       case SecDed::Outcome::kCorrectedData:
         data_[i] = bits_float(word);
-        ++report.corrected;
+        ++report.corrected_data;
         break;
       case SecDed::Outcome::kCorrectedCheck:
-        ++report.corrected;
+        ++report.corrected_check;
         break;
       case SecDed::Outcome::kDoubleError:
         ++report.uncorrectable;
@@ -138,8 +138,10 @@ ScrubReport ProtectedTensor::verify() const {
       case SecDed::Outcome::kClean:
         break;
       case SecDed::Outcome::kCorrectedData:
+        ++report.corrected_data;
+        break;
       case SecDed::Outcome::kCorrectedCheck:
-        ++report.corrected;
+        ++report.corrected_check;
         break;
       case SecDed::Outcome::kDoubleError:
         ++report.uncorrectable;

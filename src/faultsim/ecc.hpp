@@ -17,13 +17,21 @@
 
 namespace hybridcnn::faultsim {
 
-/// Result of one scrub pass over a protected tensor.
+/// Result of one scrub pass over a protected tensor. Corrected-data and
+/// corrected-check outcomes are counted separately: only the former means
+/// the stored payload was actually at risk, and campaign reports that
+/// conflate them cannot attribute upsets to the data vs the check words.
 struct ScrubReport {
-  std::uint64_t words = 0;             ///< words checked
-  std::uint64_t corrected = 0;         ///< single-bit errors corrected
-  std::uint64_t uncorrectable = 0;     ///< double-bit errors detected
+  std::uint64_t words = 0;              ///< words checked
+  std::uint64_t corrected_data = 0;     ///< single-bit payload errors corrected
+  std::uint64_t corrected_check = 0;    ///< single-bit check-word errors corrected
+  std::uint64_t uncorrectable = 0;      ///< double-bit errors detected
+  /// Total single-bit corrections (data + check).
+  [[nodiscard]] std::uint64_t corrected() const noexcept {
+    return corrected_data + corrected_check;
+  }
   [[nodiscard]] bool clean() const noexcept {
-    return corrected == 0 && uncorrectable == 0;
+    return corrected() == 0 && uncorrectable == 0;
   }
 };
 

@@ -1,0 +1,24 @@
+#include "faultsim/power.hpp"
+
+namespace hybridcnn::faultsim {
+
+PowerTrace PowerTrace::periodic(std::size_t budget, std::size_t periods) {
+  PowerTrace trace;
+  trace.budgets.assign(periods, budget);
+  return trace;
+}
+
+PowerTrace PowerTrace::sampled(util::Rng& rng, std::size_t periods,
+                               std::size_t min_budget,
+                               std::size_t max_budget) {
+  PowerTrace trace;
+  trace.budgets.reserve(periods);
+  for (std::size_t k = 0; k < periods; ++k) {
+    trace.budgets.push_back(static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_budget),
+                        static_cast<std::int64_t>(max_budget))));
+  }
+  return trace;
+}
+
+}  // namespace hybridcnn::faultsim

@@ -1,0 +1,73 @@
+// Intermittent-power fault model.
+//
+// Long-lived unattended electronics (energy-harvesting nodes, detector
+// front-ends) lose power mid-inference; the Stateful-CNN line of work
+// answers with checkpointed execution that resumes from non-volatile
+// progress instead of restarting. A PowerTrace describes one such
+// environment as a sequence of power-on step budgets; PowerSchedule is
+// the cursor the checkpointed executor consults once per step.
+// HybridNetwork::classify_intermittent runs layer-granular checkpointed
+// inference under a trace and is bit-identical to the uninterrupted
+// classification for every trace (tests/test_intermittent.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hybridcnn::faultsim {
+
+/// A deterministic power-cycle trace: period k of powered execution
+/// completes `budgets[k]` checkpointed steps, then power fails mid-step —
+/// the in-flight step's work is lost. After the last entry power is
+/// stable. An empty trace is stable power; a zero budget is a brown-out
+/// that makes no progress at all before failing again.
+struct PowerTrace {
+  std::vector<std::size_t> budgets;
+
+  /// `periods` power-on windows of `budget` steps each.
+  [[nodiscard]] static PowerTrace periodic(std::size_t budget,
+                                           std::size_t periods);
+
+  /// `periods` windows with budgets drawn uniformly from
+  /// [min_budget, max_budget]; deterministic for a given Rng state.
+  [[nodiscard]] static PowerTrace sampled(util::Rng& rng, std::size_t periods,
+                                          std::size_t min_budget,
+                                          std::size_t max_budget);
+};
+
+/// Consuming cursor over a PowerTrace.
+class PowerSchedule {
+ public:
+  explicit PowerSchedule(const PowerTrace& trace) noexcept
+      : trace_(&trace) {}
+
+  /// Accounts one step of work in the current power-on period. Returns
+  /// true if the step completes (budget remained); false if power fails
+  /// while the step is in flight — its work is lost and the next period
+  /// begins. Once the trace is exhausted power is stable and every step
+  /// completes, so checkpointed execution always terminates.
+  bool step() noexcept {
+    if (period_ >= trace_->budgets.size()) return true;
+    if (used_ < trace_->budgets[period_]) {
+      ++used_;
+      return true;
+    }
+    ++period_;
+    used_ = 0;
+    ++cycles_;
+    return false;
+  }
+
+  /// Power failures observed so far.
+  [[nodiscard]] std::size_t cycles() const noexcept { return cycles_; }
+
+ private:
+  const PowerTrace* trace_;
+  std::size_t period_ = 0;
+  std::size_t used_ = 0;
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace hybridcnn::faultsim

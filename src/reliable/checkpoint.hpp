@@ -7,9 +7,19 @@
 // convolution accumulator is committed after every qualified operation and
 // restored before a retry, so an erroneous execution can never propagate
 // into committed state.
+//
+// ProgressCheckpoint lifts the same commit/rollback discipline from one
+// scalar accumulator to whole-inference progress: the committed state is
+// (step index, activation tensor), the granularity the intermittent
+// execution mode (HybridNetwork::classify_intermittent) checkpoints at —
+// one CNN layer per commit, Stateful-CNN style. A power failure rolls
+// back to the committed step; because every step is a pure function of
+// the committed state, re-execution is bit-identical.
 #pragma once
 
 #include <cstdint>
+
+#include "tensor/tensor.hpp"
 
 namespace hybridcnn::reliable {
 
@@ -43,6 +53,52 @@ class ScalarCheckpoint {
 
  private:
   float committed_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t rollbacks_ = 0;
+};
+
+/// Committed-progress cell for checkpointed (intermittent) inference:
+/// the non-volatile (step, activation) pair execution resumes from after
+/// a power failure. Commits are modelled as atomic — a real system
+/// double-buffers the NVM slot so a cut mid-write preserves the previous
+/// checkpoint.
+class ProgressCheckpoint {
+ public:
+  /// Initial state: no progress, empty activation, resume at step 0.
+  ProgressCheckpoint() = default;
+
+  /// Commits `state` as the activation produced by all steps < `next_step`;
+  /// execution resumes at `next_step`.
+  void commit(std::size_t next_step, tensor::Tensor state) {
+    state_ = std::move(state);
+    step_ = next_step;
+    ++commits_;
+  }
+
+  /// Rolls back after a power failure: whatever the in-flight step
+  /// produced is discarded, and the committed step index to resume from
+  /// is returned.
+  std::size_t rollback() noexcept {
+    ++rollbacks_;
+    return step_;
+  }
+
+  /// The committed activation (input of step `step()`).
+  [[nodiscard]] const tensor::Tensor& state() const noexcept {
+    return state_;
+  }
+
+  /// The step execution resumes at (number of committed steps).
+  [[nodiscard]] std::size_t step() const noexcept { return step_; }
+
+  [[nodiscard]] std::uint64_t commits() const noexcept { return commits_; }
+  [[nodiscard]] std::uint64_t rollbacks() const noexcept {
+    return rollbacks_;
+  }
+
+ private:
+  tensor::Tensor state_;
+  std::size_t step_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t rollbacks_ = 0;
 };

@@ -1,11 +1,16 @@
-// ScalarCheckpoint: operation-granular commit/rollback semantics.
+// ScalarCheckpoint / ProgressCheckpoint: commit/rollback semantics at
+// operation and inference-step granularity.
 #include <gtest/gtest.h>
 
 #include "reliable/checkpoint.hpp"
+#include "tensor/tensor.hpp"
 
 namespace {
 
+using hybridcnn::reliable::ProgressCheckpoint;
 using hybridcnn::reliable::ScalarCheckpoint;
+using hybridcnn::tensor::Shape;
+using hybridcnn::tensor::Tensor;
 
 TEST(ScalarCheckpoint, InitialValueIsCommitted) {
   const ScalarCheckpoint cp(3.5f);
@@ -46,6 +51,43 @@ TEST(ScalarCheckpoint, InterleavedCommitRollbackSequence) {
   EXPECT_FLOAT_EQ(acc.value(), 2.0f);
   EXPECT_EQ(acc.commits(), 2u);
   EXPECT_EQ(acc.rollbacks(), 1u);
+}
+
+TEST(ProgressCheckpoint, StartsAtStepZeroWithEmptyState) {
+  const ProgressCheckpoint cp;
+  EXPECT_EQ(cp.step(), 0u);
+  EXPECT_EQ(cp.state().count(), 0u);
+  EXPECT_EQ(cp.commits(), 0u);
+  EXPECT_EQ(cp.rollbacks(), 0u);
+}
+
+TEST(ProgressCheckpoint, CommitAdvancesStepAndState) {
+  ProgressCheckpoint cp;
+  cp.commit(1, Tensor(Shape{4}, 1.0f));
+  EXPECT_EQ(cp.step(), 1u);
+  EXPECT_EQ(cp.state(), Tensor(Shape{4}, 1.0f));
+  cp.commit(2, Tensor(Shape{2}, 5.0f));
+  EXPECT_EQ(cp.step(), 2u);
+  EXPECT_EQ(cp.state(), Tensor(Shape{2}, 5.0f));
+  EXPECT_EQ(cp.commits(), 2u);
+}
+
+TEST(ProgressCheckpoint, RollbackPreservesCommittedProgress) {
+  ProgressCheckpoint cp;
+  cp.commit(3, Tensor(Shape{8}, 2.0f));
+  // A power cut mid-step discards in-flight work; the committed pair
+  // survives untouched.
+  EXPECT_EQ(cp.rollback(), 3u);
+  EXPECT_EQ(cp.step(), 3u);
+  EXPECT_EQ(cp.state(), Tensor(Shape{8}, 2.0f));
+  EXPECT_EQ(cp.rollbacks(), 1u);
+}
+
+TEST(ProgressCheckpoint, RollbackBeforeAnyCommitRestartsFromZero) {
+  ProgressCheckpoint cp;
+  EXPECT_EQ(cp.rollback(), 0u);
+  EXPECT_EQ(cp.rollback(), 0u);
+  EXPECT_EQ(cp.rollbacks(), 2u);
 }
 
 }  // namespace

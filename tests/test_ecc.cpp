@@ -94,6 +94,66 @@ TEST(SecDed, DetectsDataPlusCheckDoubleFlip) {
   EXPECT_EQ(misdecoded, 0);
 }
 
+// --------------------------------------------------------------------------
+// Exhaustive codeword-space properties. The stored codeword has 39 bits:
+// 32 data + 6 Hamming check + 1 overall parity. Position p < 32 is data
+// bit p; p >= 32 is check bit (p - 32), with p == 38 the parity bit.
+
+void flip_codeword_bit(std::uint32_t& data, std::uint8_t& check, int p) {
+  if (p < 32) {
+    data ^= (1u << p);
+  } else {
+    check ^= static_cast<std::uint8_t>(1u << (p - 32));
+  }
+}
+
+TEST(SecDed, ExhaustiveSingleBitFlipAlwaysRestoresOriginal) {
+  // SEC property, exhaustively: for EVERY single-bit flip of the stored
+  // codeword, decode corrects back to the exact original data AND check.
+  Rng rng(11);
+  for (int trial = 0; trial < 16; ++trial) {
+    const auto word = static_cast<std::uint32_t>(rng());
+    const std::uint8_t clean_check = SecDed::encode(word);
+    for (int p = 0; p < 39; ++p) {
+      std::uint32_t data = word;
+      std::uint8_t check = clean_check;
+      flip_codeword_bit(data, check, p);
+      const auto outcome = SecDed::decode(data, check);
+      EXPECT_EQ(outcome, p < 32 ? SecDed::Outcome::kCorrectedData
+                                : SecDed::Outcome::kCorrectedCheck)
+          << "word " << word << " position " << p;
+      EXPECT_EQ(data, word) << "position " << p;
+      EXPECT_EQ(check, clean_check) << "position " << p;
+    }
+  }
+}
+
+TEST(SecDed, ExhaustiveDoubleBitFlipAlwaysDetectedNeverMiscorrected) {
+  // DED property, exhaustively: all C(39,2) = 741 two-bit flips of the
+  // codeword — data+data, data+check, check+check, and every pairing
+  // with the overall parity bit — must yield kDoubleError. A silent
+  // miscorrection here is exactly the SDC class the ECC layer exists to
+  // eliminate.
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto word = static_cast<std::uint32_t>(rng());
+    const std::uint8_t clean_check = SecDed::encode(word);
+    int pairs = 0;
+    for (int p1 = 0; p1 < 39; ++p1) {
+      for (int p2 = p1 + 1; p2 < 39; ++p2) {
+        std::uint32_t data = word;
+        std::uint8_t check = clean_check;
+        flip_codeword_bit(data, check, p1);
+        flip_codeword_bit(data, check, p2);
+        ++pairs;
+        ASSERT_EQ(SecDed::decode(data, check), SecDed::Outcome::kDoubleError)
+            << "word " << word << " positions (" << p1 << ", " << p2 << ")";
+      }
+    }
+    EXPECT_EQ(pairs, 741);
+  }
+}
+
 TEST(ProtectedTensor, CleanScrubIsNoop) {
   Rng rng(2);
   Tensor t(Shape{64});
@@ -116,10 +176,13 @@ TEST(ProtectedTensor, ScrubRepairsSparseUpsets) {
     p.data()[idx] = faultsim::flip_bit(p.data()[idx], static_cast<int>(idx % 32));
   }
   const auto verify = p.verify();
-  EXPECT_EQ(verify.corrected, 4u);
+  EXPECT_EQ(verify.corrected(), 4u);
 
   const auto report = p.scrub();
-  EXPECT_EQ(report.corrected, 4u);
+  // All four flips hit payload bits, and the report attributes them to
+  // the data words — not the check words.
+  EXPECT_EQ(report.corrected_data, 4u);
+  EXPECT_EQ(report.corrected_check, 0u);
   EXPECT_EQ(report.uncorrectable, 0u);
   EXPECT_EQ(p.data(), original) << "scrub must restore the exact payload";
   EXPECT_TRUE(p.scrub().clean()) << "second scrub finds nothing";
@@ -167,7 +230,8 @@ TEST(ProtectedTensor, ScrubbedWeightsRestoreGoldenConvolution) {
   }
 
   const auto report = protected_weights.scrub();
-  EXPECT_GT(report.corrected, 0u);
+  EXPECT_GT(report.corrected_data, 0u);
+  EXPECT_EQ(report.corrected_check, 0u);
   EXPECT_EQ(report.uncorrectable, 0u);
 
   const reliable::ReliableConv2d scrubbed_conv(protected_weights.data(),

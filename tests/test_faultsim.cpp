@@ -212,6 +212,150 @@ TEST(MemoryFaults, ExactFlipsOnEmptyTensorIsNoop) {
   EXPECT_EQ(report.bits_flipped, 0u);
 }
 
+// Counts bits differing between two equal-shape tensors.
+std::uint64_t hamming_distance(const Tensor& a, const Tensor& b) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < a.count(); ++i) {
+    bits += static_cast<std::uint64_t>(
+        __builtin_popcount(float_bits(a[i]) ^ float_bits(b[i])));
+  }
+  return bits;
+}
+
+TEST(MemoryFaults, BitErrorsDeterministicForSeed) {
+  // Geometric skip sampling must stay a pure function of the Rng state:
+  // same seed, same flip sites, same draw count.
+  Tensor a(Shape{512}, 1.5f);
+  Tensor b(Shape{512}, 1.5f);
+  Rng ra(42);
+  Rng rb(42);
+  const auto rep_a = inject_bit_errors(a, 0.003, ra);
+  const auto rep_b = inject_bit_errors(b, 0.003, rb);
+  EXPECT_EQ(rep_a.bits_flipped, rep_b.bits_flipped);
+  EXPECT_EQ(rep_a.rng_draws, rep_b.rng_draws);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(rep_a.bits_flipped, 0u);
+}
+
+TEST(MemoryFaults, BitErrorFlipSitesAreSpatiallyUniform) {
+  // The skip-sampled sites must be i.i.d. Bernoulli per bit, so upsets
+  // spread evenly: compare the flip mass in the two tensor halves over
+  // many independent passes.
+  constexpr std::size_t kWords = 2048;
+  std::uint64_t low_half = 0;
+  std::uint64_t high_half = 0;
+  for (int pass = 0; pass < 50; ++pass) {
+    Tensor t(Shape{kWords}, 0.0f);
+    const Tensor zero = t;
+    Rng rng(100 + pass);
+    inject_bit_errors(t, 0.005, rng);
+    for (std::size_t i = 0; i < kWords; ++i) {
+      const auto bits = static_cast<std::uint64_t>(
+          __builtin_popcount(float_bits(t[i]) ^ float_bits(zero[i])));
+      (i < kWords / 2 ? low_half : high_half) += bits;
+    }
+  }
+  const auto total = static_cast<double>(low_half + high_half);
+  EXPECT_GT(total, 10000.0);  // ~16384 expected
+  EXPECT_NEAR(static_cast<double>(low_half) / total, 0.5, 0.02);
+}
+
+TEST(MemoryFaults, BitErrorDrawsScaleWithFlipsNotBits) {
+  // The regression this locks: the old sampler drew one variate per bit
+  // (32 per word). Geometric skips draw one per flip — at least 10x
+  // fewer at realistic bit-error rates (here ~460x).
+  Tensor t(Shape{4, 16, 16, 4});  // 131072 bits
+  Rng rng(7);
+  const auto report = inject_bit_errors(t, 0.001, rng);
+  const std::uint64_t old_draws = 32ull * t.count();
+  EXPECT_GT(report.bits_flipped, 50u);
+  EXPECT_LE(report.rng_draws, report.bits_flipped + 1)
+      << "one uniform per flip (plus the terminating overshoot)";
+  EXPECT_LE(report.rng_draws * 10, old_draws)
+      << "must consume >=10x fewer variates than per-bit Bernoulli";
+}
+
+TEST(MemoryFaults, BitErrorRateOneFlipsEveryBitWithoutDrawing) {
+  Tensor t(Shape{16}, 1.0f);
+  const Tensor original = t;
+  Rng rng(8);
+  const auto report = inject_bit_errors(t, 1.0, rng);
+  EXPECT_EQ(report.bits_flipped, 32u * 16u);
+  EXPECT_EQ(report.rng_draws, 0u);
+  EXPECT_EQ(hamming_distance(t, original), 32u * 16u);
+}
+
+TEST(MemoryFaults, ExactFlipsAreWithoutReplacement) {
+  // The regression this locks: sampling WITH replacement let duplicate
+  // sites un-flip each other, so "exactly N flips" silently delivered
+  // fewer corrupted bits. Floyd's algorithm guarantees N distinct sites:
+  // the Hamming distance to the original equals the request exactly.
+  for (const std::uint64_t count : {1ull, 17ull, 50ull, 100ull, 127ull}) {
+    Tensor t(Shape{4}, 3.0f);  // 128-bit site space — collisions likely
+    const Tensor original = t;
+    Rng rng(1000 + count);
+    const auto report = inject_exact_flips(t, count, rng);
+    EXPECT_EQ(report.bits_flipped, count);
+    EXPECT_EQ(hamming_distance(t, original), count) << "count " << count;
+  }
+}
+
+TEST(MemoryFaults, ExactFlipsAtCapacityFlipEveryBit) {
+  Tensor t(Shape{2}, -1.0f);
+  const Tensor original = t;
+  Rng rng(9);
+  const auto report = inject_exact_flips(t, 64, rng);
+  EXPECT_EQ(report.bits_flipped, 64u);
+  EXPECT_EQ(hamming_distance(t, original), 64u);
+
+  Tensor u(Shape{2}, -1.0f);
+  const auto over = inject_exact_flips(u, 10000, rng);
+  EXPECT_EQ(over.bits_flipped, 64u);
+  EXPECT_EQ(hamming_distance(u, original), 64u);
+}
+
+TEST(MemoryFaults, ExactFlipsDeterministicForSeed) {
+  Tensor a(Shape{64}, 0.5f);
+  Tensor b(Shape{64}, 0.5f);
+  Rng ra(77);
+  Rng rb(77);
+  inject_exact_flips(a, 33, ra);
+  inject_exact_flips(b, 33, rb);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------- memory campaign types
+
+TEST(MemoryCampaign, OutcomeNames) {
+  using hybridcnn::faultsim::memory_outcome_name;
+  using hybridcnn::faultsim::MemoryOutcome;
+  EXPECT_EQ(memory_outcome_name(MemoryOutcome::kIntact), "intact");
+  EXPECT_EQ(memory_outcome_name(MemoryOutcome::kCorrected), "corrected");
+  EXPECT_EQ(memory_outcome_name(MemoryOutcome::kUncorrectable),
+            "uncorrectable");
+  EXPECT_EQ(memory_outcome_name(MemoryOutcome::kQualifierCaught),
+            "qualifier_caught");
+  EXPECT_EQ(memory_outcome_name(MemoryOutcome::kSilentCorruption),
+            "silent_corruption");
+}
+
+TEST(MemoryCampaign, SummaryRates) {
+  using hybridcnn::faultsim::MemoryCampaignSummary;
+  using hybridcnn::faultsim::MemoryOutcome;
+  MemoryCampaignSummary s;
+  s.add(MemoryOutcome::kIntact);
+  s.add(MemoryOutcome::kIntact);
+  s.add(MemoryOutcome::kCorrected);
+  s.add(MemoryOutcome::kUncorrectable);
+  s.add(MemoryOutcome::kQualifierCaught);
+  s.add(MemoryOutcome::kSilentCorruption);
+  EXPECT_EQ(s.runs, 6u);
+  EXPECT_DOUBLE_EQ(s.availability(), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.safety(), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.sdc_rate(), 1.0 / 6.0);
+  EXPECT_EQ(s, s);
+}
+
 // ------------------------------------------------------------- campaign
 
 TEST(Campaign, ClassificationTable) {

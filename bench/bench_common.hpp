@@ -8,8 +8,15 @@
 
 namespace hybridcnn::bench {
 
-/// Directory all benches write CSV artefacts into.
-inline std::string results_dir() { return "bench_results"; }
+/// Directory all benches write CSV/JSON artefacts into. Every bench
+/// routes its files through util::results_path(results_dir(), ...), so
+/// HYBRIDCNN_RESULTS_DIR redirects the whole artefact set at once (CI
+/// collects the JSON trajectory files from a workspace-relative dir).
+inline std::string results_dir() {
+  const char* v = std::getenv("HYBRIDCNN_RESULTS_DIR");
+  return (v != nullptr && v[0] != '\0') ? std::string(v)
+                                        : std::string("bench_results");
+}
 
 /// Set HYBRIDCNN_QUICK=1 to decimate the slow sweeps (CI-friendly runs).
 inline bool quick_mode() {

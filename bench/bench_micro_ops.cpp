@@ -14,6 +14,7 @@
 #include "reliable/executor.hpp"
 #include "reliable/leaky_bucket.hpp"
 #include "reliable/reliable_conv.hpp"
+#include "reliable/static_dispatch.hpp"
 #include "runtime/compute_context.hpp"
 #include "sax/sax_word.hpp"
 #include "util/rng.hpp"
@@ -159,6 +160,63 @@ void BM_Conv2dForwardBatch(benchmark::State& state) {
   runtime::ComputeContext::set_global_threads(prior);
 }
 BENCHMARK(BM_Conv2dForwardBatch)->Arg(1)->Arg(4);
+
+// ------------------------------------------------- dense fast path
+// Gather kernel (per-neuron row dot products, strided weight loads) vs
+// the repacked [in][padded_out] neuron-lane kernel behind
+// ReliableLinear's fault-free fast path. items/sec reads as MACs; the
+// packed variant must win here to stay the default.
+constexpr std::size_t kLinOut = 128;
+constexpr std::size_t kLinIn = 1024;
+
+struct LinearData {
+  std::vector<float> w, b, x, y;
+  LinearData() : w(kLinOut * kLinIn), b(kLinOut), x(kLinIn), y(kLinOut) {
+    util::Rng rng(7);
+    for (auto& v : w) v = static_cast<float>(rng.normal()) * 0.1f;
+    for (auto& v : b) v = static_cast<float>(rng.normal()) * 0.1f;
+    for (auto& v : x) v = static_cast<float>(rng.normal());
+  }
+};
+
+#ifdef HYBRIDCNN_ISA_SIMD
+
+void BM_LinearFastPathGather(benchmark::State& state) {
+  LinearData d;
+  for (auto _ : state) {
+    reliable::detail::linear_raw_compute_simd(
+        kLinOut, kLinIn, d.x.data(), d.w.data(), d.b.data(), d.y.data());
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLinOut * kLinIn));
+}
+BENCHMARK(BM_LinearFastPathGather);
+
+void BM_LinearFastPathPacked(benchmark::State& state) {
+  LinearData d;
+  const auto pack = reliable::detail::build_linear_pack(
+      kLinOut, kLinIn, d.w.data(), d.b.data(), 0);
+  for (auto _ : state) {
+    reliable::detail::linear_raw_compute_packed(pack, d.x.data(), d.y.data());
+    benchmark::DoNotOptimize(d.y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLinOut * kLinIn));
+}
+BENCHMARK(BM_LinearFastPathPacked);
+
+void BM_LinearPackBuild(benchmark::State& state) {
+  LinearData d;
+  for (auto _ : state) {
+    const auto pack = reliable::detail::build_linear_pack(
+        kLinOut, kLinIn, d.w.data(), d.b.data(), 0);
+    benchmark::DoNotOptimize(pack.weights.data());
+  }
+}
+BENCHMARK(BM_LinearPackBuild);
+
+#endif  // HYBRIDCNN_ISA_SIMD
 
 void BM_SaxWord(benchmark::State& state) {
   util::Rng rng(2);

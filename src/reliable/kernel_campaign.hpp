@@ -23,6 +23,9 @@ faultsim::CampaignSummary kernel_campaign(
     const std::function<faultsim::Outcome(std::size_t, const ReliableResult&,
                                           Executor&)>& classify,
     ReportMode mode, runtime::ComputeContext& ctx) {
+  // Fault-free runs hit the packed fast path from every worker at once;
+  // build the cached pack serially up front instead.
+  kernel.prepare_fast_path();
   return faultsim::run_campaign(
       runs,
       [&](std::size_t run) {

@@ -60,6 +60,35 @@ tensor::Shape ReliableConv2d::output_shape(const tensor::Shape& in) const {
   return tensor::Shape{weights_.shape()[0], oh, ow};
 }
 
+void ReliableConv2d::set_weights(tensor::Tensor weights) {
+  if (!(weights.shape() == weights_.shape())) {
+    throw std::invalid_argument(
+        "ReliableConv2d::set_weights: shape mismatch, expected " +
+        weights_.shape().str() + " got " + weights.shape().str());
+  }
+  weights_ = std::move(weights);
+  ++weight_generation_;
+}
+
+std::shared_ptr<const detail::WeightPack> ReliableConv2d::channel_pack()
+    const {
+#ifdef HYBRIDCNN_ISA_SIMD
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  if (!pack_ || pack_->generation != weight_generation_) {
+    pack_ = std::make_shared<const detail::WeightPack>(
+        detail::build_weight_pack(weights_.shape()[0], weights_.shape()[1],
+                                  weights_.shape()[2], weights_.shape()[3],
+                                  weights_.data().data(),
+                                  bias_.data().data(), weight_generation_));
+  }
+  return pack_;
+#else
+  // Only the SIMD channel kernel consumes the pack; building one on
+  // scalar targets would be dead weight.
+  return nullptr;
+#endif
+}
+
 std::uint64_t ReliableConv2d::mac_count(const tensor::Shape& in) const {
   const tensor::Shape out = output_shape(in);
   // The valid-tap count of one output coordinate separates into
@@ -97,9 +126,12 @@ ReliableResult ReliableConv2d::forward(const tensor::Tensor& input,
   if (exec.guaranteed_fault_free()) {
     // Golden fast path: no operation can fail, so the qualified schedule
     // collapses to raw arithmetic in the identical order (vectorized
-    // across output pixels where the target allows); the per-op
-    // bookkeeping is credited in closed form.
-    detail::conv_raw_compute(plan, in, wgt, b, result.output.data().data());
+    // across output channels or pixels where the target allows, fanned
+    // across the pool); the per-op bookkeeping is credited in closed
+    // form after the join.
+    const auto pack = channel_pack();
+    detail::conv_raw_compute(plan, pack.get(), in, wgt, b,
+                             result.output.data().data());
     const std::uint64_t ops = 2 * plan.macs();  // mul + accumulate per MAC
     if (mode == ReportMode::kFull) {
       result.report.logical_ops = ops;
@@ -261,7 +293,8 @@ tensor::Tensor ReliableConv2d::reference_forward(
                               spec_.stride, spec_.pad);
   tensor::Tensor out(out_shape);
   // Same operation order as forward() so results are bit-identical.
-  detail::conv_raw_compute(plan, input.data().data(),
+  const auto pack = channel_pack();
+  detail::conv_raw_compute(plan, pack.get(), input.data().data(),
                            weights_.data().data(), bias_.data().data(),
                            out.data().data());
   return out;
@@ -393,7 +426,9 @@ ReliableResult LayerDmrConv2d::forward(const tensor::Tensor& input,
     report.scheme = "layer-dmr(" + exec.name() + ")";
     LeakyBucket bucket(inner_.policy().bucket_factor,
                        inner_.policy().bucket_ceiling);
-    detail::conv_raw_compute(plan, in, wgt, b, result.output.data().data());
+    const auto pack = inner_.channel_pack();
+    detail::conv_raw_compute(plan, pack.get(), in, wgt, b,
+                             result.output.data().data());
     const std::uint64_t ops = 2 * (2 * plan.macs());  // two layer passes
     report.logical_ops = ops;
     exec.credit_fault_free_ops(ops);

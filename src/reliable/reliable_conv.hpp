@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "faultsim/campaign.hpp"
 #include "reliable/executor.hpp"
@@ -27,6 +28,12 @@
 #include "tensor/tensor.hpp"
 
 namespace hybridcnn::reliable {
+
+namespace detail {
+// Channel-lane repacked weights for the fault-free fast path; defined in
+// reliable/static_dispatch.hpp (which includes this header).
+struct WeightPack;
+}  // namespace detail
 
 /// Spatial parameters of a convolution.
 struct ConvSpec {
@@ -130,11 +137,39 @@ class ReliableConv2d {
   /// Logical multiply-accumulate count for one forward on `in` shape.
   [[nodiscard]] std::uint64_t mac_count(const tensor::Shape& in) const;
 
+  /// Replaces the layer's weights (shape must match; throws
+  /// std::invalid_argument otherwise) and bumps the weight generation,
+  /// invalidating the cached channel-lane weight pack. Not safe against
+  /// concurrent forwards — like mutating any layer parameter, it is a
+  /// setup-time operation.
+  void set_weights(tensor::Tensor weights);
+
+  /// Monotonic counter of weight replacements; the channel-lane pack is
+  /// keyed on it.
+  [[nodiscard]] std::uint64_t weight_generation() const noexcept {
+    return weight_generation_;
+  }
+
+  /// The channel-lane repacked weights for the fault-free fast path,
+  /// built lazily (thread-safe) and cached until the weight generation
+  /// changes. Null on targets without vectors — only the SIMD channel
+  /// kernel consumes it. Engine-internal; exposed for the dispatch tests
+  /// and layer-granular wrappers.
+  [[nodiscard]] std::shared_ptr<const detail::WeightPack> channel_pack()
+      const;
+
+  /// Pre-builds the cached pack so batch/campaign paths pay the repack
+  /// once up front instead of contending on first concurrent use.
+  void prepare_fast_path() const { (void)channel_pack(); }
+
  private:
   tensor::Tensor weights_;  // OIHW
   tensor::Tensor bias_;     // O
   ConvSpec spec_;
   ReliabilityPolicy policy_;
+  std::uint64_t weight_generation_ = 0;
+  mutable std::mutex pack_mutex_;
+  mutable std::shared_ptr<const detail::WeightPack> pack_;
 };
 
 /// Layer-granular DMR: runs the whole (unqualified) layer twice through

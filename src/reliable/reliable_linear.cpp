@@ -33,6 +33,32 @@ ReliableLinear::ReliableLinear(tensor::Tensor weights, tensor::Tensor bias,
   }
 }
 
+void ReliableLinear::set_weights(tensor::Tensor weights) {
+  if (!(weights.shape() == weights_.shape())) {
+    throw std::invalid_argument(
+        "ReliableLinear::set_weights: shape mismatch, expected " +
+        weights_.shape().str() + " got " + weights.shape().str());
+  }
+  weights_ = std::move(weights);
+  ++weight_generation_;
+}
+
+std::shared_ptr<const detail::LinearWeightPack> ReliableLinear::neuron_pack()
+    const {
+#ifdef HYBRIDCNN_ISA_SIMD
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  if (!pack_ || pack_->generation != weight_generation_) {
+    pack_ = std::make_shared<const detail::LinearWeightPack>(
+        detail::build_linear_pack(weights_.shape()[0], weights_.shape()[1],
+                                  weights_.data().data(),
+                                  bias_.data().data(), weight_generation_));
+  }
+  return pack_;
+#else
+  return nullptr;
+#endif
+}
+
 ReliableResult ReliableLinear::forward(const tensor::Tensor& input,
                                        Executor& exec,
                                        ReportMode mode) const {
@@ -52,7 +78,8 @@ ReliableResult ReliableLinear::forward(const tensor::Tensor& input,
   const float* b = bias_.data().data();
 
   if (exec.guaranteed_fault_free()) {
-    detail::linear_raw_compute(out_n, in_n, in, wgt, b,
+    const auto pack = neuron_pack();
+    detail::linear_raw_compute(out_n, in_n, pack.get(), in, wgt, b,
                                result.output.data().data());
     const std::uint64_t ops = 2 * static_cast<std::uint64_t>(out_n) * in_n;
     if (mode == ReportMode::kFull) {
@@ -165,7 +192,8 @@ tensor::Tensor ReliableLinear::reference_forward(
   const std::size_t in_n = weights_.shape()[1];
   validate_linear_input(input, in_n);
   tensor::Tensor out(tensor::Shape{out_n});
-  detail::linear_raw_compute(out_n, in_n, input.data().data(),
+  const auto pack = neuron_pack();
+  detail::linear_raw_compute(out_n, in_n, pack.get(), input.data().data(),
                              weights_.data().data(), bias_.data().data(),
                              out.data().data());
   return out;

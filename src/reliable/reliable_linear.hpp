@@ -7,12 +7,21 @@
 // place the reliability boundary after any layer.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "reliable/executor.hpp"
 #include "reliable/leaky_bucket.hpp"
 #include "reliable/reliable_conv.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hybridcnn::reliable {
+
+namespace detail {
+// Neuron-lane repacked weights for the dense fault-free fast path;
+// defined in reliable/static_dispatch.hpp.
+struct LinearWeightPack;
+}  // namespace detail
 
 /// Qualified dense layer: y = W x + b with every scalar operation executed
 /// through an overloaded executor, single-op rollback and a leaky bucket.
@@ -58,10 +67,31 @@ class ReliableLinear {
   }
   [[nodiscard]] const tensor::Tensor& bias() const noexcept { return bias_; }
 
+  /// Replaces the layer's weights (shape must match; throws
+  /// std::invalid_argument otherwise) and bumps the weight generation,
+  /// invalidating the cached neuron-lane pack. Setup-time only.
+  void set_weights(tensor::Tensor weights);
+
+  [[nodiscard]] std::uint64_t weight_generation() const noexcept {
+    return weight_generation_;
+  }
+
+  /// Neuron-lane repacked weights for the fault-free fast path; same
+  /// lifetime/caching contract as ReliableConv2d::channel_pack(). Null
+  /// on targets without vectors.
+  [[nodiscard]] std::shared_ptr<const detail::LinearWeightPack>
+  neuron_pack() const;
+
+  /// Pre-builds the cached pack (see ReliableConv2d::prepare_fast_path).
+  void prepare_fast_path() const { (void)neuron_pack(); }
+
  private:
   tensor::Tensor weights_;  // [out, in]
   tensor::Tensor bias_;     // [out]
   ReliabilityPolicy policy_;
+  std::uint64_t weight_generation_ = 0;
+  mutable std::mutex pack_mutex_;
+  mutable std::shared_ptr<const detail::LinearWeightPack> pack_;
 };
 
 }  // namespace hybridcnn::reliable

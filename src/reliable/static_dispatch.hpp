@@ -22,15 +22,32 @@
 //     raw arithmetic in the identical operation order, used when the
 //     executor is guaranteed_fault_free(); callers then credit the
 //     elided bookkeeping in closed form (credit_fault_free_ops). On
-//     SIMD-capable targets (runtime/isa.hpp) the fast path vectorizes
-//     across *independent output pixels* — kFloatLanes interior outputs
-//     per vector, each lane running the exact scalar reduction order
-//     over (c, ky, kx) — never across the reduction itself, so the
-//     vector kernel is bit-identical to the scalar loop by construction.
-//     Border pixels (partial tap ranges) and lane remainders stay on
-//     the scalar loop. The runtime kill-switch HYBRIDCNN_RELIABLE_SIMD=0
-//     (or set_reliable_simd_enabled(false)) forces the scalar fast path
-//     for debugging and A/B benching.
+//     SIMD-capable targets (runtime/isa.hpp) two vector strategies
+//     exist, both vectorizing across *independent outputs* — never the
+//     (c, ky, kx) reduction — so bit-identity with the scalar loop holds
+//     by construction:
+//       - pixel lanes (conv_simd_rows): kFloatLanes interior output
+//         pixels of one row per vector, weights re-broadcast per tap;
+//         border pixels and narrow interiors stay scalar.
+//       - channel lanes (conv_channel_blocks): kFloatLanes output
+//         channels per vector over a once-per-weight-generation
+//         repacked [ky][kx][c][o] WeightPack, so every tap is one
+//         contiguous weight vector load times a scalar input broadcast.
+//         All lanes of a vector share (oy, ox) and therefore the tap
+//         ranges, so borders run through the same kernel — no
+//         interior/border split; the padded channel tail scatters only
+//         its valid lanes.
+//     HYBRIDCNN_RELIABLE_KERNEL=pixel|channel|auto (or
+//     set_reliable_kernel_choice) picks the strategy; auto prefers
+//     channel lanes whenever a pack exists and out_c fills a vector.
+//     The fault-free fast path additionally fans its disjoint output
+//     slices across the global runtime::ThreadPool (channel-block
+//     chunks, (channel x row-group) units, or whole channels for the
+//     scalar loop); the elided bookkeeping is credited in closed form
+//     after the join, so outputs and statistics are bit-identical at
+//     every thread count. The runtime kill-switch
+//     HYBRIDCNN_RELIABLE_SIMD=0 (or set_reliable_simd_enabled(false))
+//     forces the scalar fast path for debugging and A/B benching.
 //
 // The qualified kernels are additionally templated on a WithReport flag:
 // ReportMode::kStatsOnly instantiations skip every per-op
@@ -46,9 +63,12 @@
 // kinds, geometries and report modes.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "reliable/checkpoint.hpp"
@@ -56,6 +76,7 @@
 #include "reliable/leaky_bucket.hpp"
 #include "reliable/reliable_conv.hpp"
 #include "reliable/report.hpp"
+#include "runtime/compute_context.hpp"
 #include "runtime/isa.hpp"
 #include "tensor/tensor.hpp"
 
@@ -68,6 +89,25 @@ namespace hybridcnn::reliable::detail {
 /// HYBRIDCNN_ISA_SIMD the flag is ignored — only the scalar path exists.
 [[nodiscard]] bool reliable_simd_enabled() noexcept;
 void set_reliable_simd_enabled(bool enabled) noexcept;
+
+/// Fault-free conv fast-path vector strategy. kAuto picks per call:
+/// channel lanes whenever the caller supplies a WeightPack and out_c
+/// fills at least one vector, pixel lanes otherwise (which themselves
+/// fall back to scalar on ineligible geometries). Initialised once from
+/// HYBRIDCNN_RELIABLE_KERNEL=pixel|channel|auto — unset or unrecognised
+/// values mean kAuto — and overridable at runtime for A/B benching.
+/// Moot when SIMD is compiled out or the kill-switch is closed: only the
+/// scalar path exists then.
+enum class ConvKernel : std::uint8_t { kAuto, kPixel, kChannel };
+
+[[nodiscard]] ConvKernel reliable_kernel_choice() noexcept;
+void set_reliable_kernel_choice(ConvKernel choice) noexcept;
+
+/// Parses an HYBRIDCNN_RELIABLE_KERNEL value; nullopt for null or
+/// unrecognised strings (the env reader maps those to kAuto). Exposed so
+/// the override-handling tests can exercise the exact mapping.
+[[nodiscard]] std::optional<ConvKernel> parse_reliable_kernel(
+    const char* value) noexcept;
 
 /// Half-open interval of kernel-tap indices that land in-bounds.
 struct TapRange {
@@ -257,6 +297,65 @@ struct ConvPlan {
   }
 };
 
+/// Output-channel extent rounded up to the vector width (identity on
+/// targets without vectors), the lane padding the channel-lane pack uses.
+inline std::size_t channel_pack_width(std::size_t oc) noexcept {
+#ifdef HYBRIDCNN_ISA_SIMD
+  constexpr std::size_t lanes = runtime::isa::kFloatLanes;
+#else
+  constexpr std::size_t lanes = 1;
+#endif
+  return (oc + lanes - 1) / lanes * lanes;
+}
+
+/// Channel-lane weight layout for the fault-free fast path: the OIHW
+/// weights repacked into [ky][kx][c][o] panels with the output-channel
+/// axis padded to the vector width, so every (c, ky, kx) tap of a
+/// channel block is one contiguous vector load (the pixel-lane kernel
+/// instead re-broadcasts each weight scalar per tap). Padding lanes
+/// carry zero weights/bias and are never stored back, so they cannot
+/// perturb outputs. The pack is input-shape independent — one pack
+/// serves every forward geometry — and is built once per weight
+/// generation: owners (ReliableConv2d) cache it and compare `generation`
+/// against their current weight generation to invalidate.
+struct WeightPack {
+  std::vector<float> weights;  ///< [(ky*kw + kx)*in_c + c][padded_oc]
+  std::vector<float> bias;     ///< [padded_oc], zero beyond oc
+  std::size_t oc = 0;
+  std::size_t padded_oc = 0;
+  std::size_t in_c = 0;
+  std::size_t kh = 0;
+  std::size_t kw = 0;
+  std::uint64_t generation = 0;  ///< weight generation the pack reflects
+};
+
+inline WeightPack build_weight_pack(std::size_t oc, std::size_t in_c,
+                                    std::size_t kh, std::size_t kw,
+                                    const float* weights, const float* bias,
+                                    std::uint64_t generation) {
+  WeightPack pack;
+  pack.oc = oc;
+  pack.padded_oc = channel_pack_width(oc);
+  pack.in_c = in_c;
+  pack.kh = kh;
+  pack.kw = kw;
+  pack.generation = generation;
+  pack.weights.assign(kh * kw * in_c * pack.padded_oc, 0.0f);
+  pack.bias.assign(pack.padded_oc, 0.0f);
+  for (std::size_t o = 0; o < oc; ++o) {
+    pack.bias[o] = bias[o];
+    for (std::size_t c = 0; c < in_c; ++c) {
+      for (std::size_t ky = 0; ky < kh; ++ky) {
+        for (std::size_t kx = 0; kx < kw; ++kx) {
+          pack.weights[((ky * kw + kx) * in_c + c) * pack.padded_oc + o] =
+              weights[((o * in_c + c) * kh + ky) * kw + kx];
+        }
+      }
+    }
+  }
+  return pack;
+}
+
 /// Qualified convolution inner kernel over a concrete executor type.
 /// Loop nest order (o, oy, ox, c, ky, kx), committed outputs, op_index
 /// accounting and abort semantics are exactly those of the generic path.
@@ -375,6 +474,21 @@ HYBRIDCNN_RELIABLE_ALWAYS_INLINE float conv_raw_pixel(
   return acc;
 }
 
+/// Every fault-free output pixel of one output channel, scalar form —
+/// the per-channel unit both the serial scalar loop and the pooled
+/// scalar fan-out execute.
+inline void conv_scalar_channel(const ConvPlan& plan, const float* input,
+                                const float* weights, float b, std::size_t o,
+                                float* out) noexcept {
+  for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
+    const TapRange ry = plan.row_taps[oy];
+    float* out_row = out + (o * plan.out_h + oy) * plan.out_w;
+    for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
+      out_row[ox] = conv_raw_pixel(plan, input, weights, b, o, oy, ox, ry);
+    }
+  }
+}
+
 /// Fault-free convolution fast path, scalar form: plain arithmetic in the
 /// exact qualified operation order (mul then accumulate, same loop nest),
 /// no per-op bookkeeping. Callers credit the elided counters in closed
@@ -383,14 +497,7 @@ inline void conv_raw_compute_scalar(const ConvPlan& plan, const float* input,
                                     const float* weights, const float* bias,
                                     float* out) noexcept {
   for (std::size_t o = 0; o < plan.out_c; ++o) {
-    const float b = bias[o];
-    for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
-      const TapRange ry = plan.row_taps[oy];
-      float* out_row = out + (o * plan.out_h + oy) * plan.out_w;
-      for (std::size_t ox = 0; ox < plan.out_w; ++ox) {
-        out_row[ox] = conv_raw_pixel(plan, input, weights, b, o, oy, ox, ry);
-      }
-    }
+    conv_scalar_channel(plan, input, weights, bias[o], o, out);
   }
 }
 
@@ -606,76 +713,314 @@ inline void conv_simd_row_group(const ConvPlan& plan, const float* input,
   }
 }
 
-/// Vectorized fault-free convolution: interior pixels in lane-width
-/// blocks (interleaved across row groups, overlap-finished at the row
-/// tail), border pixels through the scalar pixel reduction.
-/// Bit-identical to conv_raw_compute_scalar by construction.
-inline void conv_raw_compute_simd(const ConvPlan& plan, const float* input,
-                                  const float* weights, const float* bias,
-                                  float* out) noexcept {
-  const bool stride1 = plan.stride == 1;
-  const TapRange full_ry{0, plan.kh};
+/// Deterministic pixel-kernel row grouping: maximal runs of
+/// kSimdRowUnroll adjacent rows sharing the full vertical tap range form
+/// one group each; every other row (borders, run remainders) is its own
+/// group. A pure function of the plan — the pooled (channel x group)
+/// fan-out enumerates the same units in the same order at any thread
+/// count. Each pair is (oy0, run) with run either kSimdRowUnroll or 1.
+inline std::vector<std::pair<std::size_t, std::size_t>> pixel_row_groups(
+    const ConvPlan& plan) {
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
   const auto row_is_full = [&](std::size_t oy) noexcept {
     const TapRange t = plan.row_taps[oy];
     return t.begin == 0 && t.end == plan.kh;
   };
+  std::size_t oy = 0;
+  while (oy < plan.out_h) {
+    std::size_t run = 0;
+    if (row_is_full(oy)) {
+      run = 1;
+      while (run < kSimdRowUnroll && oy + run < plan.out_h &&
+             row_is_full(oy + run)) {
+        ++run;
+      }
+    }
+    if (run == kSimdRowUnroll) {
+      groups.emplace_back(oy, kSimdRowUnroll);
+      oy += kSimdRowUnroll;
+    } else {
+      groups.emplace_back(oy, std::size_t{1});
+      oy += 1;
+    }
+  }
+  return groups;
+}
+
+/// One (output channel, row group) unit of the pixel-lane kernel — the
+/// granule the pooled fan-out distributes. Writes only rows
+/// [oy0, oy0 + run) of channel o.
+inline void conv_pixel_unit(const ConvPlan& plan, const float* input,
+                            const float* weights, float b, std::size_t o,
+                            std::size_t oy0, std::size_t run, bool stride1,
+                            float* out) noexcept {
+  if (run == kSimdRowUnroll) {
+    const TapRange full_ry{0, plan.kh};
+    if (stride1) {
+      conv_simd_row_group<true, kSimdRowUnroll>(plan, input, weights, b, o,
+                                                oy0, full_ry, out);
+    } else {
+      conv_simd_row_group<false, kSimdRowUnroll>(plan, input, weights, b, o,
+                                                 oy0, full_ry, out);
+    }
+  } else {
+    const TapRange ry = plan.row_taps[oy0];
+    if (stride1) {
+      conv_simd_row_group<true, 1>(plan, input, weights, b, o, oy0, ry, out);
+    } else {
+      conv_simd_row_group<false, 1>(plan, input, weights, b, o, oy0, ry, out);
+    }
+  }
+}
+
+/// Vectorized fault-free convolution, pixel-lane strategy: interior
+/// pixels in lane-width blocks (interleaved across row groups,
+/// overlap-finished at the row tail), border pixels through the scalar
+/// pixel reduction. Bit-identical to conv_raw_compute_scalar by
+/// construction. Serial form, kept callable for A/B tests and benches.
+inline void conv_raw_compute_simd(const ConvPlan& plan, const float* input,
+                                  const float* weights, const float* bias,
+                                  float* out) {
+  const bool stride1 = plan.stride == 1;
+  const auto groups = pixel_row_groups(plan);
   for (std::size_t o = 0; o < plan.out_c; ++o) {
-    const float b = bias[o];
-    std::size_t oy = 0;
-    while (oy < plan.out_h) {
-      // Group kSimdRowUnroll rows sharing the full vertical tap range;
-      // border rows (and the group remainder) go one row at a time.
-      std::size_t run = 0;
-      if (row_is_full(oy)) {
-        run = 1;
-        while (run < kSimdRowUnroll && oy + run < plan.out_h &&
-               row_is_full(oy + run)) {
-          ++run;
+    for (const auto& [oy0, run] : groups) {
+      conv_pixel_unit(plan, input, weights, bias[o], o, oy0, run, stride1,
+                      out);
+    }
+  }
+}
+
+/// Channel blocks (of kFloatLanes output channels each) processed
+/// together per output-pixel pass. Like the pixel kernel's row groups:
+/// each block keeps its own accumulator chain, and grouping amortizes
+/// the input broadcast while hiding vector-add latency.
+inline constexpr std::size_t kChannelBlockUnroll = 4;
+
+/// B channel blocks x P output pixels of the channel-lane kernel: lane l
+/// of block b accumulates output channel o0 + b*lanes + l at pixel
+/// (oy, ox0 + p). The reduction per lane runs the scalar (c, ky, kx)
+/// order — one contiguous weight-vector load per (tap, block), one input
+/// broadcast per (tap, pixel), lane-wise mul then add with
+/// -ffp-contract=off — so every lane is bit-identical to the scalar
+/// pixel. All lanes share (oy, ox), hence the tap ranges: border pixels
+/// go through this same kernel with narrower ranges instead of a
+/// separate scalar path. Caller guarantees all P pixels share `rx` and
+/// that padded blocks beyond pack.oc are excluded; the partial tail
+/// block scatters only its valid lanes (padding lanes compute on zero
+/// weights and are discarded).
+template <std::size_t B, std::size_t P>
+HYBRIDCNN_RELIABLE_ALWAYS_INLINE void conv_channel_pixels(
+    const ConvPlan& plan, const WeightPack& pack, const float* input,
+    std::size_t o0, std::size_t oy, std::size_t ox0, const TapRange ry,
+    const TapRange rx, float* out) noexcept {
+  namespace isa = runtime::isa;
+  static_assert(B >= 1 && B <= kChannelBlockUnroll);
+  static_assert(P >= 1 && P <= 2);
+  isa::VecF acc[B * P];
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t b = 0; b < B; ++b) {
+      acc[p * B + b] =
+          isa::loadu(pack.bias.data() + o0 + b * isa::kFloatLanes);
+    }
+  }
+  for (std::size_t c = 0; c < plan.in_c; ++c) {
+    for (std::size_t ky = ry.begin; ky < ry.end; ++ky) {
+      const std::size_t iy = oy * plan.stride + ky - plan.pad;
+      const float* in_row = input + (c * plan.in_h + iy) * plan.in_w;
+      for (std::size_t kx = rx.begin; kx < rx.end; ++kx) {
+        const float* w =
+            pack.weights.data() +
+            ((ky * plan.kw + kx) * plan.in_c + c) * pack.padded_oc + o0;
+        isa::VecF wv[B];
+        for (std::size_t b = 0; b < B; ++b) {
+          wv[b] = isa::loadu(w + b * isa::kFloatLanes);
+        }
+        for (std::size_t p = 0; p < P; ++p) {
+          const std::size_t ix = (ox0 + p) * plan.stride + kx - plan.pad;
+          const isa::VecF xv = isa::splat(in_row[ix]);
+          for (std::size_t b = 0; b < B; ++b) {
+            acc[p * B + b] = acc[p * B + b] + xv * wv[b];
+          }
         }
       }
-      if (run == kSimdRowUnroll) {
-        if (stride1) {
-          conv_simd_row_group<true, kSimdRowUnroll>(plan, input, weights, b,
-                                                    o, oy, full_ry, out);
-        } else {
-          conv_simd_row_group<false, kSimdRowUnroll>(plan, input, weights, b,
-                                                     o, oy, full_ry, out);
-        }
-        oy += kSimdRowUnroll;
-      } else {
-        const TapRange ry = plan.row_taps[oy];
-        if (stride1) {
-          conv_simd_row_group<true, 1>(plan, input, weights, b, o, oy, ry,
-                                       out);
-        } else {
-          conv_simd_row_group<false, 1>(plan, input, weights, b, o, oy, ry,
-                                        out);
-        }
-        ++oy;
+    }
+  }
+  // Lane l of block b is output channel o0 + b*lanes + l: scatter into
+  // the [o][oy][ox] layout, skipping the zero-padded tail lanes.
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::size_t ob = o0 + b * isa::kFloatLanes;
+      const std::size_t valid = std::min(isa::kFloatLanes, pack.oc - ob);
+      for (std::size_t l = 0; l < valid; ++l) {
+        out[((ob + l) * plan.out_h + oy) * plan.out_w + ox0 + p] =
+            acc[p * B + b][l];
       }
+    }
+  }
+}
+
+/// One output row for one group of B channel blocks — the unit the
+/// pooled channel-lane fan-out distributes. Adjacent output columns
+/// sharing one tap range pair up so each weight-vector load is amortized
+/// over two input broadcasts. Any (stride, pad, kw) geometry takes this
+/// one code path — border columns simply carry narrower tap ranges.
+template <std::size_t B>
+inline void conv_channel_group_row(const ConvPlan& plan,
+                                   const WeightPack& pack, const float* input,
+                                   std::size_t o0, std::size_t oy,
+                                   float* out) noexcept {
+  const TapRange ry = plan.row_taps[oy];
+  std::size_t ox = 0;
+  while (ox < plan.out_w) {
+    const TapRange rx = plan.col_taps[ox];
+    if (ox + 1 < plan.out_w && plan.col_taps[ox + 1].begin == rx.begin &&
+        plan.col_taps[ox + 1].end == rx.end) {
+      conv_channel_pixels<B, 2>(plan, pack, input, o0, oy, ox, ry, rx, out);
+      ox += 2;
+    } else {
+      conv_channel_pixels<B, 1>(plan, pack, input, o0, oy, ox, ry, rx, out);
+      ox += 1;
+    }
+  }
+}
+
+/// Channel-block group count: blocks are grouped into runs of
+/// kChannelBlockUnroll (the remainder group is smaller). The grouping is
+/// a pure function of the pack, never of the thread count, so every
+/// output element sees the same kernel instantiation — and the same
+/// per-lane arithmetic order — at any parallelism.
+inline std::size_t channel_group_count(const WeightPack& pack) noexcept {
+#ifdef HYBRIDCNN_ISA_SIMD
+  const std::size_t blocks = pack.padded_oc / runtime::isa::kFloatLanes;
+#else
+  const std::size_t blocks = pack.padded_oc;
+#endif
+  return (blocks + kChannelBlockUnroll - 1) / kChannelBlockUnroll;
+}
+
+/// One (block group, output row) unit of the channel-lane kernel.
+inline void conv_channel_unit(const ConvPlan& plan, const WeightPack& pack,
+                              const float* input, std::size_t group,
+                              std::size_t oy, float* out) noexcept {
+  namespace isa = runtime::isa;
+  const std::size_t blocks = pack.padded_oc / isa::kFloatLanes;
+  const std::size_t blk = group * kChannelBlockUnroll;
+  const std::size_t o0 = blk * isa::kFloatLanes;
+  switch (std::min(kChannelBlockUnroll, blocks - blk)) {
+    case 4:
+      conv_channel_group_row<4>(plan, pack, input, o0, oy, out);
+      break;
+    case 3:
+      conv_channel_group_row<3>(plan, pack, input, o0, oy, out);
+      break;
+    case 2:
+      conv_channel_group_row<2>(plan, pack, input, o0, oy, out);
+      break;
+    default:
+      conv_channel_group_row<1>(plan, pack, input, o0, oy, out);
+      break;
+  }
+}
+
+/// Vectorized fault-free convolution, channel-lane strategy over a
+/// repacked WeightPack. Serial form, kept callable for A/B tests and
+/// benches; the pooled driver fans the same (group, row) units instead.
+inline void conv_raw_compute_channel(const ConvPlan& plan,
+                                     const WeightPack& pack,
+                                     const float* input, float* out) noexcept {
+  const std::size_t groups = channel_group_count(pack);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t oy = 0; oy < plan.out_h; ++oy) {
+      conv_channel_unit(plan, pack, input, g, oy, out);
     }
   }
 }
 
 #endif  // HYBRIDCNN_ISA_SIMD
 
-/// Fault-free convolution fast path: dispatches to the vectorized kernel
-/// when the target has vectors, the kill-switch is open and the interior
-/// spans at least one full lane block; scalar otherwise.
-inline void conv_raw_compute(const ConvPlan& plan, const float* input,
-                             const float* weights, const float* bias,
-                             float* out) noexcept {
+/// True when the pixel-lane kernel can vectorize this geometry (interior
+/// wide enough for a lane block, pack-buffer-bounded strides).
+/// Independent of the runtime switches.
+inline bool pixel_kernel_eligible(const ConvPlan& plan) noexcept {
 #ifdef HYBRIDCNN_ISA_SIMD
-  if (reliable_simd_enabled() &&
-      plan.interior_x_end - plan.interior_x_begin >=
-          runtime::isa::kFloatLanes &&
-      (plan.stride == 1 ||
-       (plan.stride <= kMaxSimdStride && plan.kw <= kMaxSimdKw))) {
-    conv_raw_compute_simd(plan, input, weights, bias, out);
-    return;
-  }
+  return plan.interior_x_end - plan.interior_x_begin >=
+             runtime::isa::kFloatLanes &&
+         (plan.stride == 1 ||
+          (plan.stride <= kMaxSimdStride && plan.kw <= kMaxSimdKw));
+#else
+  (void)plan;
+  return false;
 #endif
-  conv_raw_compute_scalar(plan, input, weights, bias, out);
+}
+
+/// Fault-free convolution fast path. Picks the kernel — channel lanes
+/// over the repacked weights, pixel lanes, or scalar — from the target,
+/// the runtime switches and the auto heuristic, then fans the disjoint
+/// output slices across the global pool: channel-block chunks for the
+/// channel kernel, (channel x row-group) units for the pixel kernel,
+/// whole channels for the scalar loop. Every output element is computed
+/// by exactly one unit in the scalar per-pixel reduction order, and the
+/// elided qualified bookkeeping is credited in closed form by the caller
+/// after the join, so outputs and statistics are bit-identical at every
+/// thread count. Inside an outer parallel region (batched classify,
+/// campaign fan-out) the pool serialises the nested fan inline. `pack`
+/// may be null — the channel kernel is then unavailable and forced
+/// kChannel falls through like an ineligible pixel geometry.
+inline void conv_raw_compute(const ConvPlan& plan, const WeightPack* pack,
+                             const float* input, const float* weights,
+                             const float* bias, float* out) {
+  runtime::ThreadPool& pool = runtime::ComputeContext::global().pool();
+#ifdef HYBRIDCNN_ISA_SIMD
+  if (reliable_simd_enabled()) {
+    ConvKernel kernel = reliable_kernel_choice();
+    if (kernel == ConvKernel::kAuto) {
+      kernel = pack != nullptr && plan.out_c >= runtime::isa::kFloatLanes
+                   ? ConvKernel::kChannel
+                   : ConvKernel::kPixel;
+    }
+    if (kernel == ConvKernel::kChannel && pack != nullptr) {
+      // Units are (block group, output row): the block grouping — and
+      // with it every kernel instantiation — is fixed by the pack alone,
+      // so chunk boundaries only decide which thread runs a unit, and
+      // rows give the fan enough units even when the channel extent is a
+      // single group.
+      const std::size_t groups = channel_group_count(*pack);
+      pool.parallel_for_chunks(
+          0, groups * plan.out_h, 1,
+          [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t u = begin; u < end; ++u) {
+              conv_channel_unit(plan, *pack, input, u / plan.out_h,
+                                u % plan.out_h, out);
+            }
+          });
+      return;
+    }
+    if (kernel != ConvKernel::kChannel && pixel_kernel_eligible(plan)) {
+      const auto groups = pixel_row_groups(plan);
+      const bool stride1 = plan.stride == 1;
+      pool.parallel_for_chunks(
+          0, plan.out_c * groups.size(), 1,
+          [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t u = begin; u < end; ++u) {
+              const std::size_t o = u / groups.size();
+              const auto [oy0, run] = groups[u % groups.size()];
+              conv_pixel_unit(plan, input, weights, bias[o], o, oy0, run,
+                              stride1, out);
+            }
+          });
+      return;
+    }
+  }
+#else
+  (void)pack;
+#endif
+  pool.parallel_for_chunks(
+      0, plan.out_c, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t o = begin; o < end; ++o) {
+          conv_scalar_channel(plan, input, weights, bias[o], o, out);
+        }
+      });
 }
 
 /// Unqualified (raw-arithmetic) convolution pass through a concrete
@@ -796,11 +1141,13 @@ inline void linear_raw_compute_scalar(std::size_t out_n, std::size_t in_n,
 
 #ifdef HYBRIDCNN_ISA_SIMD
 
-/// Vectorized fault-free dense fast path: lanes are independent output
-/// neurons (lane l accumulates neuron o0+l over the full input in index
-/// order — the dense analogue of the conv pixel lanes), with one input
-/// broadcast and a per-lane weight gather (weights are [out, in], so one
-/// input column is strided by in_n). The neuron remainder runs scalar.
+/// Vectorized fault-free dense fast path, gather form: lanes are
+/// independent output neurons (lane l accumulates neuron o0+l over the
+/// full input in index order — the dense analogue of the conv pixel
+/// lanes), with one input broadcast and a per-lane weight gather
+/// (weights are [out, in], so one input column is strided by in_n). The
+/// neuron remainder runs scalar. Kept callable for the A/B micro-bench
+/// against the packed form and as the pack-less fallback.
 inline void linear_raw_compute_simd(std::size_t out_n, std::size_t in_n,
                                     const float* input, const float* weights,
                                     const float* bias, float* out) noexcept {
@@ -825,17 +1172,122 @@ inline void linear_raw_compute_simd(std::size_t out_n, std::size_t in_n,
 
 #endif  // HYBRIDCNN_ISA_SIMD
 
-/// Fault-free dense fast path: vector kernel when available, enabled and
-/// at least one full lane block of output neurons exists; scalar
-/// otherwise.
+/// Neuron-lane weight layout for the dense fast path: [out, in] weights
+/// transposed into [in][padded_out] rows so each input step issues
+/// contiguous weight-vector loads across adjacent output neurons instead
+/// of the gather kernel's lane-by-lane strided reads. Same lifetime rule
+/// as the conv WeightPack: cached by the owner, keyed on `generation`.
+struct LinearWeightPack {
+  std::vector<float> weights;  ///< [in][padded_out]
+  std::vector<float> bias;     ///< [padded_out], zero beyond out_n
+  std::size_t out_n = 0;
+  std::size_t padded_out = 0;
+  std::size_t in_n = 0;
+  std::uint64_t generation = 0;
+};
+
+inline LinearWeightPack build_linear_pack(std::size_t out_n, std::size_t in_n,
+                                          const float* weights,
+                                          const float* bias,
+                                          std::uint64_t generation) {
+  LinearWeightPack pack;
+  pack.out_n = out_n;
+  pack.padded_out = channel_pack_width(out_n);
+  pack.in_n = in_n;
+  pack.generation = generation;
+  pack.weights.assign(in_n * pack.padded_out, 0.0f);
+  pack.bias.assign(pack.padded_out, 0.0f);
+  for (std::size_t o = 0; o < out_n; ++o) {
+    pack.bias[o] = bias[o];
+    for (std::size_t i = 0; i < in_n; ++i) {
+      pack.weights[i * pack.padded_out + o] = weights[o * in_n + i];
+    }
+  }
+  return pack;
+}
+
+#ifdef HYBRIDCNN_ISA_SIMD
+
+/// Vectorized fault-free dense fast path, packed form: the channel-lane
+/// idea applied to the dense layer. Lane l of block b accumulates neuron
+/// b*lanes + l; every input element is one broadcast against contiguous
+/// weight vectors, blocks grouped like the conv channel blocks. Adjacent
+/// lanes are adjacent output neurons, so full blocks store straight to
+/// the output; only the padded tail block scatters its valid lanes. Per
+/// lane the reduction is the exact scalar index order.
+inline void linear_raw_compute_packed(const LinearWeightPack& pack,
+                                      const float* input,
+                                      float* out) noexcept {
+  namespace isa = runtime::isa;
+  constexpr std::size_t kLanes = isa::kFloatLanes;
+  const std::size_t blocks = pack.padded_out / kLanes;
+  const auto run_group = [&](std::size_t blk, auto b_tag) {
+    constexpr std::size_t B = decltype(b_tag)::value;
+    const std::size_t o0 = blk * kLanes;
+    isa::VecF acc[B];
+    for (std::size_t b = 0; b < B; ++b) {
+      acc[b] = isa::loadu(pack.bias.data() + o0 + b * kLanes);
+    }
+    for (std::size_t i = 0; i < pack.in_n; ++i) {
+      const isa::VecF xv = isa::splat(input[i]);
+      const float* w = pack.weights.data() + i * pack.padded_out + o0;
+      for (std::size_t b = 0; b < B; ++b) {
+        acc[b] = acc[b] + xv * isa::loadu(w + b * kLanes);
+      }
+    }
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::size_t ob = o0 + b * kLanes;
+      const std::size_t valid = std::min(kLanes, pack.out_n - ob);
+      if (valid == kLanes) {
+        isa::storeu(out + ob, acc[b]);
+      } else {
+        for (std::size_t l = 0; l < valid; ++l) out[ob + l] = acc[b][l];
+      }
+    }
+  };
+  std::size_t blk = 0;
+  while (blk < blocks) {
+    const std::size_t group = std::min(kChannelBlockUnroll, blocks - blk);
+    switch (group) {
+      case 4:
+        run_group(blk, std::integral_constant<std::size_t, 4>{});
+        break;
+      case 3:
+        run_group(blk, std::integral_constant<std::size_t, 3>{});
+        break;
+      case 2:
+        run_group(blk, std::integral_constant<std::size_t, 2>{});
+        break;
+      default:
+        run_group(blk, std::integral_constant<std::size_t, 1>{});
+        break;
+    }
+    blk += group;
+  }
+}
+
+#endif  // HYBRIDCNN_ISA_SIMD
+
+/// Fault-free dense fast path: the packed neuron-lane kernel when a pack
+/// is supplied, the gather kernel when not (and a full lane block of
+/// neurons exists), scalar otherwise.
 inline void linear_raw_compute(std::size_t out_n, std::size_t in_n,
+                               const LinearWeightPack* pack,
                                const float* input, const float* weights,
                                const float* bias, float* out) noexcept {
 #ifdef HYBRIDCNN_ISA_SIMD
-  if (reliable_simd_enabled() && out_n >= runtime::isa::kFloatLanes) {
-    linear_raw_compute_simd(out_n, in_n, input, weights, bias, out);
-    return;
+  if (reliable_simd_enabled()) {
+    if (pack != nullptr) {
+      linear_raw_compute_packed(*pack, input, out);
+      return;
+    }
+    if (out_n >= runtime::isa::kFloatLanes) {
+      linear_raw_compute_simd(out_n, in_n, input, weights, bias, out);
+      return;
+    }
   }
+#else
+  (void)pack;
 #endif
   linear_raw_compute_scalar(out_n, in_n, input, weights, bias, out);
 }

@@ -45,12 +45,12 @@ inline constexpr const char* kIsaName = "scalar";
 
 #ifdef HYBRIDCNN_ISA_SIMD
 
-/// All lanes set to `x`.
-inline VecF splat(float x) noexcept {
-  VecF v;
-  for (std::size_t l = 0; l < kFloatLanes; ++l) v[l] = x;
-  return v;
-}
+/// All lanes set to `x`. The scalar-vector binop broadcasts in one
+/// instruction; subtracting the zero vector is an exact IEEE identity
+/// for every bit pattern (including -0.0, infinities and NaN payloads),
+/// so the compiler folds it away — unlike a per-lane insert loop, which
+/// GCC can lower to a chain of masked broadcasts.
+inline VecF splat(float x) noexcept { return x - VecF{}; }
 
 /// Unaligned vector load.
 inline VecF loadu(const float* p) noexcept {

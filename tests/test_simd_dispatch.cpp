@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "faultsim/bitflip.hpp"
@@ -34,7 +36,11 @@ using hybridcnn::reliable::make_executor;
 using hybridcnn::reliable::ReliableConv2d;
 using hybridcnn::reliable::ReliableLinear;
 using hybridcnn::reliable::ReliableResult;
+using hybridcnn::reliable::detail::ConvKernel;
+using hybridcnn::reliable::detail::parse_reliable_kernel;
+using hybridcnn::reliable::detail::reliable_kernel_choice;
 using hybridcnn::reliable::detail::reliable_simd_enabled;
+using hybridcnn::reliable::detail::set_reliable_kernel_choice;
 using hybridcnn::reliable::detail::set_reliable_simd_enabled;
 using hybridcnn::runtime::ComputeContext;
 using hybridcnn::runtime::isa::kFloatLanes;
@@ -51,6 +57,18 @@ class SimdGuard {
 
  private:
   bool saved_;
+};
+
+/// Same for the kernel-strategy override: tests that pin a kernel must
+/// not leak the forced choice (or clobber an HYBRIDCNN_RELIABLE_KERNEL
+/// override the whole suite is running under) into other tests.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(reliable_kernel_choice()) {}
+  ~KernelGuard() { set_reliable_kernel_choice(saved_); }
+
+ private:
+  ConvKernel saved_;
 };
 
 struct Geometry {
@@ -321,5 +339,177 @@ TEST_P(SimdDispatchThreads, FaultFreeCampaignMatchesGeneric) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, SimdDispatchThreads,
                          ::testing::Values<std::size_t>(1, 2, 8));
+
+// ------------------------------------------- kernel-strategy four-way
+
+/// Channel-lane vs pixel-lane vs scalar vs generic, across every scheme
+/// and geometry, at each pool width. The channel kernel is forced even
+/// where the auto heuristic would not pick it (out_c below a lane block)
+/// so its masked tail-store path is exercised hard; the pixel kernel is
+/// forced even where it is ineligible (narrow interior), which must fall
+/// back to the scalar loop — also bit-identical.
+class SimdKernelThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SimdKernelThreads, ChannelPixelScalarGenericAgreeBitForBit) {
+  const SimdGuard guard;
+  const KernelGuard kernel_guard;
+  ComputeContext::set_global_threads(GetParam());
+  for (const char* scheme : {"simplex", "dmr", "tmr"}) {
+    for (std::size_t gi = 0; gi < kGeometries.size(); ++gi) {
+      SCOPED_TRACE(std::string(scheme) + " geometry " + std::to_string(gi) +
+                   " threads " + std::to_string(GetParam()));
+      const Geometry& g = kGeometries[gi];
+      const ReliableConv2d conv = make_conv(g);
+      const Tensor input = make_input(g);
+
+      const auto oracle_exec = make_executor(scheme, nullptr);
+      const ReliableResult oracle = conv.forward_generic(input, *oracle_exec);
+
+      set_reliable_simd_enabled(false);
+      set_reliable_kernel_choice(ConvKernel::kAuto);
+      const auto scalar_exec = make_executor(scheme, nullptr);
+      const ReliableResult scalar = conv.forward(input, *scalar_exec);
+
+      set_reliable_simd_enabled(true);
+      for (const ConvKernel kernel :
+           {ConvKernel::kPixel, ConvKernel::kChannel, ConvKernel::kAuto}) {
+        set_reliable_kernel_choice(kernel);
+        const auto exec = make_executor(scheme, nullptr);
+        const ReliableResult fast = conv.forward(input, *exec);
+        ASSERT_TRUE(fast.report.ok);
+        expect_bits_equal(fast.output, oracle.output);
+        EXPECT_TRUE(fast.report == oracle.report);
+        EXPECT_EQ(exec->stats().logical_ops, oracle_exec->stats().logical_ops);
+        EXPECT_EQ(exec->stats().executions, oracle_exec->stats().executions);
+      }
+      expect_bits_equal(scalar.output, oracle.output);
+      EXPECT_TRUE(scalar.report == oracle.report);
+    }
+  }
+  ComputeContext::set_global_threads(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SimdKernelThreads,
+                         ::testing::Values<std::size_t>(1, 2, 8));
+
+// --------------------------------------------- weight-repack staleness
+
+TEST(WeightRepack, ConvPackIsInvalidatedBySetWeights) {
+  const SimdGuard guard;
+  const KernelGuard kernel_guard;
+  set_reliable_simd_enabled(true);
+  set_reliable_kernel_choice(ConvKernel::kChannel);
+
+  const Geometry& g = kGeometries[0];
+  ReliableConv2d conv = make_conv(g);
+  const Tensor input = make_input(g);
+
+  conv.prepare_fast_path();
+  const auto pack_before = conv.channel_pack();
+  const std::uint64_t gen_before = conv.weight_generation();
+  if (pack_before != nullptr) {  // nullptr on non-SIMD targets
+    EXPECT_EQ(pack_before->generation, gen_before);
+  }
+
+  // Mutate the weights: the cached pack must be rebuilt, and the forward
+  // must match a conv constructed fresh with the new weights bit for bit.
+  Rng rng(97);
+  Tensor new_weights(Shape{g.out_c, g.in_c, g.k, g.k});
+  new_weights.fill_normal(rng, 0.0f, 0.5f);
+  conv.set_weights(new_weights);
+  EXPECT_EQ(conv.weight_generation(), gen_before + 1);
+
+  const auto pack_after = conv.channel_pack();
+  if (pack_after != nullptr) {
+    EXPECT_NE(pack_before.get(), pack_after.get());
+    EXPECT_EQ(pack_after->generation, gen_before + 1);
+  }
+
+  Tensor bias(Shape{g.out_c});
+  Rng bias_rng(11);  // make_conv's seed: regenerate the same bias
+  Tensor w_dummy(Shape{g.out_c, g.in_c, g.k, g.k});
+  w_dummy.fill_normal(bias_rng, 0.0f, 0.5f);
+  bias.fill_normal(bias_rng, 0.0f, 0.1f);
+  const ReliableConv2d fresh(new_weights, bias, ConvSpec{g.stride, g.pad},
+                             {});
+
+  const auto stale_exec = make_executor("simplex", nullptr);
+  const auto fresh_exec = make_executor("simplex", nullptr);
+  const ReliableResult updated = conv.forward(input, *stale_exec);
+  const ReliableResult expected = fresh.forward(input, *fresh_exec);
+  expect_bits_equal(updated.output, expected.output);
+  EXPECT_TRUE(updated.report == expected.report);
+
+  // And a stale-shape update must be rejected without touching state.
+  Tensor bad(Shape{g.out_c, g.in_c, g.k, g.k + 1});
+  EXPECT_THROW(conv.set_weights(bad), std::invalid_argument);
+  EXPECT_EQ(conv.weight_generation(), gen_before + 1);
+}
+
+TEST(WeightRepack, LinearPackIsInvalidatedBySetWeights) {
+  const SimdGuard guard;
+  set_reliable_simd_enabled(true);
+
+  const std::size_t out_n = 2 * kFloatLanes + 3;
+  const std::size_t in_n = 19;
+  Rng rng(5);
+  Tensor weights(Shape{out_n, in_n});
+  weights.fill_normal(rng, 0.0f, 0.4f);
+  Tensor bias(Shape{out_n});
+  bias.fill_normal(rng, 0.0f, 0.1f);
+  ReliableLinear linear(weights, bias);
+  Tensor input(Shape{in_n});
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  linear.prepare_fast_path();
+  const auto pack_before = linear.neuron_pack();
+  const std::uint64_t gen_before = linear.weight_generation();
+
+  Tensor new_weights(Shape{out_n, in_n});
+  new_weights.fill_normal(rng, 0.0f, 0.4f);
+  linear.set_weights(new_weights);
+  EXPECT_EQ(linear.weight_generation(), gen_before + 1);
+  const auto pack_after = linear.neuron_pack();
+  if (pack_after != nullptr) {
+    EXPECT_NE(pack_before.get(), pack_after.get());
+    EXPECT_EQ(pack_after->generation, gen_before + 1);
+  }
+
+  const ReliableLinear fresh(new_weights, bias);
+  const auto updated_exec = make_executor("simplex", nullptr);
+  const auto fresh_exec = make_executor("simplex", nullptr);
+  const ReliableResult updated = linear.forward(input, *updated_exec);
+  const ReliableResult expected = fresh.forward(input, *fresh_exec);
+  expect_bits_equal(updated.output, expected.output);
+  EXPECT_TRUE(updated.report == expected.report);
+
+  Tensor bad(Shape{out_n, in_n + 1});
+  EXPECT_THROW(linear.set_weights(bad), std::invalid_argument);
+}
+
+// ------------------------------------------------- override handling
+
+TEST(KernelChoice, ParseAcceptsExactSpellingsOnly) {
+  EXPECT_EQ(parse_reliable_kernel(nullptr), std::nullopt);
+  EXPECT_EQ(parse_reliable_kernel("pixel"), ConvKernel::kPixel);
+  EXPECT_EQ(parse_reliable_kernel("channel"), ConvKernel::kChannel);
+  EXPECT_EQ(parse_reliable_kernel("auto"), ConvKernel::kAuto);
+  // Typos and near-misses must not silently pin a strategy.
+  EXPECT_EQ(parse_reliable_kernel(""), std::nullopt);
+  EXPECT_EQ(parse_reliable_kernel("Pixel"), std::nullopt);
+  EXPECT_EQ(parse_reliable_kernel("CHANNEL"), std::nullopt);
+  EXPECT_EQ(parse_reliable_kernel("pixel "), std::nullopt);
+  EXPECT_EQ(parse_reliable_kernel("channels"), std::nullopt);
+  EXPECT_EQ(parse_reliable_kernel("0"), std::nullopt);
+}
+
+TEST(KernelChoice, SetAndRestoreRoundTrips) {
+  const KernelGuard kernel_guard;
+  for (const ConvKernel kernel :
+       {ConvKernel::kPixel, ConvKernel::kChannel, ConvKernel::kAuto}) {
+    set_reliable_kernel_choice(kernel);
+    EXPECT_EQ(reliable_kernel_choice(), kernel);
+  }
+}
 
 }  // namespace

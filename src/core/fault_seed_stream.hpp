@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/contracts.hpp"
+
 namespace hybridcnn::core {
 
 class FaultSeedStream {
@@ -47,5 +49,13 @@ class FaultSeedStream {
  private:
   std::uint64_t next_;
 };
+
+// The serving layer copies streams across threads and sessions by value
+// and replays them for bit-identity proofs; both assume the cursor is a
+// plain 8-byte value with no hidden state.
+HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(FaultSeedStream);
+HYBRIDCNN_CONTRACT(sizeof(FaultSeedStream) == sizeof(std::uint64_t),
+                   "FaultSeedStream must stay a bare cursor: any added "
+                   "state would leak hidden nondeterminism into replays");
 
 }  // namespace hybridcnn::core

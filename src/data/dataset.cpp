@@ -31,8 +31,13 @@ std::vector<Example> make_dataset(std::size_t per_class,
       p.offset_x = rng.uniform(-max_off, max_off);
       p.brightness = rng.uniform(config.min_brightness, config.max_brightness);
       p.noise_sigma = config.noise_sigma;
-      p.noise_seed = (static_cast<std::uint64_t>(rng()) << 32) | rng();
-      out.push_back(Example{render_sign(p), static_cast<int>(cls)});
+      // Drawn as two sequenced statements: both halves in one expression
+      // would leave the draw order unspecified, making the rendered noise
+      // (and thus the whole dataset) differ between compilers.
+      const auto seed_hi = static_cast<std::uint64_t>(rng());
+      const auto seed_lo = static_cast<std::uint64_t>(rng());
+      p.noise_seed = (seed_hi << 32) | seed_lo;
+      out.emplace_back(render_sign(p), static_cast<int>(cls));
     }
   }
 

@@ -11,8 +11,21 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
+
+#include "util/contracts.hpp"
 
 namespace hybridcnn::faultsim {
+
+// The whole SEU model — bit positions, SEC-DED codeword layout, the
+// DMR/TMR bitwise comparisons — is written against 32-bit IEEE-754
+// single precision. A platform where float is anything else would
+// silently change every fault-site distribution.
+HYBRIDCNN_CONTRACT(sizeof(float) == sizeof(std::uint32_t),
+                   "SEU modelling flips bits of a 32-bit float");
+HYBRIDCNN_CONTRACT(std::numeric_limits<float>::is_iec559,
+                   "fault-site semantics (sign/exponent/mantissa split) "
+                   "assume IEEE-754 binary32");
 
 /// Reinterprets a float as its raw 32-bit pattern.
 inline std::uint32_t float_bits(float v) noexcept {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/contracts.hpp"
 
 namespace hybridcnn::faultsim {
 
@@ -34,6 +35,10 @@ struct ScrubReport {
     return corrected() == 0 && uncorrectable == 0;
   }
 };
+
+// Scrub reports are accumulated across campaign runs by plain field
+// addition and compared in the thread-count bit-identity sweeps.
+HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(ScrubReport);
 
 /// Hamming SEC-DED codec for one 32-bit word: 6 Hamming check bits plus
 /// an overall parity bit.

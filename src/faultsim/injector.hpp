@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "faultsim/fault_model.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace hybridcnn::faultsim {
@@ -21,6 +22,10 @@ struct InjectorStats {
   std::uint64_t executions = 0;  ///< scalar op executions observed
   std::uint64_t faults = 0;      ///< executions that were corrupted
 };
+
+// Campaign workers snapshot and diff these counters by value; the
+// equivalence tests compare them bit-for-bit against the generic path.
+HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(InjectorStats);
 
 /// Decides per scalar-operation execution whether an SEU corrupts it.
 ///

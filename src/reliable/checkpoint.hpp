@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "tensor/tensor.hpp"
+#include "util/contracts.hpp"
 
 namespace hybridcnn::reliable {
 
@@ -56,6 +57,13 @@ class ScalarCheckpoint {
   std::uint64_t commits_ = 0;
   std::uint64_t rollbacks_ = 0;
 };
+
+// The scalar checkpoint models a committed NVM cell: commit/rollback are
+// atomic raw-byte writes, which is only an honest model for a
+// memcpy-able type. (ProgressCheckpoint owns a Tensor and is excluded by
+// design — its commit is modelled as a double-buffered slot swap, not a
+// byte copy; see the class comment.)
+HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(ScalarCheckpoint);
 
 /// Committed-progress cell for checkpointed (intermittent) inference:
 /// the non-volatile (step, activation) pair execution resumes from after

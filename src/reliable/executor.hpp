@@ -28,6 +28,7 @@
 #include "faultsim/bitflip.hpp"
 #include "faultsim/injector.hpp"
 #include "reliable/qualified.hpp"
+#include "util/contracts.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define HYBRIDCNN_RELIABLE_ALWAYS_INLINE inline __attribute__((always_inline))
@@ -51,6 +52,16 @@ struct ExecutorStats {
 /// once per forward. kCustom means "not one of the library's schemes" and
 /// routes to the generic virtual-dispatch path.
 enum class Scheme : std::uint8_t { kSimplex, kDmr, kTmr, kCustom };
+
+/// Number of Scheme enumerators. Every table keyed on Scheme (factory
+/// switch, name table, redundancy table) asserts agreement against this
+/// so adding a scheme without extending the tables fails to compile.
+inline constexpr std::size_t kSchemeCount = 4;
+
+HYBRIDCNN_CONTRACT_AGREE(static_cast<std::size_t>(Scheme::kCustom) + 1,
+                         kSchemeCount,
+                         "Scheme enumerators must stay dense 0..kCustom so "
+                         "kSchemeCount-sized tables cover every value");
 
 namespace detail {
 
@@ -184,13 +195,16 @@ class Executor {
 /// predefined qualifier set to true. Baseline performance reference.
 class SimplexExecutor final : public Executor {
  public:
+  static constexpr Scheme kScheme = Scheme::kSimplex;
+  static constexpr int kRedundancy = 1;
+
   using Executor::Executor;
   Qualified<float> mul(float a, float b) override { return mul_inline(a, b); }
   Qualified<float> add(float a, float b) override { return add_inline(a, b); }
   [[nodiscard]] std::string name() const override { return "simplex"; }
-  [[nodiscard]] int redundancy() const override { return 1; }
+  [[nodiscard]] int redundancy() const override { return kRedundancy; }
   [[nodiscard]] Scheme scheme_kind() const noexcept override {
-    return Scheme::kSimplex;
+    return kScheme;
   }
 
   HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> mul_inline(float a,
@@ -211,13 +225,16 @@ class SimplexExecutor final : public Executor {
 /// bit-identical. Detects (but cannot mask) any single-execution fault.
 class DmrExecutor final : public Executor {
  public:
+  static constexpr Scheme kScheme = Scheme::kDmr;
+  static constexpr int kRedundancy = 2;
+
   using Executor::Executor;
   Qualified<float> mul(float a, float b) override { return mul_inline(a, b); }
   Qualified<float> add(float a, float b) override { return add_inline(a, b); }
   [[nodiscard]] std::string name() const override { return "dmr"; }
-  [[nodiscard]] int redundancy() const override { return 2; }
+  [[nodiscard]] int redundancy() const override { return kRedundancy; }
   [[nodiscard]] Scheme scheme_kind() const noexcept override {
-    return Scheme::kDmr;
+    return kScheme;
   }
 
   HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> mul_inline(float a,
@@ -247,13 +264,16 @@ class DmrExecutor final : public Executor {
 /// qualifier is false only when all three results differ.
 class TmrExecutor final : public Executor {
  public:
+  static constexpr Scheme kScheme = Scheme::kTmr;
+  static constexpr int kRedundancy = 3;
+
   using Executor::Executor;
   Qualified<float> mul(float a, float b) override { return mul_inline(a, b); }
   Qualified<float> add(float a, float b) override { return add_inline(a, b); }
   [[nodiscard]] std::string name() const override { return "tmr"; }
-  [[nodiscard]] int redundancy() const override { return 3; }
+  [[nodiscard]] int redundancy() const override { return kRedundancy; }
   [[nodiscard]] Scheme scheme_kind() const noexcept override {
-    return Scheme::kTmr;
+    return kScheme;
   }
 
   HYBRIDCNN_RELIABLE_ALWAYS_INLINE Qualified<float> mul_inline(float a,
@@ -281,6 +301,29 @@ class TmrExecutor final : public Executor {
     return v;
   }
 };
+
+// Executor-layer contracts. The statically dispatched qualified kernels
+// (static_dispatch.hpp) fold mul_inline/add_inline straight into the
+// convolution inner loop and credit fault-free ops in closed form from
+// kRedundancy — both are sound only while the concrete schemes stay
+// final, their class constants agree with the virtual interface's
+// answers, and the stats payloads stay memcpy-able.
+HYBRIDCNN_CONTRACT_FINAL(SimplexExecutor);
+HYBRIDCNN_CONTRACT_FINAL(DmrExecutor);
+HYBRIDCNN_CONTRACT_FINAL(TmrExecutor);
+HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(ExecutorStats);
+HYBRIDCNN_CONTRACT_AGREE(SimplexExecutor::kScheme, Scheme::kSimplex,
+                         "SimplexExecutor must dispatch as kSimplex");
+HYBRIDCNN_CONTRACT_AGREE(DmrExecutor::kScheme, Scheme::kDmr,
+                         "DmrExecutor must dispatch as kDmr");
+HYBRIDCNN_CONTRACT_AGREE(TmrExecutor::kScheme, Scheme::kTmr,
+                         "TmrExecutor must dispatch as kTmr");
+HYBRIDCNN_CONTRACT_AGREE(SimplexExecutor::kRedundancy, 1,
+                         "simplex executes each logical op exactly once");
+HYBRIDCNN_CONTRACT_AGREE(DmrExecutor::kRedundancy, 2,
+                         "dmr executes each logical op exactly twice");
+HYBRIDCNN_CONTRACT_AGREE(TmrExecutor::kRedundancy, 3,
+                         "tmr executes each logical op exactly three times");
 
 /// Parses a scheme name ("simplex", "dmr", "tmr"); throws
 /// std::invalid_argument on unknown names. Callers that classify per

@@ -5,6 +5,8 @@
 // operation was carried out correctly or not." (Section IV)
 #pragma once
 
+#include "util/contracts.hpp"
+
 namespace hybridcnn::reliable {
 
 /// A value paired with the qualifier of the operation that produced it.
@@ -16,5 +18,10 @@ struct Qualified {
   T value{};
   bool ok = false;
 };
+
+// The qualified kernels pass Qualified<float> through registers in the
+// per-op hot loop and compare the value half bit-for-bit; both need a
+// trivially copyable aggregate.
+HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(Qualified<float>);
 
 }  // namespace hybridcnn::reliable

@@ -74,6 +74,7 @@
 #include "reliable/checkpoint.hpp"
 #include "reliable/executor.hpp"
 #include "reliable/leaky_bucket.hpp"
+#include "util/contracts.hpp"
 #include "reliable/reliable_conv.hpp"
 #include "reliable/report.hpp"
 #include "runtime/compute_context.hpp"
@@ -299,7 +300,7 @@ struct ConvPlan {
 
 /// Output-channel extent rounded up to the vector width (identity on
 /// targets without vectors), the lane padding the channel-lane pack uses.
-inline std::size_t channel_pack_width(std::size_t oc) noexcept {
+inline constexpr std::size_t channel_pack_width(std::size_t oc) noexcept {
 #ifdef HYBRIDCNN_ISA_SIMD
   constexpr std::size_t lanes = runtime::isa::kFloatLanes;
 #else
@@ -307,6 +308,23 @@ inline std::size_t channel_pack_width(std::size_t oc) noexcept {
 #endif
   return (oc + lanes - 1) / lanes * lanes;
 }
+
+// Pack-padding contracts: the channel-lane kernel loads whole vectors at
+// block offsets o0 = k * kFloatLanes and relies on the padded extent
+// being the *tightest* lane multiple — looser padding would add a
+// phantom all-zero block the block-unit slicing fans out as real work.
+HYBRIDCNN_CONTRACT(util::contracts::is_padded_to(
+                       channel_pack_width(1), 1, channel_pack_width(1)) &&
+                       channel_pack_width(1) == runtime::isa::kFloatLanes,
+                   "one output channel pads to exactly one vector block");
+HYBRIDCNN_CONTRACT(channel_pack_width(runtime::isa::kFloatLanes) ==
+                       runtime::isa::kFloatLanes,
+                   "a full block must not grow a padding block");
+HYBRIDCNN_CONTRACT(channel_pack_width(96) % runtime::isa::kFloatLanes == 0 &&
+                       channel_pack_width(96) - 96 <
+                           runtime::isa::kFloatLanes,
+                   "padding is the tightest lane multiple (AlexNet conv1's "
+                   "96 maps are the load-bearing case)");
 
 /// Channel-lane weight layout for the fault-free fast path: the OIHW
 /// weights repacked into [ky][kx][c][o] panels with the output-channel
@@ -525,6 +543,11 @@ inline constexpr std::size_t kSimdRowUnroll = 4;
 #define HYBRIDCNN_RELIABLE_VEC_SHUFFLE 1
 typedef std::int32_t VecShufI __attribute__((
     vector_size(sizeof(std::int32_t) * runtime::isa::kFloatLanes)));
+// __builtin_shuffle requires the mask vector to match the shuffled
+// vector's size and lane count exactly; a drifting VecShufI would be a
+// compile error on some targets and silent lane garbage on others.
+HYBRIDCNN_CONTRACT(sizeof(VecShufI) == sizeof(runtime::isa::VecF),
+                   "shuffle mask vector must match VecF lane-for-lane");
 #endif
 
 /// dst[i] = src[i * s] for i in [0, n): the strided-row deinterleave the

@@ -21,6 +21,8 @@
 
 #include <cstddef>
 
+#include "util/contracts.hpp"
+
 namespace hybridcnn::runtime::isa {
 
 #if defined(__GNUC__) && defined(__AVX512F__)
@@ -41,6 +43,19 @@ inline constexpr const char* kIsaName = "vec128";
 #else
 inline constexpr std::size_t kFloatLanes = 1;
 inline constexpr const char* kIsaName = "scalar";
+#endif
+
+// Lane-width contracts every SIMD consumer leans on: the overlapping
+// remainder blocks in the reliable kernels and the GEMM register tiles
+// assume the vector is exactly kFloatLanes floats and that lane counts
+// are powers of two (mask and padding arithmetic uses & / % freely).
+HYBRIDCNN_CONTRACT(util::contracts::is_pow2(kFloatLanes),
+                   "kFloatLanes must be a power of two: pack paddings and "
+                   "tail masks round with power-of-two arithmetic");
+#ifdef HYBRIDCNN_ISA_SIMD
+HYBRIDCNN_CONTRACT(sizeof(VecF) == kFloatLanes * sizeof(float),
+                   "VecF must hold exactly kFloatLanes floats: loadu/storeu "
+                   "move sizeof(VecF) bytes and kernels step kFloatLanes");
 #endif
 
 #ifdef HYBRIDCNN_ISA_SIMD

@@ -33,7 +33,7 @@ float* Workspace::alloc(std::size_t count) {
       active_ + 1 == blocks_.size()) {
     blocks_.pop_back();
   }
-  blocks_.push_back(Block{std::vector<float>(size), count});
+  blocks_.emplace_back(std::vector<float>(size), count);
   active_ = blocks_.size() - 1;
   return blocks_.back().data.data();
 }

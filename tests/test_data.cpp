@@ -7,6 +7,7 @@
 #include "data/dataset.hpp"
 #include "data/renderer.hpp"
 #include "data/shapes.hpp"
+#include "util/rng.hpp"
 #include "vision/centroid.hpp"
 #include "vision/edge_map.hpp"
 #include "vision/radial.hpp"
@@ -135,6 +136,48 @@ TEST(Dataset, DeterministicForSeed) {
     EXPECT_EQ(a[i].label, b[i].label);
     EXPECT_EQ(a[i].image, b[i].image);
   }
+}
+
+// Regression: the per-example noise_seed is built from two 32-bit draws.
+// Composing them inside one expression left the draw order unspecified, so
+// gcc and clang rendered different datasets from the same seed. The fix
+// sequences the draws (hi first); this test replays that exact derivation
+// for the first rendered example and requires the resulting image to be in
+// the dataset — a compiler that flips the order fails here.
+TEST(Dataset, NoiseSeedDrawOrderIsPinned) {
+  const DatasetConfig config{.image_size = 24};
+  const std::uint64_t seed = 17;
+  const auto ds = make_dataset(1, config, seed);
+
+  hybridcnn::util::Rng rng(seed, /*stream=*/0xDA7A);
+  constexpr double kDegToRad = 6.283185307179586 / 360.0;
+  RenderParams p;
+  p.cls = all_classes()[0];
+  p.size = config.image_size;
+  p.rotation = rng.uniform(-config.max_rotation_deg,
+                           config.max_rotation_deg) *
+               kDegToRad;
+  p.scale = rng.uniform(config.min_scale, config.max_scale);
+  const double max_off =
+      config.max_offset_frac * static_cast<double>(config.image_size);
+  p.offset_y = rng.uniform(-max_off, max_off);
+  p.offset_x = rng.uniform(-max_off, max_off);
+  p.brightness = rng.uniform(config.min_brightness, config.max_brightness);
+  p.noise_sigma = config.noise_sigma;
+  const auto seed_hi = static_cast<std::uint64_t>(rng());
+  const auto seed_lo = static_cast<std::uint64_t>(rng());
+  p.noise_seed = (seed_hi << 32) | seed_lo;
+  const Tensor expected = render_sign(p);
+
+  bool found = false;
+  for (const Example& ex : ds) {
+    if (ex.label == static_cast<int>(p.cls) && ex.image == expected) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "first rendered example does not match the documented sequenced "
+         "rng draw order (hi half first, then lo half)";
 }
 
 TEST(Dataset, SeedsProduceDifferentData) {

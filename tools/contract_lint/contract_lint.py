@@ -1,0 +1,668 @@
+#!/usr/bin/env python3
+"""hybridcnn contract linter.
+
+Scans the C++ tree for violations of the project's determinism /
+bit-identity contracts (see rules.py for the rule table and
+README.md for the catalogue). Findings are textual-level checks: the
+linter is deliberately a fast, dependency-free complement to clang-tidy,
+not a compiler — it encodes the handful of *project-specific* invariants
+no generic tool knows about.
+
+Usage:
+    contract_lint.py --compile-commands build/compile_commands.json
+    contract_lint.py --root . src/nn/conv2d.cpp src/nn/linear.hpp
+    contract_lint.py --list-rules
+
+The file set is the union of translation units listed in
+compile_commands.json (filtered to --root/src) and headers found by
+walking src/ — one source of truth shared with clang-tidy. Explicit file
+arguments replace the discovered set (scoping still applies, by path
+relative to --root).
+
+Waivers: a finding on line N is suppressed when line N, or a
+comment-only line N-1, carries
+
+    // contract-lint: allow(<rule-name>) <justification>
+
+The justification is mandatory; an allow() with an empty justification
+is reported as `bad-waiver`. Multiple rules may be waived at once:
+allow(rule-a, rule-b).
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from rules import RULES  # noqa: E402
+
+CXX_SUFFIXES = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".inl")
+
+WAIVER_RE = re.compile(
+    r"//\s*contract-lint:\s*allow\(([^)]*)\)\s*(.*)$"
+)
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative POSIX path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One scanned file: raw text, comment/string-stripped text (same
+    length, so offsets map 1:1 to lines), and per-line waivers."""
+
+    path: str  # repo-relative POSIX path
+    raw: str
+    stripped: str = ""
+    # line -> set of waived rule names ("*" waives everything — unused by
+    # the shipped rules but keeps the syntax future-proof)
+    waivers: dict[int, set[str]] = field(default_factory=dict)
+    bad_waiver_lines: list[int] = field(default_factory=list)
+    # lines whose non-comment content is blank (waiver-only lines waive
+    # the following line)
+    comment_only_lines: set[int] = field(default_factory=set)
+
+    def line_of(self, offset: int) -> int:
+        return self.raw.count("\n", 0, offset) + 1
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comments and string/char literal contents with spaces,
+    preserving newlines and total length so byte offsets keep mapping to
+    the same line numbers."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                mode = "str"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                mode = "chr"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                mode = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def load_source(root: str, rel_path: str) -> SourceFile | None:
+    abs_path = os.path.join(root, rel_path)
+    try:
+        with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+    except OSError:
+        return None
+    src = SourceFile(path=rel_path, raw=raw)
+    src.stripped = strip_comments_and_strings(raw)
+    raw_lines = raw.split("\n")
+    stripped_lines = src.stripped.split("\n")
+    for idx, line in enumerate(raw_lines, start=1):
+        m = WAIVER_RE.search(line)
+        if m:
+            names = {n.strip() for n in m.group(1).split(",") if n.strip()}
+            justification = m.group(2).strip()
+            if not names or not justification:
+                src.bad_waiver_lines.append(idx)
+            else:
+                src.waivers.setdefault(idx, set()).update(names)
+        if idx <= len(stripped_lines) and not stripped_lines[idx - 1].strip():
+            src.comment_only_lines.add(idx)
+    return src
+
+
+def is_waived(src: SourceFile, line: int, rule: str) -> bool:
+    for cand in (line, line - 1):
+        names = src.waivers.get(cand)
+        if not names:
+            continue
+        if cand == line - 1 and cand not in src.comment_only_lines:
+            continue  # trailing waiver on a code line covers only itself
+        if rule in names or "*" in names:
+            return True
+    return False
+
+
+def match_any(path: str, globs) -> bool:
+    for g in globs:
+        if fnmatch.fnmatch(path, g):
+            return True
+        # fnmatch's "*" matches "/", so "src/**" behaves as a prefix
+        # glob already; also accept bare directory prefixes for clarity.
+        if g.endswith("/**") and path.startswith(g[:-2]):
+            return True
+    return False
+
+
+def rule_applies(rule: dict, path: str) -> bool:
+    return match_any(path, rule["paths"]) and not match_any(
+        path, rule.get("allow_paths", [])
+    )
+
+
+def balanced_span(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Given text[start] == open_ch, returns the offset one past the
+    matching close_ch, or -1 if unbalanced."""
+    depth = 0
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+# --------------------------------------------------------------- matchers
+
+
+def check_regex(rule: dict, src: SourceFile) -> list[Finding]:
+    findings = []
+    for pattern, message in rule["patterns"]:
+        for m in re.finditer(pattern, src.stripped):
+            findings.append(
+                Finding(src.path, src.line_of(m.start()), rule["name"],
+                        f"{message} (matched '{m.group(0).strip()}')")
+            )
+    return findings
+
+
+def check_rng_provenance(rule: dict, src: SourceFile) -> list[Finding]:
+    findings = []
+    text = src.stripped
+    name = rule["name"]
+
+    for engine in rule["banned_engines"]:
+        for m in re.finditer(engine, text):
+            findings.append(
+                Finding(src.path, src.line_of(m.start()), name,
+                        f"std <random> engine '{m.group(0)}' is banned: use "
+                        "util::Rng over an explicit seed")
+            )
+
+    seed_patterns = [re.compile(p) for p in rule["seed_arg_patterns"]]
+
+    def first_arg_is_seeded(args: str) -> bool:
+        # First top-level argument only: the seed operand.
+        depth = 0
+        first = []
+        for c in args:
+            if c in "([{<":
+                depth += 1
+            elif c in ")]}>":
+                depth -= 1
+            elif c == "," and depth == 0:
+                break
+            first.append(c)
+        first_arg = "".join(first).strip()
+        return any(p.search(first_arg) for p in seed_patterns)
+
+    # Declarations: `util::Rng NAME(args)`, `Rng NAME{args}`,
+    # `Rng NAME = expr;`, bare `Rng NAME;`
+    decl_re = re.compile(r"\b(?:util::)?Rng\s+(\w+)\s*([({=;])")
+    for m in decl_re.finditer(text):
+        var, opener = m.group(1), m.group(2)
+        line = src.line_of(m.start())
+        if opener in "({":
+            close = {"(": ")", "{": "}"}[opener]
+            end = balanced_span(text, m.end() - 1, opener, close)
+            args = text[m.end():end - 1] if end > 0 else ""
+            if not first_arg_is_seeded(args):
+                findings.append(
+                    Finding(src.path, line, name,
+                            f"Rng '{var}' is not constructed from an "
+                            "explicit seed expression")
+                )
+        elif opener == "=":
+            stmt_end = text.find(";", m.end())
+            rhs = text[m.end():stmt_end if stmt_end >= 0 else len(text)]
+            if not any(p.search(rhs) for p in seed_patterns):
+                findings.append(
+                    Finding(src.path, line, name,
+                            f"Rng '{var}' is initialised from an expression "
+                            "with no visible seed provenance")
+                )
+        elif opener == ";":
+            # Default construction: hidden fixed seed. Members (trailing
+            # underscore) are initialised in their constructor's init
+            # list, which this textual pass cannot see — leave them to
+            # the construction-site checks.
+            if not var.endswith("_"):
+                findings.append(
+                    Finding(src.path, line, name,
+                            f"Rng '{var}' is default-constructed: seed "
+                            "provenance must be explicit at the "
+                            "construction site")
+                )
+
+    # Heap construction: make_unique/make_shared<util::Rng>(args)
+    mk_re = re.compile(
+        r"make_(?:unique|shared)\s*<\s*(?:util::)?Rng\s*>\s*\("
+    )
+    for m in mk_re.finditer(text):
+        end = balanced_span(text, m.end() - 1, "(", ")")
+        args = text[m.end():end - 1] if end > 0 else ""
+        if not first_arg_is_seeded(args):
+            findings.append(
+                Finding(src.path, src.line_of(m.start()), name,
+                        "heap-constructed Rng is not seeded from an "
+                        "explicit seed expression")
+            )
+
+    # Temporaries: `Rng(args)` not preceded by an identifier character
+    # (excludes declarations handled above and calls like my_rng(...)).
+    tmp_re = re.compile(r"(?<![\w.])(?:util::)?Rng\s*\(")
+    for m in tmp_re.finditer(text):
+        # Skip declaration sites already handled (Rng NAME( ... )).
+        if decl_re.match(text, m.start()):
+            continue
+        end = balanced_span(text, text.index("(", m.start()), "(", ")")
+        args = text[text.index("(", m.start()) + 1:end - 1] if end > 0 else ""
+        if not args.strip():
+            continue  # `Rng()` in a type context (e.g. sizeof) — rare
+        if not first_arg_is_seeded(args):
+            findings.append(
+                Finding(src.path, src.line_of(m.start()), name,
+                        "temporary Rng is not constructed from an explicit "
+                        "seed expression")
+            )
+    return findings
+
+
+def check_unordered_iter(rule: dict, src: SourceFile) -> list[Finding]:
+    findings = []
+    text = src.stripped
+    decl_re = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\s*<")
+    names: set[str] = set()
+    for m in decl_re.finditer(text):
+        end = balanced_span(text, m.end() - 1, "<", ">")
+        if end < 0:
+            continue
+        after = re.match(r"\s*&?\s*(\w+)", text[end:])
+        if after:
+            names.add(after.group(1))
+    if not names:
+        return findings
+    name_alt = "|".join(re.escape(n) for n in sorted(names))
+    range_for_re = re.compile(
+        r"for\s*\([^;(){}]*?:\s*(?:this->)?(" + name_alt + r")\b[^()]*\)"
+    )
+    for m in range_for_re.finditer(text):
+        findings.append(
+            Finding(src.path, src.line_of(m.start()), rule["name"],
+                    f"range-for over unordered container '{m.group(1)}': "
+                    "traversal order is implementation-defined")
+        )
+    begin_re = re.compile(
+        r"\b(" + name_alt + r")\s*\.\s*c?r?begin\s*\("
+    )
+    for m in begin_re.finditer(text):
+        findings.append(
+            Finding(src.path, src.line_of(m.start()), rule["name"],
+                    f"iterator walk over unordered container "
+                    f"'{m.group(1)}': traversal order is "
+                    "implementation-defined")
+        )
+    return findings
+
+
+def check_infer_const(rule: dict, src: SourceFile) -> list[Finding]:
+    findings = []
+    text = src.stripped
+    # Declaration sites only: an infer* token NOT preceded by member
+    # access / assignment / return (call sites) and followed by a
+    # parameter list whose declaration tail must contain `const`.
+    for m in re.finditer(r"\binfer(?:_\w+)?\s*\(", text):
+        before = text[:m.start()].rstrip()
+        if before.endswith((".", "->", "=", "(", ",", "return", "&&", "||")):
+            continue
+        # Constructor-style usages or qualified calls (obj.infer handled
+        # above; Sequential::infer definitions in .cpp are out of scope —
+        # the rule runs on headers).
+        paren = text.index("(", m.start())
+        end = balanced_span(text, paren, "(", ")")
+        if end < 0:
+            continue
+        tail = text[end:]
+        decl_end = len(tail)
+        for stop in (";", "{"):
+            p = tail.find(stop)
+            if p >= 0:
+                decl_end = min(decl_end, p)
+        tail = tail[:decl_end]
+        if re.search(r"\bconst\b", tail):
+            continue
+        # Parameter-less type contexts (e.g. using declarations) have no
+        # identifier before them; require a plausible return type.
+        line_start = text.rfind("\n", 0, m.start()) + 1
+        prefix = text[line_start:m.start()]
+        if not re.search(r"[\w>&\]]\s*$", prefix):
+            continue
+        findings.append(
+            Finding(src.path, src.line_of(m.start()), rule["name"],
+                    "inference entry point is not const: the re-entrant "
+                    "shared-model contract requires a const infer path")
+        )
+    return findings
+
+
+DECL_IN_BODY_RES = [
+    # Builtin / std scalar declarations: `std::size_t i = b;`, for-inits.
+    re.compile(
+        r"\b(?:auto|float|double|bool|char|int|long|short|unsigned|size_t|"
+        r"std::size_t|std::u?int\d+_t|u?int\d+_t|std::string)"
+        r"\b[\s&*]*(\w+)\s*(?:=|\{|\(|;|,|:)"
+    ),
+    # Reference bindings: `RunRecord& rec = records[i];` — a body-local
+    # alias, typically onto an index-sliced element.
+    re.compile(r"\b[A-Za-z_][\w:<>]*\s*&\s*(\w+)\s*="),
+    # Class-type value declarations: `tensor::Tensor scratch = ...;`,
+    # `ScrubReport sr{};` (type names are capitalised by convention).
+    re.compile(r"\b(?:\w+::)*[A-Z]\w*(?:<[\w:,\s*&]*>)?\s+(\w+)\s*(?:=|\{|;|\()"),
+]
+
+
+def lambda_bodies(text: str, call_start: int):
+    """Yields (body_text, body_offset) for every lambda argument of the
+    parallel_for call whose name starts at call_start."""
+    paren = text.find("(", call_start)
+    if paren < 0:
+        return
+    call_end = balanced_span(text, paren, "(", ")")
+    if call_end < 0:
+        return
+    region = text[paren:call_end]
+    i = 0
+    while i < len(region):
+        if region[i] == "[":
+            close_b = balanced_span(region, i, "[", "]")
+            if close_b < 0:
+                break
+            j = close_b
+            while j < len(region) and region[j] in " \t\n":
+                j += 1
+            if j < len(region) and region[j] == "(":
+                params_end = balanced_span(region, j, "(", ")")
+                j = params_end
+                while j < len(region) and region[j] in " \t\n":
+                    j += 1
+                # skip mutable/noexcept/-> Ret
+                while j < len(region) and region[j] != "{":
+                    if region[j] == ",":
+                        break
+                    j += 1
+            if j < len(region) and region[j] == "{":
+                body_end = balanced_span(region, j, "{", "}")
+                if body_end < 0:
+                    break
+                # Parameters count as body-local declarations.
+                params = ""
+                pj = close_b
+                while pj < len(region) and region[pj] in " \t\n":
+                    pj += 1
+                if pj < len(region) and region[pj] == "(":
+                    pe = balanced_span(region, pj, "(", ")")
+                    params = region[pj:pe] if pe > 0 else ""
+                yield (params + region[j:body_end], paren + pj)
+                i = body_end
+                continue
+        i += 1
+
+
+ACCUM_RE = re.compile(
+    r"(?<![\w\].])((?:\w+(?:\.|->))*\w+)\s*(\+=|-=|\*=|/=|\|=|&=|\^=)"
+)
+INCR_RE = re.compile(r"(?:\+\+|--)\s*((?:\w+(?:\.|->))*\w+)\b"
+                     r"|(?<![\w\].])((?:\w+(?:\.|->))*\w+)\s*(?:\+\+|--)")
+
+
+def check_parallel_accum(rule: dict, src: SourceFile) -> list[Finding]:
+    findings = []
+    text = src.stripped
+    for call in re.finditer(r"\bparallel_for(?:_chunks)?\s*\(", text):
+        for body, body_off in lambda_bodies(text, call.start()):
+            local_names = {d.group(1) for decl_re in DECL_IN_BODY_RES
+                           for d in decl_re.finditer(body)}
+            for b in re.finditer(r"\[([^\]]*)\]", body):  # structured bindings
+                for piece in b.group(1).split(","):
+                    piece = piece.strip().lstrip("&").strip()
+                    if piece.isidentifier():
+                        local_names.add(piece)
+
+            def base_ident(chain: str) -> str:
+                return re.split(r"\.|->", chain)[0]
+
+            def flag(chain: str, offset: int, op_desc: str):
+                base = base_ident(chain)
+                if base in local_names:
+                    return
+                findings.append(
+                    Finding(src.path, src.line_of(body_off + offset),
+                            rule["name"],
+                            f"{op_desc} to '{chain}' inside a parallel_for "
+                            "body: the target is not declared in the body "
+                            "and not index-sliced, so chunks would race on "
+                            "it and the reduction order would depend on "
+                            "scheduling")
+                )
+
+            for m in ACCUM_RE.finditer(body):
+                flag(m.group(1), m.start(1), "compound assignment")
+            for m in INCR_RE.finditer(body):
+                chain = m.group(1) or m.group(2)
+                flag(chain, m.start(), "increment/decrement")
+    return findings
+
+
+def check_compile_flag(rule: dict, src: SourceFile,
+                       compile_index: dict[str, str]) -> list[Finding]:
+    cmd = compile_index.get(src.path)
+    if cmd is None:
+        return []  # headers / files outside the compilation database
+    if rule["required_flag"] in cmd:
+        return []
+    return [
+        Finding(src.path, 1, rule["name"],
+                f"translation unit is compiled without "
+                f"{rule['required_flag']} (compile_commands.json); the "
+                "exact-arithmetic subsystems must keep FP contraction off")
+    ]
+
+
+MATCHERS = {
+    "regex": lambda rule, src, cc: check_regex(rule, src),
+    "rng-provenance": lambda rule, src, cc: check_rng_provenance(rule, src),
+    "unordered-iter": lambda rule, src, cc: check_unordered_iter(rule, src),
+    "infer-const": lambda rule, src, cc: check_infer_const(rule, src),
+    "parallel-accum": lambda rule, src, cc: check_parallel_accum(rule, src),
+    "compile-flag": check_compile_flag,
+}
+
+
+# ------------------------------------------------------------------ driver
+
+
+def discover_files(root: str, compile_commands: str | None):
+    """Returns (rel_paths, compile_index). compile_index maps
+    repo-relative TU path -> compile command string."""
+    files: set[str] = set()
+    compile_index: dict[str, str] = {}
+    if compile_commands:
+        try:
+            with open(compile_commands, "r", encoding="utf-8") as f:
+                entries = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"contract_lint: cannot read {compile_commands}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for entry in entries:
+            path = entry["file"]
+            if not os.path.isabs(path):
+                path = os.path.join(entry.get("directory", ""), path)
+            rel = os.path.relpath(os.path.realpath(path),
+                                  os.path.realpath(root))
+            rel = rel.replace(os.sep, "/")
+            if rel.startswith("src/"):
+                files.add(rel)
+                cmd = entry.get("command")
+                if cmd is None and "arguments" in entry:
+                    cmd = " ".join(entry["arguments"])
+                compile_index[rel] = cmd or ""
+    src_dir = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src_dir):
+        for fn in filenames:
+            if fn.endswith(CXX_SUFFIXES):
+                rel = os.path.relpath(os.path.join(dirpath, fn), root)
+                files.add(rel.replace(os.sep, "/"))
+    return sorted(files), compile_index
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="path to compile_commands.json (adds TU discovery "
+                         "and enables compile-flag rules)")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rule names to run")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files to scan instead of discovery "
+                         "(paths relative to --root or absolute)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule['name']}  [{rule['kind']}]")
+            print(f"    scope: {', '.join(rule['paths'])}")
+            if rule.get("allow_paths"):
+                print(f"    allowlist: {', '.join(rule['allow_paths'])}")
+            print(f"    {rule['description']}")
+            print()
+        return 0
+
+    known = {r["name"] for r in RULES}
+    selected = known
+    if args.rules:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = selected - known
+        if unknown:
+            print(f"contract_lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.root)
+    if args.files:
+        rel_files = []
+        for f in args.files:
+            absf = f if os.path.isabs(f) else os.path.join(root, f)
+            rel_files.append(
+                os.path.relpath(os.path.realpath(absf),
+                                os.path.realpath(root)).replace(os.sep, "/"))
+        compile_index = {}
+        if args.compile_commands:
+            _, compile_index = discover_files(root, args.compile_commands)
+        files = rel_files
+    else:
+        files, compile_index = discover_files(root, args.compile_commands)
+
+    if not files:
+        print("contract_lint: no files to scan", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    scanned = 0
+    for rel in files:
+        src = load_source(root, rel)
+        if src is None:
+            print(f"contract_lint: cannot read {rel}", file=sys.stderr)
+            return 2
+        scanned += 1
+        for line in src.bad_waiver_lines:
+            findings.append(
+                Finding(rel, line, "bad-waiver",
+                        "waiver must name at least one rule and carry a "
+                        "non-empty justification: // contract-lint: "
+                        "allow(<rule>) <why>")
+            )
+        for rule in RULES:
+            if rule["name"] not in selected:
+                continue
+            if not rule_applies(rule, rel):
+                continue
+            matcher = MATCHERS[rule["kind"]]
+            for f in matcher(rule, src, compile_index):
+                if not is_waived(src, f.line, f.rule):
+                    findings.append(f)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f.render())
+    rule_word = "rule" if len(selected) == 1 else "rules"
+    print(f"contract_lint: {scanned} files, {len(selected)} {rule_word}, "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+// Fixture: trips `bad-waiver` (and only it) — waivers without a
+// justification are themselves findings.
+namespace demo {
+
+// contract-lint: allow(nondet-source)
+int justification_missing() { return 7; }
+
+// contract-lint: allow()
+int rule_name_missing() { return 8; }
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Fixture: trips `nondet-source` (and only it).
+#include <cstdlib>
+#include <random>
+
+namespace demo {
+
+unsigned wall_clock_seed() {
+  return static_cast<unsigned>(std::random_device{}());
+}
+
+unsigned hidden_global_draw() { return static_cast<unsigned>(rand()); }
+
+}  // namespace demo

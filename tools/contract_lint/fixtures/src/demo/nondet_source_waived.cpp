@@ -1,0 +1,17 @@
+// Fixture: same content as nondet_source_violation.cpp, every finding
+// waived — the linter must report nothing.
+#include <cstdlib>
+#include <random>
+
+namespace demo {
+
+unsigned wall_clock_seed() {
+  // contract-lint: allow(nondet-source) fixture demonstrating a justified waiver
+  return static_cast<unsigned>(std::random_device{}());
+}
+
+unsigned hidden_global_draw() {
+  return static_cast<unsigned>(rand());  // contract-lint: allow(nondet-source) trailing-comment waiver form
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Fixture: trips `parallel-accum` (and only it).
+#include "runtime/thread_pool.hpp"
+
+namespace demo {
+
+float racing_reduction(hybridcnn::runtime::ThreadPool& pool,
+                       const float* x, std::size_t n) {
+  float total = 0.0f;
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    total += x[i];  // shared captured scalar: race + scheduling-ordered
+  });
+  return total;
+}
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Fixture: same content as parallel_accum_violation.cpp with the
+// finding waived — the linter must report nothing.
+#include "runtime/thread_pool.hpp"
+
+namespace demo {
+
+float racing_reduction(hybridcnn::runtime::ThreadPool& pool,
+                       const float* x, std::size_t n) {
+  float total = 0.0f;
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    // contract-lint: allow(parallel-accum) fixture: single-threaded pool in this demo, no race possible
+    total += x[i];
+  });
+  return total;
+}
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Fixture: trips `rng-seed-provenance` (and only it).
+#include "util/rng.hpp"
+
+namespace demo {
+
+float magic_constant_rng() {
+  hybridcnn::util::Rng rng(42);  // 42 is not a seed-derived expression
+  return static_cast<float>(rng.uniform());
+}
+
+float default_constructed_rng() {
+  hybridcnn::util::Rng fallback;
+  return static_cast<float>(fallback.uniform());
+}
+
+int banned_std_engine(int hi) {
+  std::mt19937 gen(1234);
+  return static_cast<int>(gen()) % hi;
+}
+
+}  // namespace demo

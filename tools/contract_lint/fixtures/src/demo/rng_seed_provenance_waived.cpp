@@ -1,0 +1,24 @@
+// Fixture: same content as rng_seed_provenance_violation.cpp with every
+// finding waived — the linter must report nothing.
+#include "util/rng.hpp"
+
+namespace demo {
+
+float magic_constant_rng() {
+  // contract-lint: allow(rng-seed-provenance) fixture: constant doubles as the documented demo seed
+  hybridcnn::util::Rng rng(42);
+  return static_cast<float>(rng.uniform());
+}
+
+float default_constructed_rng() {
+  hybridcnn::util::Rng fallback;  // contract-lint: allow(rng-seed-provenance) default seed is the documented fixture baseline
+  return static_cast<float>(fallback.uniform());
+}
+
+int banned_std_engine(int hi) {
+  // contract-lint: allow(rng-seed-provenance) fixture keeps one std engine to exercise the waiver path
+  std::mt19937 gen(1234);
+  return static_cast<int>(gen()) % hi;
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Fixture: trips `unordered-iter` (and only it).
+#include <unordered_map>
+
+namespace demo {
+
+double reduce_in_hash_order(
+    const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;  // accumulation order = hash-table order
+  }
+  return total;
+}
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Fixture: same content as unordered_iter_violation.cpp with the
+// finding waived — the linter must report nothing.
+#include <unordered_map>
+
+namespace demo {
+
+double reduce_in_hash_order(
+    const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // contract-lint: allow(unordered-iter) fixture: sum is order-independent in exact arithmetic here
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// Fixture: trips `infer-const` (and only it) — a layer header whose
+// inference entry points are not const.
+#pragma once
+
+namespace demo {
+
+class Tensor;
+class Workspace;
+
+class DemoLayer {
+ public:
+  Tensor infer(const Tensor& input, Workspace& ws);
+  Tensor infer_from(const Tensor& input, int start);
+};
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+// Fixture: same content as infer_const_violation.hpp with every finding
+// waived — the linter must report nothing.
+#pragma once
+
+namespace demo {
+
+class Tensor;
+class Workspace;
+
+class DemoLayer {
+ public:
+  // contract-lint: allow(infer-const) fixture: migration shim kept mutating for one release
+  Tensor infer(const Tensor& input, Workspace& ws);
+  Tensor infer_from(const Tensor& input, int start);  // contract-lint: allow(infer-const) fixture: same migration shim
+};
+
+}  // namespace demo

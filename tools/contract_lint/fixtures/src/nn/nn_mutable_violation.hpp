@@ -1,0 +1,20 @@
+// Fixture: trips `nn-mutable` (and only it) — hidden mutable state in a
+// layer class.
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+class CountingLayer {
+ public:
+  float infer(float x) const {
+    ++calls_;
+    return x;
+  }
+
+ private:
+  mutable std::uint64_t calls_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Fixture: same content as nn_mutable_violation.hpp with the finding
+// waived — the linter must report nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+class CountingLayer {
+ public:
+  float infer(float x) const {
+    ++calls_;
+    return x;
+  }
+
+ private:
+  // contract-lint: allow(nn-mutable) fixture: counter is debug telemetry, never read by inference
+  mutable std::uint64_t calls_ = 0;
+};
+
+}  // namespace demo

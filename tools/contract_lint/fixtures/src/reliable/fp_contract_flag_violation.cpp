@@ -1,0 +1,8 @@
+// Fixture: trips `fp-contract-flag` — the file itself is clean C++; the
+// violation is the synthetic compile_commands.json entry the test pairs
+// it with, which compiles this reliable/ TU without -ffp-contract=off.
+namespace demo {
+
+float mul_then_add(float a, float b, float c) { return a * b + c; }
+
+}  // namespace demo

@@ -1,0 +1,9 @@
+// contract-lint: allow(fp-contract-flag) fixture: TU deliberately built contracted to exercise the waiver
+// Fixture: same pairing as fp_contract_flag_violation.cpp (a synthetic
+// compile command without -ffp-contract=off) but the line-1 waiver above
+// suppresses the finding — the linter must report nothing.
+namespace demo {
+
+float mul_then_add(float a, float b, float c) { return a * b + c; }
+
+}  // namespace demo

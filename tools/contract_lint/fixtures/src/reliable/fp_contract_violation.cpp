@@ -1,0 +1,14 @@
+// Fixture: trips `fp-contract` (and only it) — lives under a
+// reliable/ path because the rule is scoped to the exact-arithmetic
+// subsystems.
+#pragma STDC FP_CONTRACT ON
+
+#include <cmath>
+
+namespace demo {
+
+float fused_accumulate(float acc, float a, float b) {
+  return __builtin_fmaf(a, b, acc);
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Fixture: same content as fp_contract_violation.cpp with every finding
+// waived — the linter must report nothing.
+// contract-lint: allow(fp-contract) fixture: pragma kept to exercise the waiver syntax
+#pragma STDC FP_CONTRACT ON
+
+#include <cmath>
+
+namespace demo {
+
+float fused_accumulate(float acc, float a, float b) {
+  // contract-lint: allow(fp-contract) fixture: result is never compared against a qualified path
+  return __builtin_fmaf(a, b, acc);
+}
+
+}  // namespace demo

@@ -1,0 +1,171 @@
+// Campaign-fabric scaling bench: throughput of the sharded coordinator
+// across shard size x worker count, with and without the durable
+// checkpoint, against the monolithic single-coordinator campaign.
+//
+// Every fabric cell is also a correctness assertion: its merged summary
+// must be bit-identical to the monolithic run, and the process exit
+// code reports any violation — the bench doubles as the fabric's
+// perf-regression and contract gate in CI.
+//
+// Emits bench_results/BENCH_campaign_fabric.json for CI artefacts.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "campaign_fabric/campaigns.hpp"
+#include "core/hybrid_network.hpp"
+#include "data/renderer.hpp"
+#include "faultsim/campaign.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "runtime/compute_context.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybridcnn;
+
+std::unique_ptr<nn::Sequential> make_net() {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 8, 7, 2, 0);  // 128 -> 61
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool>(3, 2);  // 61 -> 30
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(8 * 30 * 30, 5);
+  nn::init_network(*net, 3);
+  return net;
+}
+
+faultsim::Outcome judge(std::size_t, const core::HybridClassification& r) {
+  const bool aborted = !r.conv1_report.ok || !r.qualifier.report.ok;
+  const bool faults = aborted || r.conv1_report.detected_errors > 0;
+  return faultsim::classify(faults, aborted, !aborted);
+}
+
+struct Row {
+  std::uint64_t shard_size = 0;
+  std::size_t workers = 0;
+  bool durable = false;
+  double seconds = 0.0;
+  double runs_per_sec = 0.0;
+  bool bit_identical = false;
+};
+
+void write_json(const std::string& path, std::size_t runs,
+                double mono_seconds, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"campaign_fabric\",\n");
+  std::fprintf(f, "  \"runs\": %zu,\n", runs);
+  std::fprintf(f, "  \"monolithic_sec\": %.6g,\n", mono_seconds);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shard_size\": %llu, \"workers\": %zu, "
+                 "\"durable\": %s, \"seconds\": %.6g, "
+                 "\"runs_per_sec\": %.6g, \"bit_identical\": %s}%s\n",
+                 static_cast<unsigned long long>(r.shard_size), r.workers,
+                 r.durable ? "true" : "false", r.seconds, r.runs_per_sec,
+                 r.bit_identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("FABRIC", "campaign-fabric scaling (sharded coordinator "
+                          "vs monolithic campaign)");
+  const std::size_t runs = bench::quick_mode() ? 24 : 96;
+
+  core::HybridConfig hcfg;
+  hcfg.fault_config.kind = faultsim::FaultKind::kTransient;
+  hcfg.fault_config.probability = 1e-4;
+  hcfg.fault_config.bit = -1;
+  hcfg.fault_seed = 1;
+  const core::HybridNetwork net(make_net(), 0, hcfg);
+  const tensor::Tensor image = data::render_stop_sign(128, 6.0);
+  const std::uint64_t seed_base = net.seed_stream().peek();
+
+  // Monolithic baseline: one coordinator, the pool's thread fan-out.
+  util::Stopwatch mono_watch;
+  core::FaultSeedStream seeds = net.seed_stream();
+  const faultsim::CampaignSummary mono =
+      net.classify_campaign(image, runs, judge, seeds);
+  const double mono_seconds = mono_watch.seconds();
+  std::printf("monolithic: %zu runs in %.3fs (%.1f runs/s)\n\n", runs,
+              mono_seconds, static_cast<double>(runs) / mono_seconds);
+
+  util::Table table("campaign fabric throughput",
+                    {"shard size", "workers", "durable", "seconds",
+                     "runs/s", "bit-identical"});
+  std::vector<Row> rows;
+  bool all_identical = true;
+
+  const std::string ckpt =
+      util::results_path(bench::results_dir(), "fabric_bench.ckpt");
+  for (const bool durable : {false, true}) {
+    for (const std::uint64_t shard_size :
+         {std::uint64_t{4}, std::uint64_t{16},
+          static_cast<std::uint64_t>(runs)}) {
+      for (const std::size_t workers : {1u, 2u, 4u}) {
+        fabric::FabricConfig cfg;
+        cfg.shard_size = shard_size;
+        cfg.workers = workers;
+        if (durable) {
+          std::remove(ckpt.c_str());
+          cfg.checkpoint_path = ckpt;
+        }
+        util::Stopwatch watch;
+        const fabric::FabricResult<faultsim::CampaignSummary> result =
+            fabric::run_classify_campaign(net, image, runs, seed_base, judge,
+                                          cfg);
+        Row row;
+        row.shard_size = shard_size;
+        row.workers = workers;
+        row.durable = durable;
+        row.seconds = watch.seconds();
+        row.runs_per_sec = static_cast<double>(runs) / row.seconds;
+        row.bit_identical = result.complete && result.summary == mono;
+        all_identical = all_identical && row.bit_identical;
+        rows.push_back(row);
+        table.row({std::to_string(shard_size), std::to_string(workers),
+                   durable ? "yes" : "no", util::Table::fixed(row.seconds),
+                   util::Table::fixed(row.runs_per_sec, 1),
+                   row.bit_identical ? "yes" : "NO"});
+      }
+    }
+  }
+  std::remove(ckpt.c_str());
+  table.print();
+
+  const std::string json_path = util::results_path(
+      bench::results_dir(), "BENCH_campaign_fabric.json");
+  write_json(json_path, runs, mono_seconds, rows);
+  std::printf("JSON written to %s\n", json_path.c_str());
+
+  if (!all_identical) {
+    std::printf("FABRIC BIT-IDENTITY VIOLATION: see table above\n");
+    return 1;
+  }
+  std::printf("every fabric cell merged bit-identical to the monolithic "
+              "campaign\n");
+  return 0;
+}

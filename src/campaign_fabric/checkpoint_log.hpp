@@ -1,0 +1,74 @@
+// Durable campaign-progress checkpoints: the crash-recovery substrate.
+//
+// The coordinator persists every completed shard's serialised partial
+// summary in one checkpoint file, rewritten atomically (write-temp,
+// fsync, rename — util::atomic_write_file) after each completion. A
+// coordinator restarted after SIGKILL loads the file and re-runs only
+// the shards that were not durably recorded.
+//
+// On-disk format (all integers little-endian):
+//
+//   header   magic  u32  'H','C','F','C'
+//            version u32  (kVersion)
+//            fingerprint u64  campaign identity (shard.hpp)
+//            shard_count u32  shards in the plan
+//            crc    u32  CRC32C over the 20 header bytes above
+//   record*  shard_index  u32
+//            payload_size u32
+//            crc          u32  CRC32C over shard_index || payload bytes
+//            payload      payload_size bytes (summary codec output)
+//
+// Reader trust model: nothing in the file is trusted until proven.
+// A missing file, or a header whose magic/version/fingerprint/CRC does
+// not match, yields `usable == false` — the coordinator starts from
+// scratch, which is always bit-identity-safe (it can only cost re-runs,
+// never merge wrong results). Records are scanned sequentially; the
+// first truncated, CRC-mismatching, out-of-range or duplicate record
+// ends the scan and everything from it on is dropped — the torn-tail
+// model of a crash mid-write or corruption at rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hybridcnn::fabric {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One durable shard result: plan index plus the codec payload.
+struct ShardRecord {
+  std::uint32_t shard_index = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Atomically replaces the checkpoint at `path` with the given records.
+/// Records are stored in the order given (the coordinator passes
+/// shard-index order). Throws on I/O failure; the previous checkpoint
+/// survives any failed write.
+void save_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                     std::uint32_t shard_count,
+                     const std::vector<ShardRecord>& records);
+
+/// Result of loading a checkpoint file.
+struct CheckpointLoad {
+  /// True when the file existed and its header matched (magic, version,
+  /// fingerprint, shard count, CRC). False means "no usable checkpoint"
+  /// — never an error: the campaign simply starts fresh.
+  bool usable = false;
+  /// Valid records recovered (unique shard indices < shard_count).
+  std::vector<ShardRecord> records;
+  /// Records dropped at the first corruption (diagnostics only).
+  std::size_t dropped_records = 0;
+  /// Bytes discarded from the corrupt/torn tail (diagnostics only).
+  std::size_t dropped_bytes = 0;
+};
+
+/// Loads and validates the checkpoint at `path` against the expected
+/// campaign identity. Never throws on bad content — corruption degrades
+/// to fewer recovered records (worst case: none).
+[[nodiscard]] CheckpointLoad load_checkpoint(const std::string& path,
+                                             std::uint64_t fingerprint,
+                                             std::uint32_t shard_count);
+
+}  // namespace hybridcnn::fabric

@@ -1,0 +1,265 @@
+#include "campaign_fabric/coordinator.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace hybridcnn::fabric {
+namespace detail {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Clocks here steer only *scheduling* (retry backoff, straggler
+// reassignment). They cannot reach the merged summary: every shard is a
+// pure function of its descriptor, duplicate completions are dropped by
+// shard id, and the merge order is fixed by the plan — so a run under
+// any timing produces the same bits.
+struct ShardState {
+  bool done = false;
+  std::vector<std::uint8_t> payload;
+  std::size_t attempts_started = 0;
+  std::size_t attempts_failed = 0;
+  std::size_t running = 0;  ///< attempts currently executing
+  Clock::time_point not_before{};  ///< earliest next attempt (backoff)
+  Clock::time_point deadline{};    ///< reassignment point when in flight
+  std::string last_error;
+};
+
+struct Scheduler {
+  const FabricConfig& config;
+  const ShardPlan& plan;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ShardState> shards;
+  FabricStats stats;
+  std::size_t durable = 0;  ///< resumed + completed (halt counter)
+  bool halted = false;
+
+  explicit Scheduler(const FabricConfig& cfg, const ShardPlan& p)
+      : config(cfg), plan(p), shards(p.shards.size()) {}
+
+  [[nodiscard]] bool settled(const ShardState& s) const {
+    return s.done ||
+           (s.attempts_started >= config.max_attempts && s.running == 0);
+  }
+
+  [[nodiscard]] bool all_settled() const {
+    return std::all_of(shards.begin(), shards.end(),
+                       [this](const ShardState& s) { return settled(s); });
+  }
+
+  /// Persist every completed shard, in shard-index order. Called with
+  /// `mu` held — the lock serialises checkpoint writers, and the atomic
+  /// rename means a crash at any point leaves the previous file intact.
+  void persist_locked() {
+    if (config.checkpoint_path.empty()) return;
+    std::vector<ShardRecord> records;
+    records.reserve(durable);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (!shards[i].done) continue;
+      ShardRecord r;
+      r.shard_index = static_cast<std::uint32_t>(i);
+      r.payload = shards[i].payload;
+      records.push_back(std::move(r));
+    }
+    save_checkpoint(config.checkpoint_path, plan.campaign_fingerprint,
+                    static_cast<std::uint32_t>(plan.shards.size()), records);
+  }
+
+  /// One worker thread: claim the lowest-index runnable shard, execute
+  /// it outside the lock, record the outcome, repeat.
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      if (halted || all_settled()) return;
+
+      const Clock::time_point now = Clock::now();
+      std::size_t claim = shards.size();
+      bool claim_is_reassignment = false;
+      bool have_wake = false;
+      Clock::time_point wake{};
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        ShardState& s = shards[i];
+        if (s.done || s.attempts_started >= config.max_attempts) continue;
+        if (s.running == 0) {
+          if (now >= s.not_before) {
+            claim = i;
+            claim_is_reassignment = false;
+            break;
+          }
+          if (!have_wake || s.not_before < wake) {
+            have_wake = true;
+            wake = s.not_before;
+          }
+        } else if (config.shard_timeout.count() > 0) {
+          if (now >= s.deadline) {
+            claim = i;
+            claim_is_reassignment = true;
+            break;
+          }
+          if (!have_wake || s.deadline < wake) {
+            have_wake = true;
+            wake = s.deadline;
+          }
+        }
+      }
+
+      if (claim == shards.size()) {
+        // Nothing runnable yet: sleep until the earliest backoff or
+        // reassignment point, or until a completion wakes us.
+        if (have_wake) {
+          cv.wait_until(lock, wake);
+        } else {
+          cv.wait(lock);
+        }
+        continue;
+      }
+
+      ShardState& s = shards[claim];
+      const std::size_t attempt = ++s.attempts_started;
+      ++s.running;
+      s.deadline = now + config.shard_timeout;
+      ++stats.attempts;
+      if (claim_is_reassignment) {
+        ++stats.reassignments;
+      } else if (s.attempts_failed > 0) {
+        ++stats.retries;
+      }
+      const ShardDescriptor descriptor = plan.shards[claim];
+
+      lock.unlock();
+      std::vector<std::uint8_t> payload;
+      bool ok = false;
+      std::string error;
+      try {
+        if (config.attempt_hook) config.attempt_hook(descriptor, attempt);
+        payload = run_attempt(descriptor);
+        ok = true;
+      } catch (const std::exception& e) {
+        error = e.what();
+      } catch (...) {
+        error = "unknown exception";
+      }
+      lock.lock();
+
+      --s.running;
+      if (ok) {
+        if (s.done) {
+          // A reassigned twin finished first; drop this duplicate.
+          ++stats.shards_deduped;
+        } else if (halted) {
+          // Completed after the simulated crash point: never durable.
+        } else {
+          s.done = true;
+          s.payload = std::move(payload);
+          ++stats.shards_executed;
+          ++durable;
+          persist_locked();
+          if (durable >= config.halt_after_shards) halted = true;
+        }
+      } else {
+        ++s.attempts_failed;
+        ++stats.failures;
+        s.last_error = std::move(error);
+        // Exponential backoff: base << (failures - 1), measured from
+        // the failure, not the claim.
+        const auto delay = config.retry_backoff * (1u << std::min<std::size_t>(
+                               s.attempts_failed - 1, 20));
+        s.not_before = Clock::now() + delay;
+      }
+      cv.notify_all();
+    }
+  }
+
+  const ShardRunner* runner = nullptr;
+
+  [[nodiscard]] std::vector<std::uint8_t> run_attempt(
+      const ShardDescriptor& descriptor) const {
+    return (*runner)(descriptor);
+  }
+};
+
+}  // namespace
+
+RunOutcome run_shards(
+    const FabricConfig& config, const ShardPlan& plan,
+    const ShardRunner& runner,
+    const std::function<bool(const ShardRecord&)>& payload_valid) {
+  if (config.max_attempts == 0) {
+    throw std::invalid_argument("fabric: max_attempts must be >= 1");
+  }
+
+  Scheduler sched(config, plan);
+  sched.runner = &runner;
+  sched.stats.shards_total = plan.shards.size();
+
+  // Resume: adopt every durable record that passes the campaign
+  // fingerprint (checked by load_checkpoint) and the codec's own
+  // validation. Anything invalid is simply re-run.
+  if (!config.checkpoint_path.empty()) {
+    const CheckpointLoad loaded =
+        load_checkpoint(config.checkpoint_path, plan.campaign_fingerprint,
+                        static_cast<std::uint32_t>(plan.shards.size()));
+    for (const ShardRecord& record : loaded.records) {
+      if (!payload_valid(record)) continue;
+      ShardState& s = sched.shards[record.shard_index];
+      s.done = true;
+      s.payload = record.payload;
+      ++sched.stats.shards_resumed;
+      ++sched.durable;
+    }
+  }
+  if (sched.durable >= config.halt_after_shards) sched.halted = true;
+
+  if (!sched.halted && !sched.all_settled()) {
+    const std::size_t workers = std::max<std::size_t>(1, config.workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&sched] { sched.worker_loop(); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  RunOutcome outcome;
+  outcome.stats = sched.stats;
+  outcome.stats.halted = sched.halted;
+
+  if (!sched.halted) {
+    // Workers only exit un-halted when every shard settled; a settled
+    // shard that is not done exhausted its attempts.
+    for (std::size_t i = 0; i < sched.shards.size(); ++i) {
+      const ShardState& s = sched.shards[i];
+      if (s.done) continue;
+      throw FabricError(
+          static_cast<std::uint32_t>(i),
+          "fabric: shard " + std::to_string(i) + " failed after " +
+              std::to_string(s.attempts_started) + " attempts: " +
+              (s.last_error.empty() ? "no error recorded" : s.last_error));
+    }
+  }
+
+  outcome.records.reserve(sched.durable);
+  bool complete = true;
+  for (std::size_t i = 0; i < sched.shards.size(); ++i) {
+    ShardState& s = sched.shards[i];
+    if (!s.done) {
+      complete = false;
+      continue;
+    }
+    ShardRecord r;
+    r.shard_index = static_cast<std::uint32_t>(i);
+    r.payload = std::move(s.payload);
+    outcome.records.push_back(std::move(r));
+  }
+  outcome.complete = complete;
+  return outcome;
+}
+
+}  // namespace detail
+}  // namespace hybridcnn::fabric

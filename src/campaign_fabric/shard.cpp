@@ -1,0 +1,54 @@
+#include "campaign_fabric/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/crc32c.hpp"
+#include "util/rng.hpp"
+
+namespace hybridcnn::fabric {
+
+ShardPlan make_shard_plan(std::uint64_t total_runs, std::uint64_t shard_size,
+                          std::uint64_t seed_base,
+                          std::uint64_t fingerprint) {
+  if (shard_size == 0) {
+    throw std::invalid_argument("make_shard_plan: shard_size must be >= 1");
+  }
+  ShardPlan plan;
+  plan.total_runs = total_runs;
+  plan.shard_size = shard_size;
+  plan.seed_base = seed_base;
+  plan.campaign_fingerprint = fingerprint;
+  const std::uint64_t count = (total_runs + shard_size - 1) / shard_size;
+  plan.shards.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    ShardDescriptor d;
+    d.campaign_fingerprint = fingerprint;
+    d.shard_index = static_cast<std::uint32_t>(k);
+    d.run_begin = k * shard_size;
+    d.run_end = std::min((k + 1) * shard_size, total_runs);
+    d.seed_base = seed_base;
+    plan.shards.push_back(d);
+  }
+  return plan;
+}
+
+std::uint64_t campaign_fingerprint(std::string_view tag,
+                                   std::uint64_t total_runs,
+                                   std::uint64_t shard_size,
+                                   std::uint64_t seed_base) {
+  // CRC of the tag folded into a splitmix64 chain over the numeric
+  // identity. Not cryptographic — it guards against operator error
+  // (wrong file / changed config), not an adversary.
+  std::uint64_t state = util::crc32c(tag.data(), tag.size());
+  std::uint64_t h = util::splitmix64(state);
+  state ^= total_runs;
+  h ^= util::splitmix64(state);
+  state ^= shard_size * 0x9E3779B97F4A7C15ULL;
+  h ^= util::splitmix64(state);
+  state ^= seed_base + 0x2545F4914F6CDD1DULL;
+  h ^= util::splitmix64(state);
+  return h;
+}
+
+}  // namespace hybridcnn::fabric

@@ -1,0 +1,78 @@
+#include "campaign_fabric/summary_codec.hpp"
+
+namespace hybridcnn::fabric {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void SummaryCodec<faultsim::CampaignSummary>::encode(
+    const faultsim::CampaignSummary& s, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + 5 * 8);
+  put_u64(out, s.runs);
+  put_u64(out, s.correct);
+  put_u64(out, s.corrected);
+  put_u64(out, s.detected_abort);
+  put_u64(out, s.silent_corruption);
+}
+
+bool SummaryCodec<faultsim::CampaignSummary>::decode(
+    const std::uint8_t* data, std::size_t size,
+    faultsim::CampaignSummary& out) {
+  if (size != 5 * 8) return false;
+  out.runs = get_u64(data);
+  out.correct = get_u64(data + 8);
+  out.corrected = get_u64(data + 16);
+  out.detected_abort = get_u64(data + 24);
+  out.silent_corruption = get_u64(data + 32);
+  return true;
+}
+
+void SummaryCodec<faultsim::MemoryCampaignSummary>::encode(
+    const faultsim::MemoryCampaignSummary& s,
+    std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + 10 * 8);
+  put_u64(out, s.runs);
+  put_u64(out, s.intact);
+  put_u64(out, s.corrected);
+  put_u64(out, s.uncorrectable);
+  put_u64(out, s.qualifier_caught);
+  put_u64(out, s.silent_corruption);
+  put_u64(out, s.bits_flipped);
+  put_u64(out, s.ecc_corrected_data);
+  put_u64(out, s.ecc_corrected_check);
+  put_u64(out, s.ecc_uncorrectable_words);
+}
+
+bool SummaryCodec<faultsim::MemoryCampaignSummary>::decode(
+    const std::uint8_t* data, std::size_t size,
+    faultsim::MemoryCampaignSummary& out) {
+  if (size != 10 * 8) return false;
+  out.runs = get_u64(data);
+  out.intact = get_u64(data + 8);
+  out.corrected = get_u64(data + 16);
+  out.uncorrectable = get_u64(data + 24);
+  out.qualifier_caught = get_u64(data + 32);
+  out.silent_corruption = get_u64(data + 40);
+  out.bits_flipped = get_u64(data + 48);
+  out.ecc_corrected_data = get_u64(data + 56);
+  out.ecc_corrected_check = get_u64(data + 64);
+  out.ecc_uncorrectable_words = get_u64(data + 72);
+  return true;
+}
+
+}  // namespace hybridcnn::fabric

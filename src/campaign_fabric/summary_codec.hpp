@@ -1,0 +1,53 @@
+// Versioned byte codecs for the partial summaries shards produce.
+//
+// Each summary type the fabric can shard carries a SummaryCodec
+// specialisation: a versioned workload tag (folded into the campaign
+// fingerprint, so two summary types — or two codec versions — can never
+// cross-resume from each other's checkpoints), an explicit
+// field-by-field little-endian encoding (no struct-layout or endianness
+// dependence in durable files), and the shard-merge accumulate step.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "faultsim/campaign.hpp"
+#include "faultsim/memory_faults.hpp"
+
+namespace hybridcnn::fabric {
+
+template <typename Summary>
+struct SummaryCodec;  // specialise per shardable summary type
+
+template <>
+struct SummaryCodec<faultsim::CampaignSummary> {
+  static constexpr std::string_view kTag = "classify-campaign-v1";
+  static void encode(const faultsim::CampaignSummary& s,
+                     std::vector<std::uint8_t>& out);
+  /// Returns false (leaving `out` untouched) on size mismatch — the
+  /// payload is from a different codec version and must not be merged.
+  [[nodiscard]] static bool decode(const std::uint8_t* data,
+                                   std::size_t size,
+                                   faultsim::CampaignSummary& out);
+  static void merge(faultsim::CampaignSummary& into,
+                    const faultsim::CampaignSummary& part) {
+    into += part;
+  }
+};
+
+template <>
+struct SummaryCodec<faultsim::MemoryCampaignSummary> {
+  static constexpr std::string_view kTag = "memory-campaign-v1";
+  static void encode(const faultsim::MemoryCampaignSummary& s,
+                     std::vector<std::uint8_t>& out);
+  [[nodiscard]] static bool decode(const std::uint8_t* data,
+                                   std::size_t size,
+                                   faultsim::MemoryCampaignSummary& out);
+  static void merge(faultsim::MemoryCampaignSummary& into,
+                    const faultsim::MemoryCampaignSummary& part) {
+    into += part;
+  }
+};
+
+}  // namespace hybridcnn::fabric

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "faultsim/injector.hpp"
+#include "faultsim/memory_faults.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/filters.hpp"
 #include "nn/linear.hpp"
@@ -193,7 +194,8 @@ HybridClassification HybridNetwork::classify_with_conv1(
 
 HybridNetwork::IntermittentResult HybridNetwork::classify_intermittent(
     const tensor::Tensor& image, FaultSeedStream& seeds,
-    const faultsim::PowerTrace& trace, BatchOptions options) const {
+    const faultsim::PowerTrace& trace, BatchOptions options,
+    CheckpointMemoryModel memory) const {
   if (image.shape().rank() != 3) {
     throw std::invalid_argument(
         "HybridNetwork::classify_intermittent: expected CHW");
@@ -209,10 +211,35 @@ HybridNetwork::IntermittentResult HybridNetwork::classify_intermittent(
   // inference of the committed activation.
   const std::size_t total_steps = cnn_->size() - conv1_index_;
   faultsim::PowerSchedule power(trace);
-  reliable::ProgressCheckpoint checkpoint;
+  reliable::ProgressCheckpoint checkpoint(memory.ecc);
+  // Checkpoint-slot upset stream: decorrelated from both the compute
+  // injector (0xFA17) and the memory-campaign stream (0x5E0), and a pure
+  // function of the run seed — re-running the same trace re-injects the
+  // same upsets.
+  util::Rng checkpoint_rng(seed, 0xC4EC);
   // Committed non-tensor products of step 0 (report, qualifier verdict);
   // committed alongside the checkpointed activation.
   DependableStage committed_stage;
+
+  // The reboot path: the in-flight step's work is lost, upsets strike
+  // the committed slot while the system was down, and — with ECC on — a
+  // scrub corrects them before execution resumes from the checkpoint.
+  const auto reboot = [&](IntermittentResult& r) {
+    const std::size_t resume = checkpoint.rollback();
+    if (memory.flips_per_cycle > 0 && checkpoint.commits() > 0) {
+      r.checkpoint_bits_flipped +=
+          faultsim::inject_exact_flips(checkpoint.mutable_state(),
+                                       memory.flips_per_cycle,
+                                       checkpoint_rng)
+              .bits_flipped;
+    }
+    if (memory.ecc) {
+      const faultsim::ScrubReport sr = checkpoint.scrub();
+      r.checkpoint_corrected += sr.corrected();
+      r.checkpoint_uncorrectable += sr.uncorrectable;
+    }
+    return resume;
+  };
 
   IntermittentResult result;
   std::size_t next = 0;
@@ -222,7 +249,7 @@ HybridNetwork::IntermittentResult HybridNetwork::classify_intermittent(
       DependableStage stage =
           dependable_stage(rconv, image, seed, options.report);
       if (!power.step()) {  // power failed mid-step: work lost
-        next = checkpoint.rollback();
+        next = reboot(result);
         continue;
       }
       tensor::Tensor act = std::move(stage.conv1_out);
@@ -235,7 +262,7 @@ HybridNetwork::IntermittentResult HybridNetwork::classify_intermittent(
       tensor::Tensor act =
           cnn_->layer(conv1_index_ + next).infer(checkpoint.state(), ws);
       if (!power.step()) {
-        next = checkpoint.rollback();
+        next = reboot(result);
         continue;
       }
       checkpoint.commit(next + 1, std::move(act));
@@ -345,11 +372,35 @@ faultsim::CampaignSummary HybridNetwork::classify_campaign(
     const std::function<faultsim::Outcome(
         std::size_t, const HybridClassification&)>& judge,
     FaultSeedStream& seeds, BatchOptions options) const {
-  const std::vector<HybridClassification> results =
-      classify_repeat(image, runs, seeds, options);
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument(
+        "HybridNetwork::classify_campaign: expected CHW");
+  }
+  const std::uint64_t seed_base = seeds.take_block(runs);
+  return classify_campaign_range(image, 0, runs, seed_base, judge, options);
+}
+
+faultsim::CampaignSummary HybridNetwork::classify_campaign_range(
+    const tensor::Tensor& image, std::size_t run_begin, std::size_t run_end,
+    std::uint64_t seed_base,
+    const std::function<faultsim::Outcome(
+        std::size_t, const HybridClassification&)>& judge,
+    BatchOptions options) const {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument(
+        "HybridNetwork::classify_campaign_range: expected CHW");
+  }
+  if (run_end < run_begin) {
+    throw std::invalid_argument(
+        "HybridNetwork::classify_campaign_range: run_end < run_begin");
+  }
+  const std::size_t count = run_end - run_begin;
+  const std::vector<const tensor::Tensor*> ptrs(count, &image);
+  const std::vector<HybridClassification> results = classify_indexed(
+      count, ptrs.data(), seed_base + run_begin, nullptr, options);
   faultsim::CampaignSummary summary;
-  for (std::size_t run = 0; run < results.size(); ++run) {
-    summary.add(judge(run, results[run]));
+  for (std::size_t i = 0; i < count; ++i) {
+    summary.add(judge(run_begin + i, results[i]));
   }
   return summary;
 }

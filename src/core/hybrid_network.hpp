@@ -84,6 +84,22 @@ struct BatchOptions {
   reliable::ReportMode report = reliable::ReportMode::kFull;
 };
 
+/// Memory model of the intermittent checkpoint slot
+/// (HybridNetwork::classify_intermittent). The committed activation sits
+/// in non-volatile memory across power cycles, so it accumulates upsets
+/// exactly while the system is down: at each power failure
+/// `flips_per_cycle` distinct bits of the committed state are flipped
+/// (deterministically derived from the run seed on a dedicated Rng
+/// stream). With `ecc` on the slot is SEC-DED protected
+/// (reliable::ProgressCheckpoint's protected mode) and a scrub pass runs
+/// on every reboot before the resumed step reads the state — a single
+/// upset per cycle is always corrected and the classification stays
+/// bit-identical to classify().
+struct CheckpointMemoryModel {
+  std::uint64_t flips_per_cycle = 0;  ///< exact SEUs per power failure
+  bool ecc = false;  ///< SEC-DED protect the slot + scrub on reboot
+};
+
 /// The hybrid (reliable/non-reliable) network.
 class HybridNetwork {
  public:
@@ -141,6 +157,23 @@ class HybridNetwork {
           std::size_t, const HybridClassification&)>& judge,
       FaultSeedStream& seeds, BatchOptions options = {}) const;
 
+  /// Shard/resume form of classify_campaign over an explicit run range:
+  /// run i in [run_begin, run_end) classifies with fault seed
+  /// `seed_base + i` and is judged as `judge(i, result)` — the very
+  /// seeds and judge indices the monolithic campaign gives those runs,
+  /// so summing the partial summaries of any disjoint cover of
+  /// [0, runs) equals the classify_campaign summary exactly. This is
+  /// the campaign-fabric shard entry point; it consumes no stream (the
+  /// caller's coordinator owns the seed base) and is const/re-entrant,
+  /// so shards may execute concurrently from worker threads. `judge`
+  /// must be thread-safe under that concurrency.
+  [[nodiscard]] faultsim::CampaignSummary classify_campaign_range(
+      const tensor::Tensor& image, std::size_t run_begin,
+      std::size_t run_end, std::uint64_t seed_base,
+      const std::function<faultsim::Outcome(
+          std::size_t, const HybridClassification&)>& judge,
+      BatchOptions options = {}) const;
+
   /// Explicit-seed batch: image i uses seeds[i], with no consecutiveness
   /// requirement. This is the serving entry point — a dispatcher
   /// coalescing requests from several sessions hands each image the seed
@@ -168,6 +201,10 @@ class HybridNetwork {
     std::size_t power_cycles = 0;     ///< power failures survived
     std::size_t steps_committed = 0;  ///< checkpointed steps (progress)
     std::size_t steps_executed = 0;   ///< attempts, incl. work lost to cuts
+    // Checkpoint-slot memory accounting (CheckpointMemoryModel):
+    std::uint64_t checkpoint_bits_flipped = 0;   ///< upsets injected
+    std::uint64_t checkpoint_corrected = 0;      ///< scrub-corrected bits
+    std::uint64_t checkpoint_uncorrectable = 0;  ///< double-error words
   };
 
   /// Intermittent-execution mode (Stateful-CNN style): the classification
@@ -180,10 +217,13 @@ class HybridNetwork {
   /// state, seed), so the final classification is bit-identical to
   /// classify() with the same seed for EVERY trace, and execution always
   /// terminates once the trace is exhausted (power stable thereafter).
-  /// Consumes one seed from `seeds`, exactly like classify().
+  /// Consumes one seed from `seeds`, exactly like classify(). `memory`
+  /// optionally corrupts the committed checkpoint at each power failure
+  /// and/or ECC-protects the slot (see CheckpointMemoryModel).
   [[nodiscard]] IntermittentResult classify_intermittent(
       const tensor::Tensor& image, FaultSeedStream& seeds,
-      const faultsim::PowerTrace& trace, BatchOptions options = {}) const;
+      const faultsim::PowerTrace& trace, BatchOptions options = {},
+      CheckpointMemoryModel memory = {}) const;
 
   /// A fresh stream positioned at the configured `fault_seed` base — the
   /// stream a newly constructed network's wrappers would consume.

@@ -79,17 +79,31 @@ MemoryFaultCampaign::MemoryFaultCampaign(const HybridNetwork& net,
 faultsim::MemoryCampaignSummary MemoryFaultCampaign::run(
     const tensor::Tensor& image, std::size_t runs, FaultSeedStream& seeds,
     runtime::ComputeContext& ctx) const {
-  if (image.shape().rank() != 3) {
-    throw std::invalid_argument("MemoryFaultCampaign::run: expected CHW");
-  }
   const std::uint64_t seed_base = seeds.take_block(runs);
+  return run_range(image, 0, runs, seed_base, ctx);
+}
+
+faultsim::MemoryCampaignSummary MemoryFaultCampaign::run_range(
+    const tensor::Tensor& image, std::size_t run_begin, std::size_t run_end,
+    std::uint64_t seed_base, runtime::ComputeContext& ctx) const {
+  if (image.shape().rank() != 3) {
+    throw std::invalid_argument(
+        "MemoryFaultCampaign::run_range: expected CHW");
+  }
+  if (run_end < run_begin) {
+    throw std::invalid_argument(
+        "MemoryFaultCampaign::run_range: run_end < run_begin");
+  }
+  const std::size_t count = run_end - run_begin;
   const reliable::ReliabilityPolicy& policy = net_->config().policy;
   const BatchOptions opts{RemainderMode::kFanned, config_.report};
 
   // Golden reference. With no compute faults armed the fault-free hybrid
-  // path is seed-independent, so one golden serves every run; with
-  // compute faults armed each run needs the same-seed pristine-weights
-  // classification so the comparison isolates the memory effect.
+  // path is seed-independent, so one golden serves every run (any seed
+  // produces the same bits — shards computing it with their own base
+  // still agree); with compute faults armed each run needs the same-seed
+  // pristine-weights classification so the comparison isolates the
+  // memory effect.
   const bool compute_faults_armed =
       net_->config().fault_config.kind != faultsim::FaultKind::kNone;
   const reliable::ReliableConv2d pristine_rconv(weights_, bias_, spec_,
@@ -100,9 +114,13 @@ faultsim::MemoryCampaignSummary MemoryFaultCampaign::run(
         net_->classify_with_conv1(pristine_rconv, image, seed_base, opts);
   }
 
-  std::vector<RunRecord> records(runs);
-  ctx.pool().parallel_for(0, runs, [&](std::size_t i) {
-    RunRecord& rec = records[i];
+  std::vector<RunRecord> records(count);
+  ctx.pool().parallel_for(0, count, [&](std::size_t idx) {
+    RunRecord& rec = records[idx];
+    // Global run index: seeds AND the scrub cadence key on it, so a
+    // shard reproduces exactly the runs the monolithic campaign would
+    // execute at these indices.
+    const std::size_t i = run_begin + idx;
     const std::uint64_t seed = seed_base + i;
     util::Rng rng(seed, kMemoryStream);
     // Scrub cadence: run i has accumulated this many exposure epochs of

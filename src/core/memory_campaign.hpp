@@ -71,6 +71,21 @@ class MemoryFaultCampaign {
       runtime::ComputeContext& ctx =
           runtime::ComputeContext::global()) const;
 
+  /// Shard/resume form of run() over an explicit GLOBAL run range: run i
+  /// in [run_begin, run_end) derives its stochastic state from
+  /// `seed_base + i` and its scrub-cadence exposure from the global
+  /// index i — `(i % scrub_interval) + 1` epochs — exactly as the
+  /// monolithic campaign does, so summing the partial summaries of any
+  /// disjoint cover of [0, runs) is bit-identical to run() even when the
+  /// shard size is not a multiple of the scrub interval. Campaign-fabric
+  /// shard entry point: consumes no stream, const/re-entrant, shards may
+  /// execute concurrently from worker threads.
+  [[nodiscard]] faultsim::MemoryCampaignSummary run_range(
+      const tensor::Tensor& image, std::size_t run_begin,
+      std::size_t run_end, std::uint64_t seed_base,
+      runtime::ComputeContext& ctx =
+          runtime::ComputeContext::global()) const;
+
   [[nodiscard]] const MemoryCampaignConfig& config() const noexcept {
     return config_;
   }

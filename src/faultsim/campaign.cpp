@@ -42,6 +42,16 @@ void CampaignSummary::add(Outcome o) {
   }
 }
 
+CampaignSummary& CampaignSummary::operator+=(
+    const CampaignSummary& other) noexcept {
+  runs += other.runs;
+  correct += other.correct;
+  corrected += other.corrected;
+  detected_abort += other.detected_abort;
+  silent_corruption += other.silent_corruption;
+  return *this;
+}
+
 double CampaignSummary::availability() const {
   if (runs == 0) return 0.0;
   return static_cast<double>(correct + corrected) /

@@ -45,6 +45,21 @@ struct CampaignSummary {
   /// Records one classified run.
   void add(Outcome o);
 
+  /// Shard-merge operator: field-wise accumulation of a partial summary.
+  /// Because every field is an integer count, merging the per-shard
+  /// summaries of any disjoint cover of a run range — in any order —
+  /// yields exactly the summary of the monolithic campaign; the campaign
+  /// fabric still merges in shard-index order by contract.
+  CampaignSummary& operator+=(const CampaignSummary& other) noexcept;
+  friend CampaignSummary operator+(CampaignSummary a,
+                                   const CampaignSummary& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const CampaignSummary&,
+                         const CampaignSummary&) noexcept = default;
+
   /// Fraction of runs that delivered a correct result (fail-operational).
   [[nodiscard]] double availability() const;
 

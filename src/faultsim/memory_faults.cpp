@@ -100,6 +100,21 @@ std::string memory_outcome_name(MemoryOutcome o) {
   return "unknown";
 }
 
+MemoryCampaignSummary& MemoryCampaignSummary::operator+=(
+    const MemoryCampaignSummary& o) noexcept {
+  runs += o.runs;
+  intact += o.intact;
+  corrected += o.corrected;
+  uncorrectable += o.uncorrectable;
+  qualifier_caught += o.qualifier_caught;
+  silent_corruption += o.silent_corruption;
+  bits_flipped += o.bits_flipped;
+  ecc_corrected_data += o.ecc_corrected_data;
+  ecc_corrected_check += o.ecc_corrected_check;
+  ecc_uncorrectable_words += o.ecc_uncorrectable_words;
+  return *this;
+}
+
 void MemoryCampaignSummary::add(MemoryOutcome o) {
   ++runs;
   switch (o) {

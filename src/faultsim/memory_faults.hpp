@@ -99,6 +99,17 @@ struct MemoryCampaignSummary {
   /// Records one classified run.
   void add(MemoryOutcome o);
 
+  /// Shard-merge operator: field-wise accumulation of a partial summary.
+  /// Integer counts only, so merging the shards of a disjoint run-range
+  /// cover equals the monolithic summary exactly (the campaign fabric's
+  /// bit-identity contract).
+  MemoryCampaignSummary& operator+=(const MemoryCampaignSummary& o) noexcept;
+  friend MemoryCampaignSummary operator+(
+      MemoryCampaignSummary a, const MemoryCampaignSummary& b) noexcept {
+    a += b;
+    return a;
+  }
+
   /// Fraction of runs that delivered the golden result.
   [[nodiscard]] double availability() const;
 

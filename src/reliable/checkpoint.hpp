@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "faultsim/ecc.hpp"
 #include "tensor/tensor.hpp"
 #include "util/contracts.hpp"
 
@@ -70,15 +72,31 @@ HYBRIDCNN_CONTRACT_TRIVIAL_PAYLOAD(ScalarCheckpoint);
 /// a power failure. Commits are modelled as atomic — a real system
 /// double-buffers the NVM slot so a cut mid-write preserves the previous
 /// checkpoint.
+///
+/// The slot sits in (simulated) memory across power cycles, so it is
+/// itself exposed to SEUs. Constructed with `ecc = true`, the committed
+/// activation is routed through faultsim::ProtectedTensor: every commit
+/// recomputes per-word SEC-DED check bits, campaigns inject upsets into
+/// mutable_state() (the raw "NVM cells"), and scrub() corrects every
+/// single-bit upset before the resumed step reads the activation — a
+/// corrected checkpoint resumes bit-identically to an uncorrupted one
+/// (tests/test_checkpoint.cpp + test_intermittent.cpp lock this).
 class ProgressCheckpoint {
  public:
   /// Initial state: no progress, empty activation, resume at step 0.
-  ProgressCheckpoint() = default;
+  /// `ecc` opts the committed activation into SEC-DED protected storage.
+  explicit ProgressCheckpoint(bool ecc = false) noexcept : ecc_(ecc) {}
 
   /// Commits `state` as the activation produced by all steps < `next_step`;
-  /// execution resumes at `next_step`.
+  /// execution resumes at `next_step`. With ECC on, check bits for every
+  /// word of `state` are (re)computed here — commit is the write path of
+  /// the protected slot.
   void commit(std::size_t next_step, tensor::Tensor state) {
-    state_ = std::move(state);
+    if (ecc_) {
+      protected_.emplace(std::move(state));
+    } else {
+      state_ = std::move(state);
+    }
     step_ = next_step;
     ++commits_;
   }
@@ -93,8 +111,28 @@ class ProgressCheckpoint {
 
   /// The committed activation (input of step `step()`).
   [[nodiscard]] const tensor::Tensor& state() const noexcept {
-    return state_;
+    return ecc_ && protected_.has_value() ? protected_->data() : state_;
   }
+
+  /// The raw committed storage — the simulated memory cells campaigns
+  /// inject upsets into between scrub passes. Mutations through this
+  /// handle model DRAM/NVM corruption at rest; they do NOT refresh the
+  /// ECC check bits (that is the point).
+  [[nodiscard]] tensor::Tensor& mutable_state() noexcept {
+    return ecc_ && protected_.has_value() ? protected_->data() : state_;
+  }
+
+  /// Scrubs the protected slot: corrects every single-bit upset in the
+  /// committed activation (and its check words), reports double-bit
+  /// detections. Returns an empty report when ECC is off or nothing has
+  /// been committed. Call on the reboot path, before the resumed step
+  /// reads state().
+  faultsim::ScrubReport scrub() {
+    if (!ecc_ || !protected_.has_value()) return {};
+    return protected_->scrub();
+  }
+
+  [[nodiscard]] bool ecc() const noexcept { return ecc_; }
 
   /// The step execution resumes at (number of committed steps).
   [[nodiscard]] std::size_t step() const noexcept { return step_; }
@@ -106,6 +144,8 @@ class ProgressCheckpoint {
 
  private:
   tensor::Tensor state_;
+  std::optional<faultsim::ProtectedTensor> protected_;
+  bool ecc_ = false;
   std::size_t step_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t rollbacks_ = 0;

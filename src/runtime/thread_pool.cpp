@@ -49,6 +49,12 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> completed{0};
   std::mutex error_mu;
   std::exception_ptr error;
+  // Chunk index the captured exception came from. Keeping the error of
+  // the LOWEST chunk (and, within a chunk, the first throwing index —
+  // chunks run their indices in order and abort at the throw) makes the
+  // rethrown exception exactly the one a serial loop would hit first,
+  // independent of how chunks were scheduled across threads.
+  std::size_t error_chunk = SIZE_MAX;
 };
 
 struct ThreadPool::Impl {
@@ -98,7 +104,10 @@ void ThreadPool::run_chunks(Job& job, std::size_t slot) {
       (*job.fn)(b, e, slot);
     } catch (...) {
       std::lock_guard<std::mutex> lk(job.error_mu);
-      if (!job.error) job.error = std::current_exception();
+      if (c < job.error_chunk) {
+        job.error_chunk = c;
+        job.error = std::current_exception();
+      }
     }
     job.completed.fetch_add(1, std::memory_order_acq_rel);
   }

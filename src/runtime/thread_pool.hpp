@@ -46,8 +46,11 @@ class ThreadPool {
 
   /// Runs `fn(chunk_begin, chunk_end, slot)` over [begin, end) split into
   /// contiguous chunks of at least `grain` indices. Blocks until every
-  /// chunk finished; the first exception thrown by a chunk is rethrown
-  /// here. Chunk boundaries depend only on (begin, end, grain, slot
+  /// chunk finished; if chunks threw, the exception rethrown here is
+  /// deterministically the one from the lowest-index chunk (within a
+  /// chunk, the first throwing index) — the same exception a serial loop
+  /// over the range would surface, regardless of thread count or
+  /// scheduling. Chunk boundaries depend only on (begin, end, grain, slot
   /// count), and chunks may run on any slot — callers must write only to
   /// per-index (or per-chunk) disjoint outputs.
   void parallel_for_chunks(

@@ -1,0 +1,39 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace hybridcnn::util {
+
+namespace {
+
+/// Reflected CRC32C byte table, built once at static-init time from the
+/// reversed Castagnoli polynomial. constexpr so the table is a
+/// compile-time constant — no first-call latency, no init-order hazard.
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t crc = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t crc) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace hybridcnn::util

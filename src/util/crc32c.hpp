@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli) checksum.
+//
+// The checksum guarding every durable artefact the campaign fabric
+// writes: checkpoint records are only trusted when their stored CRC
+// matches a recomputation over the bytes read back, so a torn write, a
+// truncated tail or a bit flip at rest is detected instead of being
+// merged into campaign results. CRC32C (polynomial 0x1EDC6F41) is the
+// storage-stack standard (iSCSI, ext4, Btrfs); this is the reflected
+// table-driven software form — no SSE4.2 dependency, bit-identical on
+// every build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hybridcnn::util {
+
+/// CRC32C of `size` bytes starting at `data`, seeded by `crc` — pass the
+/// previous return value to checksum a discontiguous payload
+/// incrementally; the default seed starts a fresh checksum. The empty
+/// range returns the seed's fresh value (0 for the default).
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size,
+                                   std::uint32_t crc = 0) noexcept;
+
+}  // namespace hybridcnn::util

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "faultsim/campaign.hpp"
@@ -115,6 +117,45 @@ TEST_F(CampaignParallel, SimplexCampaignLeaksSdcUnderFaults) {
   ComputeContext::set_global_threads(8);
   const CampaignSummary s = conv_campaign("simplex", 1e-4, 40);
   EXPECT_GT(s.silent_corruption, 0u);
+}
+
+TEST_F(CampaignParallel, RethrowsTheLowestRunException) {
+  // A throwing run body must surface the same exception a serial sweep
+  // would hit first — the lowest throwing run index — regardless of the
+  // thread count scheduling the runs.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ComputeContext::set_global_threads(threads);
+    try {
+      (void)faultsim::run_campaign(500, [](std::size_t r) {
+        if (r >= 71) throw std::runtime_error("run " + std::to_string(r));
+        return Outcome::kCorrect;
+      });
+      FAIL() << "expected a throw at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "run 71") << threads << " threads";
+    }
+  }
+}
+
+TEST_F(CampaignParallel, SummariesMergeByFieldwiseAddition) {
+  const auto outcome_of = [](std::size_t r) {
+    switch (r % 4) {
+      case 0: return Outcome::kCorrect;
+      case 1: return Outcome::kCorrected;
+      case 2: return Outcome::kDetectedAbort;
+      default: return Outcome::kSilentCorruption;
+    }
+  };
+  const CampaignSummary whole = faultsim::run_campaign(103, outcome_of);
+  // Split at an odd boundary; the shifted index keeps the outcome of
+  // each global run identical across the split.
+  const CampaignSummary head = faultsim::run_campaign(37, outcome_of);
+  const CampaignSummary tail = faultsim::run_campaign(
+      103 - 37, [&](std::size_t r) { return outcome_of(37 + r); });
+  EXPECT_EQ(head + tail, whole);
+  CampaignSummary acc = head;
+  acc += tail;
+  EXPECT_EQ(acc, whole);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // operation and inference-step granularity.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "reliable/checkpoint.hpp"
 #include "tensor/tensor.hpp"
 
@@ -88,6 +91,67 @@ TEST(ProgressCheckpoint, RollbackBeforeAnyCommitRestartsFromZero) {
   EXPECT_EQ(cp.rollback(), 0u);
   EXPECT_EQ(cp.rollback(), 0u);
   EXPECT_EQ(cp.rollbacks(), 2u);
+}
+
+// ------------------------------------------- ECC-protected checkpoint
+
+/// Flips one bit of one committed float through the raw-storage handle —
+/// the model of an SEU landing in the checkpoint slot at rest.
+void flip_state_bit(ProgressCheckpoint& cp, std::size_t word,
+                    std::uint32_t bit) {
+  float& f = cp.mutable_state().data()[word];
+  std::uint32_t w;
+  std::memcpy(&w, &f, sizeof(w));
+  w ^= (1u << bit);
+  std::memcpy(&f, &w, sizeof(w));
+}
+
+TEST(ProgressCheckpoint, EccOffScrubIsEmpty) {
+  ProgressCheckpoint cp(false);
+  cp.commit(1, Tensor(Shape{8}, 1.0f));
+  EXPECT_FALSE(cp.ecc());
+  EXPECT_TRUE(cp.scrub().clean());
+  EXPECT_EQ(cp.scrub().words, 0u);
+}
+
+TEST(ProgressCheckpoint, EccScrubCorrectsASingleBitFlip) {
+  ProgressCheckpoint cp(true);
+  const Tensor committed(Shape{16}, 0.75f);
+  cp.commit(2, Tensor(committed));
+  flip_state_bit(cp, 5, 17);
+  ASSERT_NE(cp.state(), committed) << "the upset must be visible at rest";
+
+  const auto report = cp.scrub();
+  EXPECT_EQ(report.corrected(), 1u);
+  EXPECT_EQ(report.uncorrectable, 0u);
+  EXPECT_EQ(cp.state(), committed)
+      << "a scrubbed slot must be bit-identical to the committed state";
+  EXPECT_EQ(cp.step(), 2u);
+}
+
+TEST(ProgressCheckpoint, EccScrubCorrectsOneFlipPerWord) {
+  ProgressCheckpoint cp(true);
+  const Tensor committed(Shape{8}, -1.25f);
+  cp.commit(1, Tensor(committed));
+  for (std::size_t w = 0; w < 8; ++w) {
+    flip_state_bit(cp, w, static_cast<std::uint32_t>((w * 7) % 32));
+  }
+  const auto report = cp.scrub();
+  EXPECT_EQ(report.corrected(), 8u);
+  EXPECT_EQ(report.uncorrectable, 0u);
+  EXPECT_EQ(cp.state(), committed);
+}
+
+TEST(ProgressCheckpoint, EccRecommitRefreshesCheckBits) {
+  // Commit, corrupt, scrub, then commit fresh state: the new commit must
+  // recompute check bits so a later scrub sees a clean slot.
+  ProgressCheckpoint cp(true);
+  cp.commit(1, Tensor(Shape{4}, 1.0f));
+  flip_state_bit(cp, 0, 3);
+  (void)cp.scrub();
+  cp.commit(2, Tensor(Shape{4}, 2.0f));
+  EXPECT_TRUE(cp.scrub().clean());
+  EXPECT_EQ(cp.state(), Tensor(Shape{4}, 2.0f));
 }
 
 }  // namespace

@@ -220,4 +220,89 @@ TEST(Intermittent, ArmedInjectorReplaysIdenticallyAcrossCuts) {
   }
 }
 
+// ----------------------------------- checkpoint-slot memory corruption
+
+TEST(Intermittent, EccCheckpointSurvivesSlotUpsets) {
+  // The committed checkpoint sits in (simulated) memory across power
+  // cycles, so it takes SEUs too. With one upset injected into the slot
+  // at every reboot and the slot ECC-protected, every flip is scrubbed
+  // before the resumed step reads the activation — the classification
+  // stays bit-identical to the uninterrupted run.
+  const HybridNetwork net(make_testnet(), 0);
+  const Tensor img = stop_image();
+
+  FaultSeedStream ref_seeds = net.seed_stream();
+  const HybridClassification ref = net.classify(img, ref_seeds);
+
+  core::CheckpointMemoryModel memory;
+  memory.flips_per_cycle = 1;
+  memory.ecc = true;
+  FaultSeedStream seeds = net.seed_stream();
+  const auto r = net.classify_intermittent(
+      img, seeds, PowerTrace::periodic(1, 4), {}, memory);
+  expect_same_classification(r.classification, ref);
+  EXPECT_EQ(r.power_cycles, 4u);
+  EXPECT_GT(r.checkpoint_bits_flipped, 0u);
+  EXPECT_EQ(r.checkpoint_corrected, r.checkpoint_bits_flipped)
+      << "a single upset per reboot is always scrub-correctable";
+  EXPECT_EQ(r.checkpoint_uncorrectable, 0u);
+}
+
+TEST(Intermittent, CheckpointUpsetsAreDeterministicForSeed) {
+  // The slot-corruption stream derives from the run seed alone: two
+  // identical calls must agree bit for bit — with and without ECC.
+  const HybridNetwork net(make_testnet(), 0);
+  const Tensor img = stop_image();
+
+  for (const bool ecc : {false, true}) {
+    core::CheckpointMemoryModel memory;
+    memory.flips_per_cycle = 3;
+    memory.ecc = ecc;
+    FaultSeedStream sa = net.seed_stream();
+    FaultSeedStream sb = net.seed_stream();
+    const auto a = net.classify_intermittent(
+        img, sa, PowerTrace::periodic(1, 4), {}, memory);
+    const auto b = net.classify_intermittent(
+        img, sb, PowerTrace::periodic(1, 4), {}, memory);
+    expect_same_classification(a.classification, b.classification);
+    EXPECT_EQ(a.checkpoint_bits_flipped, b.checkpoint_bits_flipped) << ecc;
+    EXPECT_EQ(a.checkpoint_corrected, b.checkpoint_corrected) << ecc;
+    EXPECT_EQ(a.checkpoint_uncorrectable, b.checkpoint_uncorrectable) << ecc;
+  }
+}
+
+TEST(Intermittent, UnprotectedCheckpointTakesUpsetsUncorrected) {
+  const HybridNetwork net(make_testnet(), 0);
+  const Tensor img = stop_image();
+
+  core::CheckpointMemoryModel memory;
+  memory.flips_per_cycle = 1;
+  memory.ecc = false;
+  FaultSeedStream seeds = net.seed_stream();
+  const auto r = net.classify_intermittent(
+      img, seeds, PowerTrace::periodic(1, 4), {}, memory);
+  EXPECT_GT(r.checkpoint_bits_flipped, 0u);
+  EXPECT_EQ(r.checkpoint_corrected, 0u)
+      << "without ECC nothing scrubs the slot";
+  EXPECT_EQ(r.checkpoint_uncorrectable, 0u);
+  EXPECT_EQ(r.steps_committed, 5u) << "execution still terminates";
+}
+
+TEST(Intermittent, DefaultMemoryModelLeavesTheSlotPristine) {
+  const HybridNetwork net(make_testnet(), 0);
+  const Tensor img = stop_image();
+
+  FaultSeedStream ref_seeds = net.seed_stream();
+  const HybridClassification ref = net.classify(img, ref_seeds);
+
+  FaultSeedStream seeds = net.seed_stream();
+  const auto r = net.classify_intermittent(
+      img, seeds, PowerTrace::periodic(1, 4), {},
+      core::CheckpointMemoryModel{});
+  expect_same_classification(r.classification, ref);
+  EXPECT_EQ(r.checkpoint_bits_flipped, 0u);
+  EXPECT_EQ(r.checkpoint_corrected, 0u);
+  EXPECT_EQ(r.checkpoint_uncorrectable, 0u);
+}
+
 }  // namespace

@@ -269,4 +269,44 @@ TEST(ComputeContext, PerSlotWorkspacesAreDistinct) {
   }
 }
 
+// ------------------------------------- deterministic exception rethrow
+
+TEST(ThreadPool, RethrowsTheLowestIndexException) {
+  // When several indices throw, the rethrown exception must be exactly
+  // the one a serial loop would hit first — the lowest throwing index —
+  // at every thread count. (Chunks are claimed out of order under
+  // contention, so without the lowest-chunk rule the surfaced error
+  // would be scheduling-dependent.)
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    try {
+      pool.parallel_for(0, 1000, [](std::size_t i) {
+        if (i % 97 == 13) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a throw at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 13") << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, RethrowsTheLowestChunkException) {
+  // Every chunk throws; whatever the claim order under contention, the
+  // exception that surfaces must be the first chunk's.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    try {
+      pool.parallel_for_chunks(
+          0, 900, 10, [](std::size_t b, std::size_t, std::size_t) {
+            throw std::runtime_error("chunk " + std::to_string(b));
+          });
+      FAIL() << "expected a throw at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 0") << threads << " threads";
+    }
+  }
+}
+
 }  // namespace

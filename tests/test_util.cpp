@@ -2,10 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "util/atomic_file.hpp"
+#include "util/crc32c.hpp"
 #include "util/csv.hpp"
 #include "util/image_io.hpp"
 #include "util/rng.hpp"
@@ -231,6 +236,92 @@ TEST(ImageIo, PpmWrites) {
 
 TEST(ImageIo, ReadPgmRejectsMissingFile) {
   EXPECT_THROW(read_pgm("/tmp/definitely_missing_754.pgm"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- crc32c
+
+TEST(Crc32c, KnownAnswerVector) {
+  // The canonical CRC-32C check value (RFC 3720 appendix B / "check"
+  // column of the Castagnoli polynomial): crc32c("123456789").
+  const char msg[] = "123456789";
+  EXPECT_EQ(hybridcnn::util::crc32c(msg, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) {
+  EXPECT_EQ(hybridcnn::util::crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32c, IncrementalChainingMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole =
+      hybridcnn::util::crc32c(msg.data(), msg.size());
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    const std::uint32_t head = hybridcnn::util::crc32c(msg.data(), split);
+    const std::uint32_t chained = hybridcnn::util::crc32c(
+        msg.data() + split, msg.size() - split, head);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlip) {
+  std::vector<std::uint8_t> data(32, 0xA5);
+  const std::uint32_t clean = hybridcnn::util::crc32c(data.data(),
+                                                      data.size());
+  for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(hybridcnn::util::crc32c(data.data(), data.size()), clean)
+        << "bit " << bit;
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+// -------------------------------------------------------- atomic file
+
+TEST(AtomicFile, WriteThenReadRoundTrips) {
+  const std::string path = "/tmp/hybridcnn_atomic_test.bin";
+  const std::vector<std::uint8_t> payload = {0, 1, 2, 255, 128, 7};
+  hybridcnn::util::atomic_write_file(path, payload);
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(hybridcnn::util::read_file(path, back));
+  EXPECT_EQ(back, payload);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "temp file must not survive a successful write";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeContent) {
+  const std::string path = "/tmp/hybridcnn_atomic_test2.bin";
+  hybridcnn::util::atomic_write_file(
+      path, std::vector<std::uint8_t>(100, 0xAA));
+  hybridcnn::util::atomic_write_file(path, std::vector<std::uint8_t>{1, 2});
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(hybridcnn::util::read_file(path, back));
+  EXPECT_EQ(back, (std::vector<std::uint8_t>{1, 2}))
+      << "no tail of the longer previous file may leak through";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, EmptyPayloadRoundTrips) {
+  const std::string path = "/tmp/hybridcnn_atomic_test3.bin";
+  hybridcnn::util::atomic_write_file(path, nullptr, 0);
+  std::vector<std::uint8_t> back{9, 9};
+  ASSERT_TRUE(hybridcnn::util::read_file(path, back));
+  EXPECT_TRUE(back.empty());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ReadMissingFileReturnsFalse) {
+  std::vector<std::uint8_t> back{1};
+  EXPECT_FALSE(hybridcnn::util::read_file(
+      "/tmp/definitely_missing_atomic_991.bin", back));
+  EXPECT_TRUE(back.empty()) << "a failed read must clear the buffer";
+}
+
+TEST(AtomicFile, WriteIntoMissingDirectoryThrows) {
+  EXPECT_THROW(hybridcnn::util::atomic_write_file(
+                   "/tmp/definitely_missing_dir_991/f.bin",
+                   std::vector<std::uint8_t>{1}),
                std::runtime_error);
 }
 
